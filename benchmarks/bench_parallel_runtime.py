@@ -1,0 +1,107 @@
+"""Microbenchmarks of the SPMD runtime and the distributed pipelines.
+
+Not a paper artifact per se, but the substrate the Algorithm 1 benches
+stand on: collective latency/throughput of the virtual-rank runtime and
+the end-to-end distributed solves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import HxcKernel
+from repro.parallel import (
+    BlockDistribution1D,
+    distributed_build_vhxc,
+    distributed_kmeans,
+    spmd_run,
+)
+from repro.core.pair_products import pair_weights
+from repro.utils.rng import default_rng
+
+
+def test_bench_allreduce(benchmark):
+    payload = np.ones(1 << 16)
+
+    def run():
+        return spmd_run(4, lambda comm: comm.allreduce(payload))
+
+    results = benchmark(run)
+    np.testing.assert_array_equal(results[0], 4.0 * payload)
+
+
+def test_bench_alltoall_transpose(benchmark):
+    rng = default_rng(0)
+    matrix = rng.standard_normal((4096, 64))
+    from repro.parallel import transpose_to_column_block
+
+    row_dist = BlockDistribution1D(4096, 4)
+    col_dist = BlockDistribution1D(64, 4)
+
+    def prog(comm):
+        slab = matrix[row_dist.local_slice(comm.rank)]
+        return transpose_to_column_block(comm, slab, row_dist, col_dist)
+
+    results = benchmark(lambda: spmd_run(4, prog))
+    assert results[0].shape == (4096, 16)
+
+
+def test_bench_distributed_vhxc(benchmark, si8_state):
+    gs = si8_state
+    psi_v, _, psi_c, _ = gs.select_transition_space()
+    kernel = HxcKernel(gs.basis, gs.density)
+    dist = BlockDistribution1D(gs.basis.n_r, 4)
+
+    def prog(comm):
+        sl = dist.local_slice(comm.rank)
+        return distributed_build_vhxc(
+            comm, psi_v[:, sl], psi_c[:, sl], kernel, dist
+        )
+
+    results = benchmark.pedantic(
+        lambda: spmd_run(4, prog), rounds=3, iterations=1
+    )
+    assert results[0].shape == (psi_v.shape[0] * psi_c.shape[0],) * 2
+
+
+def test_bench_distributed_kmeans(benchmark, si8_state):
+    gs = si8_state
+    psi_v, _, psi_c, _ = gs.select_transition_space()
+    weights = pair_weights(psi_v, psi_c)
+    keep = np.flatnonzero(weights >= 1e-4 * weights.max())
+    points = gs.basis.grid.cartesian_points[keep]
+    w = weights[keep]
+    dist = BlockDistribution1D(len(points), 4)
+
+    def prog(comm):
+        sl = dist.local_slice(comm.rank)
+        return distributed_kmeans(comm, points[sl], w[sl], 32, dist)
+
+    results = benchmark.pedantic(
+        lambda: spmd_run(4, prog), rounds=3, iterations=1
+    )
+    assert results[0][0].shape == (32, 3)
+
+
+def test_bench_distributed_optimized_pipeline(benchmark, si8_state):
+    """End-to-end version (5), fully distributed: K-Means -> fit -> Vtilde
+    -> distributed LOBPCG, on 4 virtual ranks."""
+    from repro.parallel.parallel_isdf import distributed_optimized_lrtddft
+
+    gs = si8_state
+    psi_v, eps_v, psi_c, eps_c = gs.select_transition_space()
+    kernel = HxcKernel(gs.basis, gs.density)
+    grid_dist = BlockDistribution1D(gs.basis.n_r, 4)
+
+    def prog(comm):
+        sl = grid_dist.local_slice(comm.rank)
+        energies, _ = distributed_optimized_lrtddft(
+            comm, psi_v[:, sl], psi_c[:, sl], eps_v, eps_c, kernel,
+            grid_dist, 40, 4,
+            grid_points_local=gs.basis.grid.cartesian_points[sl], tol=1e-8,
+        )
+        return energies
+
+    results = benchmark.pedantic(
+        lambda: spmd_run(4, prog), rounds=2, iterations=1
+    )
+    assert (results[0] > 0).all()

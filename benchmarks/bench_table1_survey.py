@@ -1,0 +1,25 @@
+"""Paper Table 1: the excited-state software survey.
+
+A static literature table; the bench renders it (with the paper's own row
+as "This work") and asserts the facts the narrative relies on — this work
+reaches the largest LR-TDDFT system and the only plane-wave implicit one.
+"""
+
+from repro.data import SOFTWARE_SURVEY
+from repro.data.software_survey import format_survey_table
+
+
+def test_table1_survey(benchmark, save_table):
+    text = benchmark(format_survey_table)
+    assert text
+    save_table("table1_survey", text)
+
+    this_work = SOFTWARE_SURVEY[-1]
+    assert this_work.reference == "This work"
+    lrtddft_rows = [r for r in SOFTWARE_SURVEY if r.theory == "LR-TDDFT"]
+    assert this_work.n_atoms == max(r.n_atoms for r in lrtddft_rows)
+    pw_implicit = [
+        r for r in SOFTWARE_SURVEY
+        if r.basis_set == "PW" and r.method == "Implicit" and r.theory == "LR-TDDFT"
+    ]
+    assert pw_implicit == [this_work]

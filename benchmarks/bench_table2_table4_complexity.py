@@ -1,0 +1,66 @@
+"""Paper Tables 2 and 4: computation/memory complexity of the versions.
+
+Renders both symbolic tables verbatim and evaluates them numerically on the
+Si_1000 workload to verify the claimed reductions ("nearly 2 orders of
+magnitude", Section 4.3).
+"""
+
+import numpy as np
+
+from repro.perf import (
+    complexity_table_2,
+    complexity_table_4,
+    evaluate_complexity,
+    silicon_workload,
+)
+
+
+def _render() -> str:
+    lines = ["Paper Table 2 — naive LR-TDDFT phase complexity", ""]
+    lines.append(f"{'Operation':<34s} {'Computation':<20s} {'Memory':<18s}")
+    for op, comp, mem in complexity_table_2():
+        lines.append(f"{op:<34s} {comp:<20s} {mem:<18s}")
+
+    lines += ["", "Paper Table 4 — five optimization levels", ""]
+    lines.append(
+        f"{'Version':<30s} {'Construct (compute)':<42s} "
+        f"{'Diag (compute)':<22s} {'Diag (memory)':<14s}"
+    )
+    for row in complexity_table_4():
+        lines.append(
+            f"{row.version:<30s} {row.construct_compute:<42s} "
+            f"{row.diag_compute:<22s} {row.diag_memory:<14s}"
+        )
+
+    w = silicon_workload(1000)
+    lines += [
+        "",
+        f"Numeric leading terms for {w.label} "
+        f"(N_v={w.n_v}, N_c={w.n_c}, N_r={w.n_r}, N_mu={w.n_mu}):",
+        f"{'Version':<30s} {'construct ops':>14s} {'diag ops':>12s} "
+        f"{'diag memory':>12s}",
+    ]
+    for row in complexity_table_4():
+        vals = evaluate_complexity(row.version, w)
+        lines.append(
+            f"{row.version:<30s} {vals['construct_compute']:14.2e} "
+            f"{vals['diag_compute']:12.2e} {vals['diag_memory']:12.2e}"
+        )
+    return "\n".join(lines)
+
+
+def test_tables_2_and_4(benchmark, save_table):
+    text = benchmark(_render)
+    save_table("table2_table4_complexity", text)
+
+    w = silicon_workload(1000)
+    naive = evaluate_complexity("naive", w)
+    implicit = evaluate_complexity("implicit-kmeans-isdf-lobpcg", w)
+    # Section 4.3's claim: computation and memory down ~2 orders of magnitude.
+    assert implicit["diag_compute"] < naive["diag_compute"] / 100
+    assert implicit["diag_memory"] < naive["diag_memory"] / 100
+    assert implicit["construct_compute"] < naive["construct_compute"] / 10
+    # Each level never regresses the previous one.
+    order = [row.version for row in complexity_table_4()]
+    diag = [evaluate_complexity(v, w)["diag_compute"] for v in order]
+    assert diag == sorted(diag, reverse=True)

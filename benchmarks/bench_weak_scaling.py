@@ -1,0 +1,73 @@
+"""Paper Section 6.4: weak scaling of the optimized code at 1,024 cores.
+
+The paper reports 3.58 / 10.23 / 26.95 / 35.58 / 41.89 seconds for Si_512
+through Si_4096 and notes "this result suits our computational complexity
+well".  The bench regenerates the series with the calibrated model and
+asserts the shape: monotone growth, roughly linear in atom count (the
+grid-dominated regime), with the size ratios within 2x of the paper's.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.calibration import (
+    CALIBRATED_SPEC,
+    WEAK_SCALING_CORES,
+    paper_workload,
+)
+from repro.data.paper_reference import PAPER_WEAK_SCALING
+from repro.perf import weak_scaling_series
+
+SYSTEMS = (512, 1000, 1728, 2744, 4096)
+
+
+def test_weak_scaling(benchmark, save_table):
+    workloads = [paper_workload(n) for n in SYSTEMS]
+
+    def run():
+        return weak_scaling_series(
+            workloads, WEAK_SCALING_CORES, CALIBRATED_SPEC
+        )
+
+    series = benchmark(run)
+    totals = [t.total for t in series]
+
+    lines = [
+        f"Section 6.4 — weak scaling at {WEAK_SCALING_CORES} cores "
+        "(optimized version)",
+        "",
+        f"{'system':<8s} {'model (s)':>10s} {'paper (s)':>10s} "
+        f"{'model ratio':>12s} {'paper ratio':>12s}",
+    ]
+    base_paper = PAPER_WEAK_SCALING["Si512"]
+    for n, t in zip(SYSTEMS, totals):
+        label = f"Si{n}"
+        t_ref = PAPER_WEAK_SCALING[label]
+        lines.append(
+            f"{label:<8s} {t:10.2f} {t_ref:10.2f} "
+            f"{t / totals[0]:12.2f} {t_ref / base_paper:12.2f}"
+        )
+    exponent = np.polyfit(np.log(SYSTEMS), np.log(totals), 1)[0]
+    paper_exp = np.polyfit(
+        np.log(SYSTEMS), np.log([PAPER_WEAK_SCALING[f"Si{n}"] for n in SYSTEMS]), 1
+    )[0]
+    lines += [
+        "",
+        f"growth exponent t ~ N^x: model x = {exponent:.2f}, "
+        f"paper x = {paper_exp:.2f}",
+        "(absolute model times sit below the paper's by a near-constant",
+        " factor — per-process overheads of the 1-core-per-rank runs that",
+        " the node-granularity alpha-beta model does not carry; see",
+        " EXPERIMENTS.md)",
+    ]
+    save_table("weak_scaling", "\n".join(lines))
+
+    assert all(a < b for a, b in zip(totals, totals[1:]))
+    # Same growth regime as the paper (t ~ N^1.0-1.3).
+    assert abs(exponent - paper_exp) < 0.5
+    # Size ratios within ~2x of the paper's (the paper's own series is
+    # noisy: its local growth exponent swings between 0.6 and 1.8).
+    for n, t in zip(SYSTEMS, totals):
+        model_ratio = t / totals[0]
+        paper_ratio = PAPER_WEAK_SCALING[f"Si{n}"] / base_paper
+        assert 0.4 < model_ratio / paper_ratio < 2.5

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Silicon band structure along L - Gamma - X (substrate validation).
+
+One Gamma-point SCF fixes the density; Bloch Hamiltonians H(k) then give
+the bands anywhere in the zone.  Silicon's signature physics must appear:
+an *indirect* gap (conduction minimum along Gamma-X), the triply
+degenerate Gamma_25' valence top, and the ~12 eV valence bandwidth.
+
+    python examples/silicon_bands.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import run_scf, silicon_primitive_cell
+from repro.constants import HARTREE_TO_EV
+from repro.dft.bands import band_structure
+
+
+def ascii_bands(bs, n_occ, height=24):
+    e = bs.energies * HARTREE_TO_EV
+    e_min, e_max = e.min() - 0.5, e[:, : n_occ + 3].max() + 0.5
+    rows = []
+    for level in range(height, -1, -1):
+        energy = e_min + (e_max - e_min) * level / height
+        row = []
+        for ik in range(bs.n_k):
+            close = np.abs(e[ik] - energy) < (e_max - e_min) / (2 * height)
+            row.append("o" if close.any() else " ")
+        label = f"{energy:6.1f} |"
+        rows.append(label + "".join(c * 3 for c in row))
+    marker_row = [" "] * (3 * bs.n_k + 8)
+    for idx, name in bs.labels:
+        pos = 8 + 3 * idx
+        for j, ch in enumerate(name[:3]):
+            if pos + j < len(marker_row):
+                marker_row[pos + j] = ch
+    rows.append("".join(marker_row))
+    return "\n".join(rows)
+
+
+def main() -> None:
+    print("=== SCF (Gamma point) ===")
+    t0 = time.perf_counter()
+    gs = run_scf(silicon_primitive_cell(), ecut=12.0, n_bands=10, tol=1e-8, seed=1)
+    print(f"done in {time.perf_counter() - t0:.1f} s; "
+          f"direct Gamma gap {gs.homo_lumo_gap() * HARTREE_TO_EV:.2f} eV")
+
+    print("\n=== Bands along L - Gamma - X ===")
+    t0 = time.perf_counter()
+    bs = band_structure(
+        gs,
+        [
+            ("L", np.array([0.5, 0.5, 0.5])),
+            ("G", np.array([0.0, 0.0, 0.0])),
+            ("X", np.array([0.5, 0.0, 0.5])),
+        ],
+        n_bands=8,
+        n_interpolate=8,
+    )
+    print(f"{bs.n_k} k-points in {time.perf_counter() - t0:.1f} s\n")
+    print(ascii_bands(bs, n_occ=4))
+
+    n_occ = 4
+    vbm = bs.valence_maximum(n_occ) * HARTREE_TO_EV
+    cbm = bs.conduction_minimum(n_occ) * HARTREE_TO_EV
+    print(f"\nVBM {vbm:.2f} eV (at Gamma), CBM {cbm:.2f} eV (along Gamma-X)")
+    print(f"indirect gap {cbm - vbm:.2f} eV vs direct Gamma gap "
+          f"{gs.homo_lumo_gap() * HARTREE_TO_EV:.2f} eV")
+    print("-> silicon is an indirect semiconductor, as it must be.")
+    print("(LDA at this cutoff underestimates the experimental 1.17 eV —")
+    print(" the famous LDA gap problem plus basis-set effects.)")
+
+
+if __name__ == "__main__":
+    main()

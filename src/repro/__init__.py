@@ -1,0 +1,58 @@
+"""repro — reproduction of "Accelerating Parallel First-Principles
+Excited-State Calculation by Low-Rank Approximation with K-Means
+Clustering" (ICPP 2022).
+
+Layers (bottom up):
+
+* :mod:`repro.pw`, :mod:`repro.atoms`, :mod:`repro.pseudo` — plane-wave
+  discretization, structures, HGH pseudopotentials,
+* :mod:`repro.dft` — the Kohn-Sham ground-state substrate (PWDFT's role),
+* :mod:`repro.eigen` — LOBPCG / Davidson / dense eigensolvers,
+* :mod:`repro.core` — the paper's contribution: ISDF with K-Means point
+  selection and the implicit LR-TDDFT Hamiltonian (Table 4 versions 1-5),
+* :mod:`repro.parallel` — SPMD runtime + the paper's distributed
+  algorithms (Algorithm 1, pipelined GEMM+Reduce),
+* :mod:`repro.perf` — Cori-calibrated cost model for the scaling figures,
+* :mod:`repro.analysis`, :mod:`repro.data` — DOS/accuracy post-processing
+  and the paper's reported numbers.
+
+Quick start::
+
+    from repro import run_scf, LRTDDFTSolver, silicon_primitive_cell
+
+    gs = run_scf(silicon_primitive_cell(), ecut=10.0, n_bands=10)
+    solver = LRTDDFTSolver(gs)
+    result = solver.solve("implicit-kmeans-isdf-lobpcg", n_excitations=5)
+    print(result.energies)
+"""
+
+from repro.atoms import (
+    bulk_silicon,
+    graphene_bilayer,
+    silicon_primitive_cell,
+    twisted_bilayer_graphene,
+    water_molecule,
+)
+from repro.core import LRTDDFTResult, LRTDDFTSolver, isdf_decompose
+from repro.dft import GroundState, run_scf
+from repro.pw import PlaneWaveBasis, UnitCell
+from repro.synthetic import synthetic_ground_state
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "UnitCell",
+    "PlaneWaveBasis",
+    "run_scf",
+    "GroundState",
+    "LRTDDFTSolver",
+    "LRTDDFTResult",
+    "isdf_decompose",
+    "synthetic_ground_state",
+    "silicon_primitive_cell",
+    "bulk_silicon",
+    "water_molecule",
+    "graphene_bilayer",
+    "twisted_bilayer_graphene",
+]

@@ -1,0 +1,21 @@
+"""Post-processing: densities of states, spectra statistics, accuracy."""
+
+from repro.analysis.dos import density_of_states, excitation_dos
+from repro.analysis.accuracy import AccuracyRow, accuracy_table
+from repro.analysis.excitons import (
+    TransitionWeight,
+    dominant_transitions,
+    electron_hole_densities,
+    participation_ratio,
+)
+
+__all__ = [
+    "density_of_states",
+    "excitation_dos",
+    "AccuracyRow",
+    "accuracy_table",
+    "TransitionWeight",
+    "dominant_transitions",
+    "participation_ratio",
+    "electron_hole_densities",
+]

@@ -1,0 +1,68 @@
+"""Accuracy comparison tables (the paper's Table 5).
+
+Table 5 compares three solvers on the lowest excitation energies:
+reference (Quantum Espresso in the paper; our dense naive solve here — see
+DESIGN.md), the naive LR-TDDFT code, and the ISDF-LOBPCG optimized code,
+with relative errors ``Delta E = (E_ref - E) / E_ref``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class AccuracyRow:
+    """One excitation's entry of a Table 5-style comparison."""
+
+    reference: float
+    naive: float
+    isdf_lobpcg: float
+
+    @property
+    def delta_e1(self) -> float:
+        """Relative error of the naive solver vs the reference (percent)."""
+        return 100.0 * (self.reference - self.naive) / self.reference
+
+    @property
+    def delta_e2(self) -> float:
+        """Relative error of ISDF-LOBPCG vs the reference (percent)."""
+        return 100.0 * (self.reference - self.isdf_lobpcg) / self.reference
+
+
+def accuracy_table(
+    reference: np.ndarray,
+    naive: np.ndarray,
+    isdf_lobpcg: np.ndarray,
+    n_rows: int = 3,
+) -> list[AccuracyRow]:
+    """Assemble the lowest-``n_rows`` comparison (Table 5 layout)."""
+    require(
+        len(reference) >= n_rows
+        and len(naive) >= n_rows
+        and len(isdf_lobpcg) >= n_rows,
+        f"need at least {n_rows} excitations from every solver",
+    )
+    return [
+        AccuracyRow(float(reference[i]), float(naive[i]), float(isdf_lobpcg[i]))
+        for i in range(n_rows)
+    ]
+
+
+def format_accuracy_table(rows: list[AccuracyRow], title: str) -> str:
+    """Render rows in the paper's Table 5 column layout."""
+    lines = [
+        title,
+        f"{'Reference':>12s} {'LR-TDDFT':>12s} {'ISDF-LOBPCG':>12s} "
+        f"{'dE1 (%)':>9s} {'dE2 (%)':>9s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.reference:12.6f} {row.naive:12.6f} {row.isdf_lobpcg:12.6f} "
+            f"{row.delta_e1:9.3f} {row.delta_e2:9.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Excitation character analysis.
+
+Turns Casida eigenvectors into chemistry: which valence->conduction
+transitions dominate an excitation, how collective it is (participation
+ratio), and real-space electron/hole densities — the quantities behind the
+paper's Figure 9b insets (isosurfaces of the lowest excited-state electron
+and hole).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class TransitionWeight:
+    """One valence->conduction contribution to an excitation."""
+
+    valence: int
+    conduction: int
+    weight: float  #: |X_vc|^2, summing to 1 over all pairs
+
+
+def dominant_transitions(
+    wavefunction: np.ndarray,
+    n_v: int,
+    n_c: int,
+    *,
+    n_top: int = 3,
+) -> list[TransitionWeight]:
+    """The ``n_top`` largest |X_vc|^2 contributions of one excitation.
+
+    ``wavefunction`` is one Casida eigenvector of length ``n_v * n_c`` in
+    the library's pair ordering.
+    """
+    require(
+        wavefunction.shape == (n_v * n_c,),
+        f"wavefunction must have length {n_v * n_c}, got {wavefunction.shape}",
+    )
+    weights = np.abs(wavefunction) ** 2
+    total = weights.sum()
+    require(total > 0, "zero wavefunction")
+    weights = weights / total
+    order = np.argsort(weights)[::-1][:n_top]
+    return [
+        TransitionWeight(int(idx // n_c), int(idx % n_c), float(weights[idx]))
+        for idx in order
+    ]
+
+
+def participation_ratio(wavefunction: np.ndarray) -> float:
+    """Inverse participation ratio ``1 / sum_p |X_p|^4`` (normalized X).
+
+    1 = a single KS transition; ``N_cv`` = perfectly collective.
+    """
+    w = np.abs(np.asarray(wavefunction)) ** 2
+    total = w.sum()
+    require(total > 0, "zero wavefunction")
+    w = w / total
+    return float(1.0 / np.sum(w * w))
+
+
+def electron_hole_densities(
+    wavefunction: np.ndarray,
+    psi_v: np.ndarray,
+    psi_c: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Real-space electron and hole densities of one excitation.
+
+    ``n_e(r) = sum_c |sum_v X_vc psi_v? |`` — in the TDA the standard
+    definitions are
+
+        n_h(r) = sum_v [sum_c X_vc^2 ...]  via the transition density matrix:
+        n_e(r) = sum_{c c'} (X^T X)_{c c'} psi_c(r) psi_c'(r),
+        n_h(r) = sum_{v v'} (X X^T)_{v v'} psi_v(r) psi_v'(r).
+
+    Both integrate to 1 for a normalized eigenvector.
+    """
+    n_v, n_r = psi_v.shape
+    n_c = psi_c.shape[0]
+    x = np.asarray(wavefunction).reshape(n_v, n_c)
+    x = x / np.linalg.norm(x)
+    # Electron: rho_e = psi_c^T (X^T X) psi_c evaluated on the diagonal.
+    gram_c = x.T @ x  # (n_c, n_c)
+    gram_v = x @ x.T  # (n_v, n_v)
+    n_e = np.einsum("cr,cd,dr->r", psi_c, gram_c, psi_c, optimize=True)
+    n_h = np.einsum("vr,vw,wr->r", psi_v, gram_v, psi_v, optimize=True)
+    return n_e, n_h

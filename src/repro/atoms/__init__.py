@@ -1,0 +1,29 @@
+"""Atomic data and structure builders for the paper's test systems."""
+
+from repro.atoms.elements import Element, get_element
+from repro.atoms.xyz import read_xyz, write_xyz
+from repro.atoms.structures import (
+    bulk_silicon,
+    graphene_bilayer,
+    graphene_monolayer,
+    silicon_conventional_cell,
+    silicon_label,
+    silicon_primitive_cell,
+    twisted_bilayer_graphene,
+    water_molecule,
+)
+
+__all__ = [
+    "Element",
+    "get_element",
+    "bulk_silicon",
+    "silicon_conventional_cell",
+    "silicon_primitive_cell",
+    "silicon_label",
+    "water_molecule",
+    "graphene_monolayer",
+    "graphene_bilayer",
+    "twisted_bilayer_graphene",
+    "read_xyz",
+    "write_xyz",
+]

@@ -1,0 +1,46 @@
+"""Element data for the species used in the paper (H, C, O, Si).
+
+``valence`` is the number of valence electrons treated explicitly under the
+HGH norm-conserving pseudopotentials (core electrons are frozen into the
+pseudopotential, exactly as in PWDFT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Element:
+    """Static per-species data."""
+
+    symbol: str
+    atomic_number: int
+    valence: int
+    mass: float  # atomic mass units; informational only (no dynamics here)
+    covalent_radius: float  # Bohr; used for initial-density Gaussian widths
+
+
+_ELEMENTS: dict[str, Element] = {
+    "H": Element("H", 1, 1, 1.008, 0.59),
+    "C": Element("C", 6, 4, 12.011, 1.44),
+    "O": Element("O", 8, 6, 15.999, 1.25),
+    "Si": Element("Si", 14, 4, 28.085, 2.10),
+}
+
+
+def get_element(symbol: str) -> Element:
+    """Look up an element by symbol; raises ``KeyError`` with guidance."""
+    try:
+        return _ELEMENTS[symbol]
+    except KeyError:
+        known = ", ".join(sorted(_ELEMENTS))
+        raise KeyError(
+            f"element {symbol!r} is not in the pseudopotential table "
+            f"(available: {known})"
+        ) from None
+
+
+def valence_electron_count(species: tuple[str, ...]) -> int:
+    """Total valence electrons for a species tuple."""
+    return sum(get_element(s).valence for s in species)

@@ -1,0 +1,199 @@
+"""Builders for the physical systems evaluated in the paper.
+
+* cubic diamond silicon supercells Si_64 ... Si_4096 (Section 6.1),
+* a single water molecule in a box (Table 5),
+* graphene mono/bi-layers and commensurate twisted bilayers — the
+  scaled-down stand-in for the 1,180-atom magic-angle twisted bilayer
+  graphene application of Section 6.6.
+
+All builders return :class:`repro.pw.UnitCell` objects in Bohr.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import ANGSTROM_TO_BOHR
+from repro.pw.cell import UnitCell
+from repro.utils.validation import require
+
+#: Conventional diamond-silicon lattice constant (5.431 Angstrom) in Bohr.
+SILICON_A_BOHR: float = 10.2625
+
+#: Graphene in-plane lattice constant (2.46 Angstrom) in Bohr.
+GRAPHENE_A_BOHR: float = 2.46 * ANGSTROM_TO_BOHR
+
+#: AB-stacked bilayer equilibrium interlayer distance (3.35 Angstrom) in Bohr.
+BILAYER_DISTANCE_BOHR: float = 3.35 * ANGSTROM_TO_BOHR
+
+
+def silicon_conventional_cell(a: float = SILICON_A_BOHR) -> UnitCell:
+    """8-atom conventional cubic diamond cell."""
+    fcc = np.array(
+        [[0.0, 0.0, 0.0], [0.0, 0.5, 0.5], [0.5, 0.0, 0.5], [0.5, 0.5, 0.0]]
+    )
+    basis = np.vstack([fcc, fcc + 0.25])
+    return UnitCell(a * np.eye(3), ("Si",) * 8, basis)
+
+
+def silicon_primitive_cell(a: float = SILICON_A_BOHR) -> UnitCell:
+    """2-atom fcc primitive diamond cell (fastest silicon system for tests)."""
+    lattice = 0.5 * a * np.array([[0.0, 1.0, 1.0], [1.0, 0.0, 1.0], [1.0, 1.0, 0.0]])
+    positions = np.array([[0.0, 0.0, 0.0], [0.25, 0.25, 0.25]])
+    return UnitCell(lattice, ("Si", "Si"), positions)
+
+
+def bulk_silicon(n_atoms: int, a: float = SILICON_A_BOHR) -> UnitCell:
+    """Cubic silicon supercell with ``n_atoms = 8 * k^3`` atoms.
+
+    ``bulk_silicon(64)`` etc. generate the paper's Si_64 ... Si_4096 series.
+    """
+    require(n_atoms % 8 == 0, f"cubic Si systems need 8*k^3 atoms, got {n_atoms}")
+    k = round((n_atoms // 8) ** (1.0 / 3.0))
+    require(
+        8 * k**3 == n_atoms,
+        f"{n_atoms} is not 8*k^3 for integer k (valid: 8, 64, 216, 512, 1000, ...)",
+    )
+    return silicon_conventional_cell(a).supercell((k, k, k))
+
+
+def silicon_label(cell: UnitCell) -> str:
+    """Paper-style label such as ``Si64``."""
+    return f"Si{cell.count('Si')}"
+
+
+def water_molecule(box: float = 11.0 * ANGSTROM_TO_BOHR) -> UnitCell:
+    """One H2O molecule centred in a cubic box of edge ``box`` Bohr.
+
+    Geometry: r(OH) = 0.9572 Angstrom, HOH angle 104.52 degrees (experimental
+    gas-phase values).  The default box edge matches the paper's Table 5
+    setup (11.0 x 11.0 x 11.0 Angstrom^3).
+    """
+    r_oh = 0.9572 * ANGSTROM_TO_BOHR
+    half_angle = np.deg2rad(104.52 / 2.0)
+    centre = 0.5 * box * np.ones(3)
+    oxygen = centre
+    h1 = centre + r_oh * np.array([np.sin(half_angle), 0.0, np.cos(half_angle)])
+    h2 = centre + r_oh * np.array([-np.sin(half_angle), 0.0, np.cos(half_angle)])
+    cart = np.vstack([oxygen, h1, h2])
+    return UnitCell(box * np.eye(3), ("O", "H", "H"), cart / box)
+
+
+def _hexagonal_lattice(a: float, height: float) -> np.ndarray:
+    """Hexagonal cell: a1 = a x, a2 = a (1/2, sqrt(3)/2), a3 = height z."""
+    return np.array(
+        [[a, 0.0, 0.0], [0.5 * a, 0.5 * np.sqrt(3.0) * a, 0.0], [0.0, 0.0, height]]
+    )
+
+
+def graphene_monolayer(
+    a: float = GRAPHENE_A_BOHR, vacuum: float = 12.0 * ANGSTROM_TO_BOHR
+) -> UnitCell:
+    """2-atom graphene cell with ``vacuum`` Bohr of out-of-plane padding."""
+    lattice = _hexagonal_lattice(a, vacuum)
+    positions = np.array([[0.0, 0.0, 0.5], [1.0 / 3.0, 1.0 / 3.0, 0.5]])
+    return UnitCell(lattice, ("C", "C"), positions)
+
+
+def graphene_bilayer(
+    a: float = GRAPHENE_A_BOHR,
+    interlayer_distance: float = BILAYER_DISTANCE_BOHR,
+    vacuum: float = 12.0 * ANGSTROM_TO_BOHR,
+    stacking: str = "AB",
+) -> UnitCell:
+    """4-atom AA- or AB-stacked bilayer graphene."""
+    require(stacking in ("AA", "AB"), f"stacking must be AA or AB, got {stacking!r}")
+    height = vacuum + interlayer_distance
+    lattice = _hexagonal_lattice(a, height)
+    z_lo = 0.5 - 0.5 * interlayer_distance / height
+    z_hi = 0.5 + 0.5 * interlayer_distance / height
+    shift = np.array([1.0 / 3.0, 1.0 / 3.0, 0.0]) if stacking == "AB" else 0.0
+    layer1 = np.array([[0.0, 0.0, z_lo], [1.0 / 3.0, 1.0 / 3.0, z_lo]])
+    layer2 = np.array([[0.0, 0.0, z_hi], [1.0 / 3.0, 1.0 / 3.0, z_hi]]) + shift
+    positions = np.vstack([layer1, layer2]) % 1.0
+    return UnitCell(lattice, ("C",) * 4, positions)
+
+
+def twist_angle(m: int, n: int) -> float:
+    """Commensurate twist angle (radians) for superlattice indices (m, n)."""
+    num = m * m + 4 * m * n + n * n
+    den = 2.0 * (m * m + m * n + n * n)
+    return float(np.arccos(num / den))
+
+
+def _layer_atoms_in_supercell(
+    a: float, super_2d: np.ndarray, rotation: float
+) -> np.ndarray:
+    """2-D Cartesian positions of one (possibly rotated) graphene layer
+    folded into the superlattice spanned by the rows of ``super_2d``."""
+    a1 = np.array([a, 0.0])
+    a2 = np.array([0.5 * a, 0.5 * np.sqrt(3.0) * a])
+    basis = [np.zeros(2), (a1 + a2) / 3.0]
+    cos_t, sin_t = np.cos(rotation), np.sin(rotation)
+    rot = np.array([[cos_t, -sin_t], [sin_t, cos_t]])
+
+    inv_super = np.linalg.inv(super_2d)
+    # Generous search window: the supercell diagonal in units of a.
+    extent = int(np.ceil(np.linalg.norm(super_2d) / a)) + 2
+    shifts = np.arange(-extent, extent + 1)
+    i_grid, j_grid = np.meshgrid(shifts, shifts, indexing="ij")
+    cells = i_grid.ravel()[:, None] * a1 + j_grid.ravel()[:, None] * a2
+
+    found: list[np.ndarray] = []
+    for b in basis:
+        cart = (cells + b) @ rot.T
+        frac = cart @ inv_super
+        frac_wrapped = frac - np.floor(frac + 1e-9)
+        inside = np.all((frac_wrapped >= -1e-9) & (frac_wrapped < 1.0 - 1e-9), axis=1)
+        found.append(frac_wrapped[inside])
+    frac_all = np.vstack(found)
+    # Deduplicate atoms that landed on the same site after wrapping.
+    keys = np.round(frac_all % 1.0, 6) % 1.0
+    _, unique_idx = np.unique(keys, axis=0, return_index=True)
+    return frac_all[np.sort(unique_idx)]
+
+
+def twisted_bilayer_graphene(
+    m: int = 1,
+    n: int = 2,
+    a: float = GRAPHENE_A_BOHR,
+    interlayer_distance: float = BILAYER_DISTANCE_BOHR,
+    vacuum: float = 12.0 * ANGSTROM_TO_BOHR,
+) -> UnitCell:
+    """Commensurate twisted bilayer graphene supercell.
+
+    ``(m, n) = (1, 2)`` gives the 28-atom cell at 21.79 degrees — the
+    smallest commensurate twisted bilayer, used here as the scaled-down
+    stand-in for the paper's 1,180-atom magic-angle system (same code path:
+    twisted Moire cell, metallic flat-ish bands, DOS vs interlayer distance).
+    Larger ``(m, m+1)`` pairs approach the magic angle:
+    (2,3) -> 84 atoms at 13.17 degrees, (3,4) -> 148 atoms at 9.43 degrees.
+    """
+    require(0 < m < n, f"need 0 < m < n, got ({m}, {n})")
+    theta = twist_angle(m, n)
+    a1 = np.array([a, 0.0])
+    a2 = np.array([0.5 * a, 0.5 * np.sqrt(3.0) * a])
+    super_2d = np.vstack([m * a1 + n * a2, -n * a1 + (m + n) * a2])
+
+    layer1 = _layer_atoms_in_supercell(a, super_2d, rotation=0.0)
+    layer2 = _layer_atoms_in_supercell(a, super_2d, rotation=theta)
+    expected = 2 * (m * m + m * n + n * n)
+    require(
+        len(layer1) == expected and len(layer2) == expected,
+        f"twisted-bilayer construction found {len(layer1)}/{len(layer2)} atoms "
+        f"per layer, expected {expected}",
+    )
+
+    height = vacuum + interlayer_distance
+    z_lo = 0.5 - 0.5 * interlayer_distance / height
+    z_hi = 0.5 + 0.5 * interlayer_distance / height
+    frac = np.vstack(
+        [
+            np.column_stack([layer1, np.full(len(layer1), z_lo)]),
+            np.column_stack([layer2, np.full(len(layer2), z_hi)]),
+        ]
+    )
+    lattice = np.zeros((3, 3))
+    lattice[:2, :2] = super_2d
+    lattice[2, 2] = height
+    return UnitCell(lattice, ("C",) * len(frac), frac)

@@ -1,0 +1,73 @@
+"""XYZ structure file I/O.
+
+Minimal but standards-following: the comment line carries the lattice in
+the extended-XYZ ``Lattice="..."`` convention so periodic cells round-trip.
+Coordinates are written in Angstrom (the XYZ convention) and converted to
+Bohr on read.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import numpy as np
+
+from repro.constants import ANGSTROM_TO_BOHR, BOHR_TO_ANGSTROM
+from repro.pw.cell import UnitCell
+from repro.utils.validation import require
+
+
+def write_xyz(cell: UnitCell, path: str | pathlib.Path, comment: str = "") -> pathlib.Path:
+    """Write ``cell`` as an (extended) XYZ file."""
+    path = pathlib.Path(path)
+    lattice_angstrom = cell.lattice * BOHR_TO_ANGSTROM
+    lattice_str = " ".join(f"{x:.10f}" for x in lattice_angstrom.ravel())
+    header = f'Lattice="{lattice_str}"'
+    if comment:
+        require("\n" not in comment, "comment must be a single line")
+        header += f" comment={comment!r}"
+    lines = [str(cell.n_atoms), header]
+    cart_angstrom = cell.cartesian_positions * BOHR_TO_ANGSTROM
+    for symbol, xyz in zip(cell.species, cart_angstrom):
+        lines.append(
+            f"{symbol:<3s} {xyz[0]:16.10f} {xyz[1]:16.10f} {xyz[2]:16.10f}"
+        )
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def read_xyz(path: str | pathlib.Path, *, box: float | None = None) -> UnitCell:
+    """Read an XYZ file into a :class:`UnitCell`.
+
+    Periodic files written by :func:`write_xyz` (or any extended-XYZ with a
+    ``Lattice="..."`` field) reconstruct their cell; plain XYZ files need
+    ``box`` (cubic edge in Bohr) to place the molecule in.
+    """
+    path = pathlib.Path(path)
+    lines = path.read_text().splitlines()
+    require(len(lines) >= 2, f"{path} is not an XYZ file")
+    n_atoms = int(lines[0].strip())
+    require(
+        len(lines) >= 2 + n_atoms, f"{path}: expected {n_atoms} atom lines"
+    )
+
+    match = re.search(r'Lattice="([^"]+)"', lines[1])
+    if match:
+        values = np.array([float(x) for x in match.group(1).split()])
+        require(values.size == 9, "Lattice field must hold 9 numbers")
+        lattice = values.reshape(3, 3) * ANGSTROM_TO_BOHR
+    else:
+        require(box is not None, f"{path} has no Lattice field; pass box=")
+        lattice = box * np.eye(3)
+
+    species = []
+    cart = []
+    for line in lines[2 : 2 + n_atoms]:
+        parts = line.split()
+        require(len(parts) >= 4, f"malformed atom line: {line!r}")
+        species.append(parts[0])
+        cart.append([float(x) for x in parts[1:4]])
+    cart_bohr = np.asarray(cart) * ANGSTROM_TO_BOHR
+    frac = cart_bohr @ np.linalg.inv(lattice)
+    return UnitCell(lattice, tuple(species), frac)

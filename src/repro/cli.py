@@ -1,0 +1,247 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Library version, available LR-TDDFT methods and built-in systems.
+``scf``
+    Run a ground-state SCF on a built-in system and print the bands.
+``tddft``
+    SCF + LR-TDDFT; prints the lowest excitation energies.
+``scaling``
+    Print a cost-model scaling table (fig7 / fig8 / weak / table6).
+``rt``
+    Real-time TDDFT kick-and-propagate run; prints spectrum peaks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro import __version__
+from repro.constants import ANGSTROM_TO_BOHR, HARTREE_TO_EV
+
+
+def _builtin_systems() -> dict[str, Callable]:
+    from repro.atoms import (
+        bulk_silicon,
+        graphene_bilayer,
+        silicon_primitive_cell,
+        water_molecule,
+    )
+    from repro.pw import UnitCell
+
+    def h2():
+        box, bond = 10.0, 1.4
+        return UnitCell(
+            box * np.eye(3), ("H", "H"),
+            np.array([[0.5, 0.5, 0.5 - bond / 2 / box],
+                      [0.5, 0.5, 0.5 + bond / 2 / box]]),
+        )
+
+    return {
+        "si2": silicon_primitive_cell,
+        "si8": lambda: bulk_silicon(8),
+        "water": lambda: water_molecule(box=8.0 * ANGSTROM_TO_BOHR),
+        "bilayer": graphene_bilayer,
+        "h2": h2,
+    }
+
+
+def _run_scf_for(args) -> "object":
+    from repro.dft import run_scf
+
+    if getattr(args, "xyz", None):
+        from repro.atoms import read_xyz
+
+        cell = read_xyz(args.xyz, box=getattr(args, "box", None))
+    else:
+        cell = _builtin_systems()[args.system]()
+    needs_smearing = args.system == "bilayer"
+    return run_scf(
+        cell,
+        ecut=args.ecut,
+        n_bands=args.bands,
+        tol=args.tol,
+        smearing_width=0.01 if needs_smearing else 0.0,
+        seed=0,
+    )
+
+
+def cmd_info(args) -> int:
+    from repro.core import METHODS
+
+    print(f"repro {__version__} — ICPP'22 LR-TDDFT + ISDF/K-Means reproduction")
+    print("\nLR-TDDFT methods (paper Table 4 + extensions):")
+    for m in METHODS:
+        print(f"  {m}")
+    print("\nbuilt-in systems:", ", ".join(sorted(_builtin_systems())))
+    return 0
+
+
+def cmd_scf(args) -> int:
+    gs = _run_scf_for(args)
+    print(f"converged: {gs.converged}   total energy: {gs.total_energy:.6f} Ha")
+    print(f"{'band':>5s} {'energy (Ha)':>12s} {'energy (eV)':>12s} {'occ':>6s}")
+    for i, (e, f) in enumerate(zip(gs.energies, gs.occupations)):
+        print(f"{i:5d} {e:12.6f} {e * HARTREE_TO_EV:12.4f} {f:6.3f}")
+    if gs.n_occupied < gs.n_bands:
+        print(f"gap: {gs.homo_lumo_gap() * HARTREE_TO_EV:.3f} eV")
+    return 0
+
+
+def cmd_tddft(args) -> int:
+    from repro.core import LRTDDFTSolver
+
+    gs = _run_scf_for(args)
+    solver = LRTDDFTSolver(
+        gs, spin="triplet" if args.triplet else "singlet", seed=0
+    )
+    result = solver.solve(
+        args.method,
+        n_excitations=min(args.n_excitations, solver.n_pairs),
+        tda=not args.full_casida,
+    )
+    kind = "triplet" if args.triplet else "singlet"
+    form = "full Casida" if args.full_casida else "TDA"
+    print(f"{kind} excitations ({form}, method={args.method}, "
+          f"N_cv={solver.n_pairs}, N_mu={result.n_mu}):")
+    print(f"{'#':>3s} {'E (Ha)':>10s} {'E (eV)':>10s}")
+    for i, e in enumerate(result.energies, 1):
+        print(f"{i:3d} {e:10.6f} {e * HARTREE_TO_EV:10.4f}")
+    return 0
+
+
+def cmd_scaling(args) -> int:
+    from repro.data.calibration import (
+        CALIBRATED_SPEC,
+        STRONG_SCALING_CORES,
+        TABLE6_CORES,
+        WEAK_SCALING_CORES,
+        paper_workload,
+    )
+    from repro.perf import (
+        parallel_efficiency,
+        predict_construction_breakdown,
+        predict_version_time,
+        strong_scaling_series,
+    )
+
+    if args.figure == "fig7":
+        w = paper_workload(1000)
+        cores = list(STRONG_SCALING_CORES)
+        print("Figure 7 — Si_1000 strong scaling (modeled seconds)")
+        for version in ("naive", "kmeans-isdf", "implicit-kmeans-isdf-lobpcg"):
+            series = strong_scaling_series(version, w, cores, CALIBRATED_SPEC)
+            effs = parallel_efficiency(series, cores)
+            row = " ".join(f"{t.total:8.2f}" for t in series)
+            print(f"{version:<30s} {row}  eff@2048={effs[-1]:.0%}")
+    elif args.figure == "fig8":
+        w = paper_workload(1000)
+        print("Figure 8 — construction breakdown (modeled seconds)")
+        for c in STRONG_SCALING_CORES:
+            b = predict_construction_breakdown(w, c, CALIBRATED_SPEC)
+            parts = " ".join(f"{k}={v:.3f}" for k, v in b.items())
+            print(f"{c:5d} cores: {parts}")
+    elif args.figure == "weak":
+        print("Section 6.4 — weak scaling at 1,024 cores (modeled seconds)")
+        for n in (512, 1000, 1728, 2744, 4096):
+            t = predict_version_time(
+                "implicit-kmeans-isdf-lobpcg", paper_workload(n),
+                WEAK_SCALING_CORES, CALIBRATED_SPEC,
+            )
+            print(f"Si{n:<5d} {t.total:8.2f}")
+    else:  # table6
+        print(f"Table 6 — modeled at {TABLE6_CORES} cores")
+        for n in (64, 216, 512, 1000):
+            w = paper_workload(n)
+            tn = predict_version_time("naive", w, TABLE6_CORES, CALIBRATED_SPEC).total
+            to = predict_version_time(
+                "implicit-kmeans-isdf-lobpcg", w, TABLE6_CORES, CALIBRATED_SPEC
+            ).total
+            print(f"Si{n:<5d} naive={tn:7.2f}s  optimized={to:6.2f}s  "
+                  f"speedup={tn / to:5.2f}x")
+    return 0
+
+
+def cmd_rt(args) -> int:
+    from repro.rt import RealTimeTDDFT, dipole_spectrum, find_peaks
+
+    gs = _run_scf_for(args)
+    rt = RealTimeTDDFT(gs)
+    rt.kick(args.kick)
+    result = rt.propagate(dt=args.dt, n_steps=args.steps)
+    omega, spectrum = dipole_spectrum(
+        result.times, result.dipole_along_kick(), result.kick_strength,
+        damping=args.damping,
+    )
+    peaks = find_peaks(omega, spectrum, threshold=0.25)
+    print(f"propagated {args.steps} steps of dt={args.dt} a.u.; "
+          f"norm drift {abs(result.norms[-1] - result.norms[0]):.2e}")
+    print("spectrum peaks (eV):",
+          ", ".join(f"{p * HARTREE_TO_EV:.3f}" for p in peaks) or "(none)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="library and method overview")
+
+    def add_system_args(p, default_bands):
+        p.add_argument("--system", choices=sorted(_builtin_systems()), default="si2")
+        p.add_argument("--xyz", help="structure file (overrides --system)")
+        p.add_argument("--box", type=float, default=None,
+                       help="cubic box edge in Bohr for plain XYZ files")
+        p.add_argument("--ecut", type=float, default=10.0, help="cutoff (Ha)")
+        p.add_argument("--bands", type=int, default=default_bands)
+        p.add_argument("--tol", type=float, default=1e-7)
+
+    p_scf = sub.add_parser("scf", help="ground-state SCF")
+    add_system_args(p_scf, default_bands=10)
+
+    p_td = sub.add_parser("tddft", help="LR-TDDFT excitations")
+    add_system_args(p_td, default_bands=10)
+    p_td.add_argument("--method", default="implicit-kmeans-isdf-lobpcg")
+    p_td.add_argument("-k", "--n-excitations", type=int, default=5)
+    p_td.add_argument("--full-casida", action="store_true",
+                      help="solve Eq. 1 instead of the TDA")
+    p_td.add_argument("--triplet", action="store_true",
+                      help="spin-flip (triplet) excitations")
+
+    p_sc = sub.add_parser("scaling", help="cost-model scaling tables")
+    p_sc.add_argument("--figure", choices=("fig7", "fig8", "weak", "table6"),
+                      default="fig7")
+
+    p_rt = sub.add_parser("rt", help="real-time TDDFT run")
+    add_system_args(p_rt, default_bands=5)
+    p_rt.add_argument("--steps", type=int, default=600)
+    p_rt.add_argument("--dt", type=float, default=0.2)
+    p_rt.add_argument("--kick", type=float, default=1e-3)
+    p_rt.add_argument("--damping", type=float, default=0.01)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": cmd_info,
+        "scf": cmd_scf,
+        "tddft": cmd_tddft,
+        "scaling": cmd_scaling,
+        "rt": cmd_rt,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Physical constants and unit conversions (Hartree atomic units internally).
+
+All quantities inside the library are expressed in Hartree atomic units:
+lengths in Bohr, energies in Hartree, hbar = m_e = e = 4*pi*eps0 = 1.
+These conversion factors are only used at the I/O boundary (structure
+builders accept Angstrom, spectra may be reported in eV).
+"""
+
+from __future__ import annotations
+
+#: One Bohr radius in Angstrom.
+BOHR_TO_ANGSTROM: float = 0.529177210903
+
+#: One Angstrom in Bohr.
+ANGSTROM_TO_BOHR: float = 1.0 / BOHR_TO_ANGSTROM
+
+#: One Hartree in electron-volts.
+HARTREE_TO_EV: float = 27.211386245988
+
+#: One electron-volt in Hartree.
+EV_TO_HARTREE: float = 1.0 / HARTREE_TO_EV
+
+#: One Rydberg in Hartree.
+RYDBERG_TO_HARTREE: float = 0.5
+
+#: 4*pi, the Coulomb kernel prefactor in reciprocal space (4*pi/G^2).
+FOUR_PI: float = 12.566370614359172
+
+
+def ha_to_ev(energy_ha: float) -> float:
+    """Convert an energy from Hartree to eV."""
+    return energy_ha * HARTREE_TO_EV
+
+
+def ev_to_ha(energy_ev: float) -> float:
+    """Convert an energy from eV to Hartree."""
+    return energy_ev * EV_TO_HARTREE
+
+
+def angstrom_to_bohr(length_angstrom: float) -> float:
+    """Convert a length from Angstrom to Bohr."""
+    return length_angstrom * ANGSTROM_TO_BOHR
+
+
+def bohr_to_angstrom(length_bohr: float) -> float:
+    """Convert a length from Bohr to Angstrom."""
+    return length_bohr * BOHR_TO_ANGSTROM

@@ -1,0 +1,72 @@
+"""The paper's primary contribution: low-rank accelerated LR-TDDFT.
+
+Layout mirrors Section 3-4 of the paper:
+
+* :mod:`repro.core.pair_products` — the face-splitting product P_vc,
+* :mod:`repro.core.kernel` — the f_Hxc Hartree-exchange-correlation operator,
+* :mod:`repro.core.casida` — naive explicit Hamiltonian + dense solve,
+* :mod:`repro.core.qrcp` / :mod:`repro.core.kmeans` — interpolation-point
+  selection (Sections 4.1.1 and 4.2),
+* :mod:`repro.core.fitting` / :mod:`repro.core.isdf` — interpolation
+  vectors and the ISDF decomposition (Section 4.1.2),
+* :mod:`repro.core.isdf_hamiltonian` — the compressed explicit Hamiltonian,
+* :mod:`repro.core.implicit` — the matrix-free operator of Section 4.3,
+* :mod:`repro.core.driver` — the five versions of Table 4 behind one API.
+"""
+
+from repro.core.pair_products import pair_index, pair_products, pair_weights
+from repro.core.kernel import HxcKernel
+from repro.core.casida import (
+    build_casida_hamiltonian,
+    build_vhxc,
+    solve_casida_dense,
+    transition_diagonal,
+)
+from repro.core.qrcp import QRCPResult, select_points_qrcp
+from repro.core.kmeans import KMeansResult, select_points_kmeans, weighted_kmeans
+from repro.core.fitting import coefficient_matrix, fit_interpolation_vectors
+from repro.core.isdf import ISDFDecomposition, isdf_decompose
+from repro.core.isdf_hamiltonian import build_isdf_hamiltonian, project_kernel
+from repro.core.implicit import ImplicitCasidaOperator
+from repro.core.full_casida import (
+    ImplicitFullCasidaOperator,
+    build_full_casida_matrix,
+    solve_full_casida_dense,
+)
+from repro.core.driver import (
+    METHODS,
+    LRTDDFTResult,
+    LRTDDFTSolver,
+)
+from repro.core.spectra import oscillator_strengths, transition_dipoles
+
+__all__ = [
+    "pair_products",
+    "pair_index",
+    "pair_weights",
+    "HxcKernel",
+    "build_vhxc",
+    "build_casida_hamiltonian",
+    "solve_casida_dense",
+    "transition_diagonal",
+    "QRCPResult",
+    "select_points_qrcp",
+    "KMeansResult",
+    "weighted_kmeans",
+    "select_points_kmeans",
+    "coefficient_matrix",
+    "fit_interpolation_vectors",
+    "ISDFDecomposition",
+    "isdf_decompose",
+    "build_isdf_hamiltonian",
+    "project_kernel",
+    "ImplicitCasidaOperator",
+    "ImplicitFullCasidaOperator",
+    "build_full_casida_matrix",
+    "solve_full_casida_dense",
+    "LRTDDFTSolver",
+    "LRTDDFTResult",
+    "METHODS",
+    "transition_dipoles",
+    "oscillator_strengths",
+]

@@ -1,0 +1,379 @@
+"""The LR-TDDFT solver: all five versions of the paper's Table 4.
+
+=====  =============================  =====================  ==================
+ #     method string                  Hamiltonian            diagonalization
+=====  =============================  =====================  ==================
+ (1)   ``naive``                      explicit, exact        dense (SYEVD)
+ (2)   ``qrcp-isdf``                  explicit, compressed   dense (SYEVD)
+ (3)   ``kmeans-isdf``                explicit, compressed   dense (SYEVD)
+ (4)   ``kmeans-isdf-lobpcg``         explicit, compressed   LOBPCG, lowest k
+ (5)   ``implicit-kmeans-isdf-lobpcg`` never formed          LOBPCG, lowest k
+=====  =============================  =====================  ==================
+
+(plus the ``qrcp`` twins of (4)/(5) for ablations.)  Per-phase wall-clock is
+collected in a :class:`~repro.utils.timers.TimerRegistry` so the benchmark
+harness can print the paper's Figure 8-style breakdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.casida import build_casida_hamiltonian, solve_casida_dense
+from repro.core.full_casida import (
+    ImplicitFullCasidaOperator,
+    build_full_casida_matrix,
+    solve_full_casida_dense,
+)
+from repro.core.implicit import ImplicitCasidaOperator
+from repro.core.isdf import ISDFDecomposition, default_rank, isdf_decompose
+from repro.core.isdf_hamiltonian import build_isdf_hamiltonian
+from repro.core.kernel import HxcKernel
+from repro.core.pair_products import pair_energies
+from repro.dft.groundstate import GroundState
+from repro.eigen.davidson import davidson
+from repro.eigen.lobpcg import lobpcg
+from repro.utils.rng import default_rng
+from repro.utils.timers import TimerRegistry
+from repro.utils.validation import require
+
+#: Method strings accepted by :meth:`LRTDDFTSolver.solve`, in Table 4 order.
+METHODS: tuple[str, ...] = (
+    "naive",
+    "qrcp-isdf",
+    "kmeans-isdf",
+    "kmeans-isdf-lobpcg",
+    "implicit-kmeans-isdf-lobpcg",
+    "qrcp-isdf-lobpcg",
+    "implicit-qrcp-isdf-lobpcg",
+    "kmeans-isdf-davidson",
+    "implicit-kmeans-isdf-davidson",
+)
+
+
+@dataclass
+class LRTDDFTResult:
+    """Excitation energies and wavefunction coefficients.
+
+    Attributes
+    ----------
+    energies:
+        ``(k,)`` lowest excitation energies (Hartree), ascending.
+    wavefunctions:
+        ``(N_cv, k)`` excitation coefficient vectors in pair ordering.
+    method:
+        Which Table 4 version produced the result.
+    n_mu:
+        ISDF rank used (None for the naive version).
+    timings:
+        Per-phase wall-clock seconds.
+    isdf:
+        The ISDF decomposition (None for naive) for post-hoc diagnostics.
+    eigensolver_iterations:
+        LOBPCG iterations (0 for dense solves).
+    """
+
+    energies: np.ndarray
+    wavefunctions: np.ndarray
+    method: str
+    n_mu: int | None
+    timings: dict[str, float] = field(default_factory=dict)
+    isdf: ISDFDecomposition | None = None
+    eigensolver_iterations: int = 0
+
+    @property
+    def n_excitations(self) -> int:
+        return self.energies.shape[0]
+
+
+class LRTDDFTSolver:
+    """LR-TDDFT (Casida/TDA) on top of a converged :class:`GroundState`.
+
+    Parameters
+    ----------
+    ground_state:
+        Converged KS ground state with conduction bands.
+    n_valence / n_conduction:
+        Size of the transition space (defaults: everything available).
+    include_xc:
+        Toggle the ALDA kernel (False = RPA/Hartree-only; ablation).
+    spin:
+        ``"singlet"`` (default) or ``"triplet"`` — triplet response drops
+        the Hartree term and uses the spin-flip kernel
+        (:func:`repro.dft.xc_spin.lda_kernel_triplet`).
+    """
+
+    def __init__(
+        self,
+        ground_state: GroundState,
+        *,
+        n_valence: int | None = None,
+        n_conduction: int | None = None,
+        include_xc: bool = True,
+        spin: str = "singlet",
+        seed: int | None = None,
+    ) -> None:
+        self.ground_state = ground_state
+        (self.psi_v, self.eps_v, self.psi_c, self.eps_c) = (
+            ground_state.select_transition_space(n_valence, n_conduction)
+        )
+        self.basis = ground_state.basis
+        self.spin = spin
+        self.kernel = HxcKernel(
+            self.basis, ground_state.density, include_xc=include_xc, spin=spin
+        )
+        self._seed = seed
+
+    # -- sizes --------------------------------------------------------------
+
+    @property
+    def n_v(self) -> int:
+        return self.psi_v.shape[0]
+
+    @property
+    def n_c(self) -> int:
+        return self.psi_c.shape[0]
+
+    @property
+    def n_pairs(self) -> int:
+        return self.n_v * self.n_c
+
+    def default_n_mu(self, rank_factor: float = 10.0) -> int:
+        return default_rank(self.n_v, self.n_c, self.basis.n_r, rank_factor)
+
+    # -- solving --------------------------------------------------------------
+
+    def solve(
+        self,
+        method: str = "implicit-kmeans-isdf-lobpcg",
+        *,
+        n_excitations: int | None = None,
+        n_mu: int | None = None,
+        rank_factor: float = 10.0,
+        tol: float = 1e-8,
+        max_iter: int = 400,
+        tda: bool = True,
+        isdf_kwargs: dict | None = None,
+    ) -> LRTDDFTResult:
+        """Solve for the lowest excitations with the chosen Table 4 version.
+
+        Parameters
+        ----------
+        n_excitations:
+            How many lowest pairs to return.  Iterative versions default to
+            ``min(10, N_cv)``; dense versions return the full spectrum when
+            omitted.
+        n_mu:
+            ISDF rank override (default: :meth:`default_n_mu`).
+        tol / max_iter:
+            LOBPCG controls (iterative versions).
+        tda:
+            ``True`` (default) solves within the Tamm-Dancoff approximation
+            (the paper's Eq. 2); ``False`` solves the *full* Casida problem
+            of Eq. 1 via the Hermitian reduction (see
+            :mod:`repro.core.full_casida`) — including a matrix-free
+            implicit variant.
+        """
+        require(method in METHODS, f"unknown method {method!r}; choose from {METHODS}")
+        timers = TimerRegistry()
+        isdf_kwargs = dict(isdf_kwargs or {})
+        # Fresh generator per solve: every method sees identical ISDF points
+        # and starting blocks, so cross-version comparisons are exact.
+        self._rng = default_rng(self._seed)
+
+        if method == "naive":
+            result = self._solve_naive(n_excitations, timers, tda)
+        else:
+            selection = "qrcp" if method.startswith(("qrcp", "implicit-qrcp")) else "kmeans"
+            eigensolver = "davidson" if method.endswith("davidson") else "lobpcg"
+            if "implicit" in method:
+                result = self._solve_implicit(
+                    selection, n_excitations, n_mu, rank_factor, tol, max_iter,
+                    timers, isdf_kwargs, tda, eigensolver,
+                )
+            else:
+                use_iterative = method.endswith(("lobpcg", "davidson"))
+                result = self._solve_isdf_explicit(
+                    selection, use_iterative, n_excitations, n_mu, rank_factor,
+                    tol, max_iter, timers, isdf_kwargs, tda, eigensolver,
+                )
+        result.method = method
+        result.timings = timers.as_dict()
+        return result
+
+    # -- version implementations ------------------------------------------------
+
+    def _solve_naive(
+        self, n_excitations: int | None, timers: TimerRegistry, tda: bool
+    ) -> LRTDDFTResult:
+        with timers.scope("hamiltonian"):
+            if tda:
+                h = build_casida_hamiltonian(
+                    self.psi_v, self.eps_v, self.psi_c, self.eps_c,
+                    self.kernel, timers=timers,
+                )
+            else:
+                h = build_full_casida_matrix(
+                    self.psi_v, self.eps_v, self.psi_c, self.eps_c,
+                    self.kernel, timers=timers,
+                )
+        with timers.scope("diagonalize"):
+            if tda:
+                evals, evecs = solve_casida_dense(h, n_excitations)
+            else:
+                evals, evecs = solve_full_casida_dense(h, n_excitations)
+        return LRTDDFTResult(evals, evecs, "naive", None)
+
+    def _decompose(
+        self,
+        selection: str,
+        n_mu: int | None,
+        rank_factor: float,
+        timers: TimerRegistry,
+        isdf_kwargs: dict,
+    ) -> ISDFDecomposition:
+        grid_points = (
+            self.basis.grid.cartesian_points if selection == "kmeans" else None
+        )
+        return isdf_decompose(
+            self.psi_v,
+            self.psi_c,
+            n_mu,
+            method=selection,
+            grid_points=grid_points,
+            rank_factor=rank_factor,
+            rng=self._rng,
+            timers=timers,
+            **isdf_kwargs,
+        )
+
+    def _solve_isdf_explicit(
+        self,
+        selection: str,
+        use_iterative: bool,
+        n_excitations: int | None,
+        n_mu: int | None,
+        rank_factor: float,
+        tol: float,
+        max_iter: int,
+        timers: TimerRegistry,
+        isdf_kwargs: dict,
+        tda: bool,
+        eigensolver: str = "lobpcg",
+    ) -> LRTDDFTResult:
+        isdf = self._decompose(selection, n_mu, rank_factor, timers, isdf_kwargs)
+        with timers.scope("hamiltonian"):
+            if tda:
+                h = build_isdf_hamiltonian(
+                    isdf, self.eps_v, self.eps_c, self.kernel, timers=timers
+                )
+            else:
+                h = ImplicitFullCasidaOperator(
+                    isdf, self.eps_v, self.eps_c, self.kernel, timers=timers
+                ).materialize()
+        iterations = 0
+        if use_iterative:
+            k = self._resolve_k(n_excitations)
+            x0 = self._initial_block(k)
+            diag = pair_energies(self.eps_v, self.eps_c)
+            diag = diag if tda else diag**2
+            floor = 1e-2 if tda else 1e-4
+
+            def precond(r: np.ndarray, theta: np.ndarray) -> np.ndarray:
+                # Positive-definite variant of the paper's Eq. 17 (see
+                # ImplicitCasidaOperator.preconditioner).
+                denom = np.maximum(np.abs(diag[:, None] - theta[None, :]), floor)
+                return r / denom
+
+            with timers.scope("diagonalize"):
+                if eigensolver == "davidson":
+                    res = davidson(
+                        lambda x: h @ x, x0, np.diag(h).copy(), tol=tol,
+                        max_iter=max_iter,
+                    )
+                else:
+                    res = lobpcg(
+                        lambda x: h @ x, x0, preconditioner=precond, tol=tol,
+                        max_iter=max_iter,
+                    )
+            evals, evecs = res.eigenvalues, res.eigenvectors
+            iterations = res.iterations
+            if not tda:
+                evals = np.sqrt(np.maximum(evals, 0.0))
+        else:
+            with timers.scope("diagonalize"):
+                if tda:
+                    evals, evecs = solve_casida_dense(h, n_excitations)
+                else:
+                    evals, evecs = solve_full_casida_dense(h, n_excitations)
+        return LRTDDFTResult(
+            evals, evecs, "", isdf.n_mu, isdf=isdf,
+            eigensolver_iterations=iterations,
+        )
+
+    def _solve_implicit(
+        self,
+        selection: str,
+        n_excitations: int | None,
+        n_mu: int | None,
+        rank_factor: float,
+        tol: float,
+        max_iter: int,
+        timers: TimerRegistry,
+        isdf_kwargs: dict,
+        tda: bool,
+        eigensolver: str = "lobpcg",
+    ) -> LRTDDFTResult:
+        isdf = self._decompose(selection, n_mu, rank_factor, timers, isdf_kwargs)
+        with timers.scope("hamiltonian"):
+            if tda:
+                op = ImplicitCasidaOperator(
+                    isdf, self.eps_v, self.eps_c, self.kernel, timers=timers
+                )
+            else:
+                op = ImplicitFullCasidaOperator(
+                    isdf, self.eps_v, self.eps_c, self.kernel, timers=timers
+                )
+        k = self._resolve_k(n_excitations)
+        x0 = self._initial_block(k)
+        with timers.scope("diagonalize"):
+            if eigensolver == "davidson":
+                res = davidson(
+                    op.apply, x0, op.diagonal(), tol=tol, max_iter=max_iter
+                )
+            else:
+                res = lobpcg(
+                    op.apply, x0, preconditioner=op.preconditioner, tol=tol,
+                    max_iter=max_iter,
+                )
+        evals = res.eigenvalues
+        if not tda:
+            evals = np.sqrt(np.maximum(evals, 0.0))
+        return LRTDDFTResult(
+            evals, res.eigenvectors, "", isdf.n_mu, isdf=isdf,
+            eigensolver_iterations=res.iterations,
+        )
+
+    # -- helpers -----------------------------------------------------------
+
+    def _resolve_k(self, n_excitations: int | None) -> int:
+        k = min(10, self.n_pairs) if n_excitations is None else n_excitations
+        require(0 < k <= self.n_pairs, f"n_excitations must be in [1, {self.n_pairs}]")
+        return k
+
+    def _initial_block(self, k: int) -> np.ndarray:
+        """Unit vectors on the ``k`` lowest independent-particle transitions.
+
+        The physically-motivated warm start: the lowest Casida excitations
+        are dominated by the lowest KS transitions, so LOBPCG starts inside
+        the right subspace.  A small random admixture avoids exact-zero
+        couplings in symmetric systems.
+        """
+        diag = pair_energies(self.eps_v, self.eps_c)
+        lowest = np.argsort(diag)[:k]
+        x0 = np.zeros((self.n_pairs, k))
+        x0[lowest, np.arange(k)] = 1.0
+        x0 += 1e-3 * self._rng.standard_normal(x0.shape)
+        return x0

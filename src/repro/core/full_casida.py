@@ -1,0 +1,179 @@
+"""Full (non-TDA) Casida equation — the paper's Eq. 1 with the B block.
+
+The paper's Hamiltonian before the Tamm-Dancoff approximation is
+
+    H = [[ D + 2 V_Hxc,   2 W_Hxc ],
+         [-2 W_Hxc,      -D - 2 V_Hxc]]
+
+For real orbitals and an adiabatic kernel the coupling blocks coincide:
+``A = D + 2 K`` and ``B = 2 K`` with ``K = P^T f_Hxc P``, so the
+non-Hermitian 2N_cv x 2N_cv problem collapses to Casida's Hermitian form
+
+    Omega^2 F = D^{1/2} (D + 4 K) D^{1/2} F,
+
+an ``N_cv x N_cv`` eigenproblem whose eigenvalues are the *squared*
+excitation energies.  Crucially, the operator keeps the ISDF-factored
+structure: ``M X = D^2 X + 4 D^{1/2} C^T (Vtilde (C (D^{1/2} X)))`` — so
+the implicit machinery of Section 4.3 applies verbatim to the full
+response problem, not just to the TDA.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.casida import build_vhxc
+from repro.core.isdf import ISDFDecomposition
+from repro.core.isdf_hamiltonian import project_kernel
+from repro.core.kernel import HxcKernel
+from repro.core.pair_products import pair_energies
+from repro.eigen.dense import dense_eigh
+from repro.utils.linalg import symmetrize
+from repro.utils.timers import TimerRegistry
+from repro.utils.validation import require
+
+
+def build_full_casida_matrix(
+    psi_v: np.ndarray,
+    eps_v: np.ndarray,
+    psi_c: np.ndarray,
+    eps_c: np.ndarray,
+    kernel: HxcKernel,
+    *,
+    timers: TimerRegistry | None = None,
+) -> np.ndarray:
+    """Explicit Hermitian Casida matrix ``M = D^{1/2}(D + 4K)D^{1/2}``."""
+    d = pair_energies(np.asarray(eps_v, float), np.asarray(eps_c, float))
+    require((d > 0).all(), "full Casida needs positive transition energies")
+    k = build_vhxc(psi_v, psi_c, kernel, timers=timers)
+    sqrt_d = np.sqrt(d)
+    m = 4.0 * (sqrt_d[:, None] * k * sqrt_d[None, :])
+    m[np.diag_indices_from(m)] += d * d
+    return symmetrize(m)
+
+
+def solve_full_casida_dense(
+    matrix: np.ndarray, n_excitations: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Diagonalize the Hermitian Casida matrix; returns ``(omega, F)``.
+
+    ``omega = sqrt(eigenvalues)``; negative round-off eigenvalues are an
+    instability signal and raised as an error (a ground state unstable
+    against the excitation — possible with approximate kernels).
+    """
+    evals, evecs = dense_eigh(matrix)
+    if evals[0] < -1e-10:
+        raise ValueError(
+            f"Casida instability: Omega^2 = {evals[0]:.3e} < 0 "
+            "(triplet/singlet instability of the reference state)"
+        )
+    omega = np.sqrt(np.maximum(evals, 0.0))
+    if n_excitations is not None:
+        require(0 < n_excitations <= omega.shape[0], "bad n_excitations")
+        return omega[:n_excitations], evecs[:, :n_excitations]
+    return omega, evecs
+
+
+class ImplicitFullCasidaOperator:
+    """Matrix-free ``M = D^2 + 4 D^{1/2} C^T Vtilde C D^{1/2}``.
+
+    Same O(N_mu^2) state as the TDA implicit operator — this extends the
+    paper's Section 4.3 beyond the Tamm-Dancoff approximation.
+    """
+
+    def __init__(
+        self,
+        isdf: ISDFDecomposition,
+        eps_v: np.ndarray,
+        eps_c: np.ndarray,
+        kernel: HxcKernel | None = None,
+        *,
+        vtilde: np.ndarray | None = None,
+        timers: TimerRegistry | None = None,
+    ) -> None:
+        require(
+            (kernel is None) != (vtilde is None),
+            "pass exactly one of kernel or vtilde",
+        )
+        self.isdf = isdf
+        d = pair_energies(np.asarray(eps_v, float), np.asarray(eps_c, float))
+        require((d > 0).all(), "full Casida needs positive transition energies")
+        self.diagonal_d = d
+        self._sqrt_d = np.sqrt(d)
+        if vtilde is None:
+            vtilde = project_kernel(isdf, kernel, timers=timers)
+        self.vtilde = vtilde
+        self.n_apply = 0
+
+    @property
+    def n_pairs(self) -> int:
+        return self.diagonal_d.shape[0]
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """``M @ X`` for blocks ``(N_cv, k)`` (1-D accepted)."""
+        squeeze = x.ndim == 1
+        if squeeze:
+            x = x[:, None]
+        require(x.shape[0] == self.n_pairs, "block/pair dimension mismatch")
+        scaled = self._sqrt_d[:, None] * x
+        coupled = self.isdf.apply_ct(self.vtilde @ self.isdf.apply_c(scaled))
+        out = (self.diagonal_d**2)[:, None] * x + 4.0 * (
+            self._sqrt_d[:, None] * coupled
+        )
+        self.n_apply += 1
+        return out[:, 0] if squeeze else out
+
+    __call__ = apply
+
+    def preconditioner(self, residual: np.ndarray, theta: np.ndarray) -> np.ndarray:
+        """Positive diagonal preconditioner ``|D^2 - theta|`` (Eq. 17 analogue
+        for the squared-frequency operator)."""
+        denom = np.maximum(
+            np.abs((self.diagonal_d**2)[:, None] - theta[None, :]), 1e-4
+        )
+        return residual / denom
+
+    def diagonal(self) -> np.ndarray:
+        """Exact operator diagonal (for Davidson), cheap in factored form."""
+        c = self.isdf.coefficients()
+        corr = np.einsum("mi,mn,ni->i", c, self.vtilde, c, optimize=True)
+        return self.diagonal_d**2 + 4.0 * self.diagonal_d * corr
+
+    def materialize(self) -> np.ndarray:
+        """Dense ``M`` for testing (O(N_cv^2) memory)."""
+        c = self.isdf.coefficients()
+        k = c.T @ (self.vtilde @ c)
+        m = 4.0 * (self._sqrt_d[:, None] * k * self._sqrt_d[None, :])
+        m = symmetrize(m)
+        m[np.diag_indices_from(m)] += self.diagonal_d**2
+        return m
+
+
+def solve_full_casida_direct(
+    psi_v: np.ndarray,
+    eps_v: np.ndarray,
+    psi_c: np.ndarray,
+    eps_c: np.ndarray,
+    kernel: HxcKernel,
+) -> np.ndarray:
+    """Reference solve of the *unreduced* 2N_cv x 2N_cv problem (Eq. 1).
+
+    Diagonalizes the non-Hermitian block matrix directly and returns the
+    positive excitation energies, ascending — used by the tests to verify
+    the Hermitian reduction.
+    """
+    d = pair_energies(np.asarray(eps_v, float), np.asarray(eps_c, float))
+    k = build_vhxc(psi_v, psi_c, kernel)
+    a = 2.0 * k
+    a[np.diag_indices_from(a)] += d
+    b = 2.0 * k
+    n = d.shape[0]
+    big = np.block([[a, b], [-b, -a]])
+    evals = np.linalg.eigvals(big)
+    require(
+        np.abs(evals.imag).max() < 1e-8,
+        "complex Casida eigenvalues: reference state unstable",
+    )
+    positive = np.sort(evals.real[evals.real > 0])
+    require(positive.size == n, "expected N_cv positive eigenvalues")
+    return positive

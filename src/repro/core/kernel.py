@@ -1,0 +1,108 @@
+"""The Hartree-exchange-correlation operator f_Hxc (Eq. 4 of the paper).
+
+``f_Hxc(r, r') = 1/|r - r'| + f_xc[n](r) delta(r - r')`` applied to fields
+over the real-space grid: the Coulomb half is diagonal in reciprocal space
+(batch FFT -> multiply 4 pi / G^2 -> batch inverse FFT, exactly lines 4-5 of
+the paper's Algorithm 1) and the ALDA half is diagonal in real space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dft.hartree import coulomb_kernel
+from repro.dft.xc import lda_kernel
+from repro.pw.basis import PlaneWaveBasis
+from repro.utils.validation import require
+
+
+class HxcKernel:
+    """f_Hxc bound to a basis and a ground-state density.
+
+    Parameters
+    ----------
+    basis:
+        Plane-wave basis (provides the FFT grid and 4 pi/G^2).
+    density:
+        Ground-state density n(r) defining the ALDA kernel f_xc[n].
+    include_hartree / include_xc:
+        Toggles for ablation studies (RPA-like kernel = Hartree only).
+    coulomb_truncation:
+        ``None`` (default, periodic 4 pi/G^2) or a truncation radius in
+        Bohr (pass ``"auto"`` for half the shortest box edge) — use for
+        molecules in boxes so excitations do not couple to periodic
+        images.
+    """
+
+    def __init__(
+        self,
+        basis: PlaneWaveBasis,
+        density: np.ndarray,
+        *,
+        include_hartree: bool = True,
+        include_xc: bool = True,
+        spin: str = "singlet",
+        coulomb_truncation: float | str | None = None,
+    ) -> None:
+        require(
+            density.shape == (basis.n_r,),
+            f"density must have shape ({basis.n_r},), got {density.shape}",
+        )
+        require(spin in ("singlet", "triplet"), f"spin must be singlet/triplet, got {spin!r}")
+        self.basis = basis
+        self.spin = spin
+        if spin == "triplet":
+            # Spin-flip response: the Hartree term cancels between the spin
+            # channels; only the spin-stiffness kernel survives.
+            include_hartree = False
+        self.include_hartree = include_hartree
+        self.include_xc = include_xc
+        if include_hartree:
+            if coulomb_truncation is None:
+                self._coulomb_g = coulomb_kernel(basis)
+            else:
+                from repro.dft.hartree import truncated_coulomb_kernel
+
+                radius = (
+                    None if coulomb_truncation == "auto" else float(coulomb_truncation)
+                )
+                self._coulomb_g = truncated_coulomb_kernel(basis, radius)
+        else:
+            self._coulomb_g = None
+        if include_xc:
+            if spin == "triplet":
+                from repro.dft.xc_spin import lda_kernel_triplet
+
+                self._fxc_r = lda_kernel_triplet(density)
+            else:
+                self._fxc_r = lda_kernel(density)
+        else:
+            self._fxc_r = None
+
+    # -- application -------------------------------------------------------
+
+    def apply(self, fields: np.ndarray) -> np.ndarray:
+        """Apply f_Hxc to real fields of shape ``(..., N_r)`` (batched)."""
+        fields = np.asarray(fields)
+        require(fields.shape[-1] == self.basis.n_r, "field/grid size mismatch")
+        out = np.zeros(fields.shape, dtype=float)
+        if self._coulomb_g is not None:
+            f_g = self.basis.fft.forward(fields.astype(complex))
+            out += self.basis.fft.backward_real(f_g * self._coulomb_g)
+        if self._fxc_r is not None:
+            out += fields * self._fxc_r
+        return out
+
+    def matrix_elements(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        """``M[i, j] = <left_i | f_Hxc | right_j>`` for rows of fields.
+
+        Both inputs are ``(m, N_r)`` / ``(n, N_r)``; includes the grid
+        quadrature weight dV.
+        """
+        k_right = self.apply(right)
+        return (left @ k_right.T) * self.basis.grid.dv
+
+    @property
+    def fxc_diagonal(self) -> np.ndarray | None:
+        """The real-space ALDA kernel values (None when XC disabled)."""
+        return self._fxc_r

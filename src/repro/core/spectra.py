@@ -1,0 +1,74 @@
+"""Excited-state observables: transition dipoles and oscillator strengths.
+
+Used by the MATBG application (Figure 9b's excitation DOS) and by the
+examples to turn Casida eigenpairs into an absorption spectrum.
+
+Dipoles use the position operator relative to the cell centre with
+minimum-image wrapping — adequate for molecules in boxes and for the
+qualitative periodic spectra the paper reports (a full periodic treatment
+would use the velocity gauge).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pw.basis import PlaneWaveBasis
+from repro.utils.validation import require
+
+
+def transition_dipoles(
+    psi_v: np.ndarray, psi_c: np.ndarray, basis: PlaneWaveBasis
+) -> np.ndarray:
+    """``d[(v c), alpha] = int psi_v(r) r_alpha psi_c(r) dr``.
+
+    Returns ``(N_cv, 3)`` in the library's pair ordering.
+    """
+    grid = basis.grid
+    centre = 0.5 * np.ones(3) @ basis.cell.lattice
+    frac = grid.fractional_points
+    # Minimum-image displacement from the cell centre.
+    wrapped = (frac - 0.5) - np.round(frac - 0.5)
+    coords = wrapped @ basis.cell.lattice + centre - centre  # (N_r, 3), centred
+    n_v, n_c = psi_v.shape[0], psi_c.shape[0]
+    dip = np.einsum("vr,ra,cr->vca", psi_v, coords, psi_c, optimize=True) * grid.dv
+    return dip.reshape(n_v * n_c, 3)
+
+
+def oscillator_strengths(
+    energies: np.ndarray,
+    wavefunctions: np.ndarray,
+    dipoles: np.ndarray,
+) -> np.ndarray:
+    """Singlet TDA oscillator strengths ``f_n = (4/3) w_n |sum_vc X_vc d_vc|^2``.
+
+    Parameters
+    ----------
+    energies:
+        ``(k,)`` excitation energies.
+    wavefunctions:
+        ``(N_cv, k)`` Casida eigenvectors (columns normalized).
+    dipoles:
+        ``(N_cv, 3)`` transition dipoles from :func:`transition_dipoles`.
+    """
+    require(
+        wavefunctions.shape[0] == dipoles.shape[0],
+        "wavefunction/dipole pair-space mismatch",
+    )
+    amplitude = wavefunctions.T @ dipoles  # (k, 3)
+    return (4.0 / 3.0) * np.asarray(energies) * np.einsum(
+        "ka,ka->k", amplitude, amplitude
+    )
+
+
+def lorentzian_spectrum(
+    energies: np.ndarray,
+    strengths: np.ndarray,
+    omega: np.ndarray,
+    broadening: float = 0.005,
+) -> np.ndarray:
+    """Broadened absorption spectrum ``S(w)`` on the frequency grid."""
+    require(broadening > 0.0, "broadening must be positive")
+    delta = omega[:, None] - np.asarray(energies)[None, :]
+    lorentz = (broadening / np.pi) / (delta * delta + broadening * broadening)
+    return lorentz @ np.asarray(strengths)

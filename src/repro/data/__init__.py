@@ -1,0 +1,22 @@
+"""Static data: the paper's survey table, reported numbers, calibration."""
+
+from repro.data.software_survey import SOFTWARE_SURVEY, SurveyRow
+from repro.data.paper_reference import (
+    PAPER_SI4096_STRONG,
+    PAPER_SPEEDUP_TABLE6,
+    PAPER_TABLE3,
+    PAPER_TABLE5_H2O,
+    PAPER_TABLE5_SI64,
+    PAPER_WEAK_SCALING,
+)
+
+__all__ = [
+    "SurveyRow",
+    "SOFTWARE_SURVEY",
+    "PAPER_TABLE3",
+    "PAPER_TABLE5_H2O",
+    "PAPER_TABLE5_SI64",
+    "PAPER_SPEEDUP_TABLE6",
+    "PAPER_WEAK_SCALING",
+    "PAPER_SI4096_STRONG",
+]

@@ -1,0 +1,69 @@
+"""Calibrated settings tying the cost model to the paper's evaluation runs.
+
+The paper's reported timings (Tables 3/6, weak scaling, Si_4096 strong
+scaling) are not mutually consistent under any single problem
+parametrization — different experiments plainly used different settings,
+only some of which are stated.  The calibration below adopts the one
+parametrization the paper *does* document (Table 5's silicon transition
+space: ``N_v = 128, N_c = 50`` fixed while the grid grows with system
+size) and fits the remaining free constants (ISDF rank, pruning survival,
+iteration counts, FFT and K-Means sustained efficiencies, the Table 6 core
+count) by least squares on the log-times of all anchors.
+
+What the reproduction then asserts is the paper's *shapes*:
+
+* Table 6 speedups fall with system size (naive is SYEVD-dominated at
+  small N, both versions become grid-dominated at large N),
+* weak scaling is ~linear in atom count for the optimized version,
+* the naive code keeps >= 50% parallel efficiency at 2,048 cores,
+* Si_4096 retains ~87% efficiency from 8,192 to 12,288 cores,
+
+with absolute times within a small factor of the paper's (recorded in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.perf.machine import CORI_HASWELL, MachineSpec
+from repro.perf.workloads import LRTDDFTWorkload, silicon_workload
+
+#: Machine spec with the fitted sustained-efficiency factors.
+CALIBRATED_SPEC: MachineSpec = CORI_HASWELL.with_overrides(
+    kmeans_efficiency=0.022,
+    fft_efficiency=0.02,
+)
+
+#: Transition space of the paper's silicon evaluation runs (Table 5).
+EVAL_N_V: int = 128
+EVAL_N_C: int = 50
+
+#: Fitted ISDF rank, pruning survival and iteration counts.
+EVAL_N_MU: int = 768
+EVAL_PRUNE_FRACTION: float = 0.70
+EVAL_KMEANS_ITERS: int = 100
+EVAL_LOBPCG_ITERS: int = 30
+
+#: Core count reproducing Table 6's (unstated) resource level.
+TABLE6_CORES: int = 256
+
+#: Core sweep of Figure 7 / 8.
+STRONG_SCALING_CORES: tuple[int, ...] = (128, 256, 512, 1024, 2048)
+
+#: Weak-scaling core count (Section 6.4: 1,024 cores, 1 core per process).
+WEAK_SCALING_CORES: int = 1024
+
+
+def paper_workload(n_atoms: int) -> LRTDDFTWorkload:
+    """The calibrated Si_N workload used by every scaling bench."""
+    base = silicon_workload(n_atoms)
+    return replace(
+        base,
+        n_v=EVAL_N_V,
+        n_c=EVAL_N_C,
+        n_mu=EVAL_N_MU,
+        prune_fraction=EVAL_PRUNE_FRACTION,
+        kmeans_iters=EVAL_KMEANS_ITERS,
+        lobpcg_iters=EVAL_LOBPCG_ITERS,
+    )

@@ -1,0 +1,70 @@
+"""Every number the paper's evaluation section reports, as data.
+
+The benchmark harness prints these next to our measured/modeled values and
+EXPERIMENTS.md records the comparison, so the paper-vs-reproduction gap is
+explicit and machine-checkable.
+"""
+
+from __future__ import annotations
+
+#: Table 3 — seconds to select interpolation points on Si_64, one core of a
+#: Xeon E5-2695: {n_mu: (qrcp_seconds, kmeans_seconds)}.
+PAPER_TABLE3: dict[int, tuple[float, float]] = {
+    512: (10.12, 1.61),
+    1024: (42.16, 2.85),
+    2048: (147.27, 5.57),
+}
+
+#: Table 5 — H2O (Ecut = 100 Ha, Nv = 20, Nc = 4): three lowest excitation
+#: energies in Hartree for (QE, naive LR-TDDFT, ISDF-LOBPCG) and the two
+#: relative errors in percent.
+PAPER_TABLE5_H2O: tuple[tuple[float, float, float, float, float], ...] = (
+    (0.398312, 0.397830, 0.397829, 0.121, 0.121),
+    (0.550416, 0.546664, 0.546664, 0.682, 0.682),
+    (0.729568, 0.732786, 0.732785, -0.441, -0.441),
+)
+
+#: Table 5 — Si_64 (Ecut = 50 Ha, Nv = 128, Nc = 50), same columns.
+PAPER_TABLE5_SI64: tuple[tuple[float, float, float, float, float], ...] = (
+    (0.044350, 0.043942, 0.0439429, 0.920, 0.918),
+    (0.044350, 0.043942, 0.0439429, 0.920, 0.918),
+    (0.044350, 0.043942, 0.0439429, 0.920, 0.918),
+)
+
+#: Table 6 — wall-clock seconds (naive, ISDF-LOBPCG) and speedup per system.
+PAPER_SPEEDUP_TABLE6: dict[str, tuple[float, float, float]] = {
+    "Si64": (3.19, 0.24, 13.06),
+    "Si216": (6.95, 0.70, 9.89),
+    "Si512": (14.74, 1.89, 7.79),
+    "Si1000": (32.15, 5.13, 6.26),
+}
+
+#: Section 6.4 — weak scaling at 1,024 cores (one core per MPI process):
+#: {system: seconds} for the optimized code.
+PAPER_WEAK_SCALING: dict[str, float] = {
+    "Si512": 3.58,
+    "Si1000": 10.23,
+    "Si1728": 26.95,
+    "Si2744": 35.58,
+    "Si4096": 41.89,
+}
+
+#: Section 6.3 — Si_4096 with 16 OpenMP threads per MPI process:
+#: {cores: seconds}; 8,192 -> 12,288 cores shows 87.34% parallel efficiency.
+PAPER_SI4096_STRONG: dict[int, float] = {
+    8192: 14.02,
+    12288: 10.70,
+}
+
+#: Section 6.5 — average speedups the paper quotes.
+PAPER_AVG_SPEEDUP_LOW_RESOURCE: float = 9.254
+PAPER_AVG_SPEEDUP_LARGE_RESOURCE: float = 12.58
+
+#: Section 6.3 — the naive version keeps >= 50% parallel efficiency up to
+#: 2,048 cores (baseline 128 cores) on Si_1000.
+PAPER_NAIVE_EFFICIENCY_FLOOR: float = 0.50
+PAPER_STRONG_SCALING_CORES: tuple[int, ...] = (128, 256, 512, 1024, 2048)
+
+#: Section 6.3 — GEMM+Allreduce share of H-construction time in the
+#: implicit method ("only cost 12.87% of the total time").
+PAPER_GEMM_ALLREDUCE_SHARE: float = 0.1287

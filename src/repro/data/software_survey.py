@@ -1,0 +1,61 @@
+"""Paper Table 1: survey of massively parallel excited-state codes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SurveyRow:
+    """One row of the paper's Table 1."""
+
+    software: str
+    year: int
+    theory: str
+    basis_set: str
+    method: str
+    system: str
+    n_atoms: int
+    architecture: str
+    reference: str
+
+
+#: Verbatim content of Table 1 (the "This work" row is the paper itself).
+SOFTWARE_SURVEY: tuple[SurveyRow, ...] = (
+    SurveyRow(
+        "NWChem", 2016, "LR-TDDFT", "Gaussian", "Explicit",
+        "Water molecules", 1890, "Intel Xeon", "[32]",
+    ),
+    SurveyRow(
+        "CP2K", 2019, "LR-TDDFT", "GPW", "Explicit",
+        "MgO; HfO2", 1000, "Intel Xeon", "[27]",
+    ),
+    SurveyRow(
+        "PWDFT", 2019, "RT-TDDFT", "PW", "Implicit",
+        "Silicon", 1536, "V100 GPU", "[20]",
+    ),
+    SurveyRow(
+        "BerkeleyGW", 2020, "GW", "PW", "Explicit",
+        "Silicon", 2742, "V100 GPU", "[9]",
+    ),
+    SurveyRow(
+        "PWDFT", 2021, "LR-TDDFT", "PW", "Implicit",
+        "Silicon; Graphene", 4096, "Intel Xeon", "This work",
+    ),
+)
+
+
+def format_survey_table() -> str:
+    """Render Table 1 as aligned text (used by the Table 1 bench)."""
+    header = (
+        f"{'Software':<12s} {'Year':<5s} {'Theory':<9s} {'Basis':<9s} "
+        f"{'Method':<9s} {'System':<18s} {'#atoms':>6s} {'Architecture':<13s} Ref"
+    )
+    lines = [header, "-" * len(header)]
+    for row in SOFTWARE_SURVEY:
+        lines.append(
+            f"{row.software:<12s} {row.year:<5d} {row.theory:<9s} "
+            f"{row.basis_set:<9s} {row.method:<9s} {row.system:<18s} "
+            f"{row.n_atoms:>6d} {row.architecture:<13s} {row.reference}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,181 @@
+"""Non-self-consistent band structures: diagonalize H(k) on a converged
+density.
+
+The Gamma-point SCF fixes the density/potential; Bloch bands at any other
+k follow from one diagonalization of
+
+    H(k) = 1/2 |G + k|^2 + V_eff(r) + V_nl(k),
+
+with the Kleinman-Bylander projectors evaluated at ``G + k``.  This is the
+standard band-structure post-processing step of every plane-wave code and
+a sharp validation of the substrate: silicon must come out with its
+indirect gap (CBM along Gamma-X) and the correct Gamma degeneracies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dft.groundstate import GroundState
+from repro.dft.hamiltonian import KohnShamHamiltonian
+from repro.eigen.lobpcg import lobpcg
+from repro.pseudo.hgh import get_pseudopotential, projector_radial_recip
+from repro.pseudo.kb import NonlocalProjectors, _real_spherical_harmonics
+from repro.pw.basis import PlaneWaveBasis
+from repro.utils.rng import default_rng
+from repro.utils.validation import require
+
+
+def build_projectors_at_k(
+    basis: PlaneWaveBasis, k_cart: np.ndarray
+) -> NonlocalProjectors:
+    """KB projectors evaluated at ``G + k`` (see repro.pseudo.kb)."""
+    cell = basis.cell
+    gk = basis.gvectors.g_sphere + k_cart[None, :]
+    gk_norm = np.linalg.norm(gk, axis=1)
+    inv_sqrt_volume = 1.0 / np.sqrt(basis.volume)
+
+    columns = []
+    strengths = []
+    labels = []
+    for atom_index, symbol in enumerate(cell.species):
+        params = get_pseudopotential(symbol)
+        if not params.projectors:
+            continue
+        # Structure factor at G + k: exp(-i (G + k) . tau).
+        tau = cell.fractional_positions[atom_index] @ cell.lattice
+        phase = np.exp(-1j * (gk @ tau))
+        for l, (_, h_list) in sorted(params.projectors.items()):
+            ylm = _real_spherical_harmonics(l, gk)
+            for i, h in enumerate(h_list, start=1):
+                if abs(h) < 1e-14:
+                    continue
+                radial = projector_radial_recip(params, l, i, gk_norm)
+                base = ((-1j) ** l) * inv_sqrt_volume * radial * phase
+                for m in range(2 * l + 1):
+                    columns.append(base * ylm[m])
+                    strengths.append(h)
+                    labels.append((atom_index, symbol, l, i, m - l))
+    if columns:
+        beta = np.column_stack(columns)
+        h = np.asarray(strengths, dtype=float)
+    else:
+        beta = np.zeros((basis.n_pw, 0), dtype=complex)
+        h = np.zeros(0)
+    return NonlocalProjectors(beta, h, tuple(labels))
+
+
+class BlochHamiltonian:
+    """``H(k)`` bound to a converged effective potential."""
+
+    def __init__(self, ground_state: GroundState, k_fractional) -> None:
+        self.basis = ground_state.basis
+        k_fractional = np.asarray(k_fractional, dtype=float)
+        require(k_fractional.shape == (3,), "k must be a 3-vector")
+        self.k_fractional = k_fractional
+        self.k_cart = k_fractional @ self.basis.cell.reciprocal_lattice
+
+        ham = KohnShamHamiltonian(self.basis)
+        ham.update_density(ground_state.density)
+        self._v_eff = ham.v_effective
+        gk = self.basis.gvectors.g_sphere + self.k_cart[None, :]
+        self._kinetic = 0.5 * np.einsum("ij,ij->i", gk, gk)
+        self._projectors = build_projectors_at_k(self.basis, self.k_cart)
+
+    def apply(self, coeffs: np.ndarray) -> np.ndarray:
+        """``H(k) @ u`` for cell-periodic coefficient blocks ``(..., N_pw)``."""
+        out = coeffs * self._kinetic
+        psi_real = self.basis.to_real(coeffs)
+        out += self.basis.to_recip(psi_real * self._v_eff)
+        out += self._projectors.apply(coeffs)
+        return out
+
+    def apply_columns(self, x: np.ndarray) -> np.ndarray:
+        return self.apply(x.T).T
+
+    def preconditioner(self, residual: np.ndarray, theta: np.ndarray) -> np.ndarray:
+        kinetic = self._kinetic[:, None]
+        scale = np.maximum(
+            np.einsum("gk,g,gk->k", residual.conj(), self._kinetic, residual).real
+            / np.maximum(np.einsum("gk,gk->k", residual.conj(), residual).real, 1e-30),
+            1e-3,
+        )
+        x = kinetic / scale[None, :]
+        poly = 27.0 + 18.0 * x + 12.0 * x**2 + 8.0 * x**3
+        return residual * (poly / (poly + 16.0 * x**4))
+
+
+@dataclass(frozen=True)
+class BandStructure:
+    """Bands along a k-path."""
+
+    k_fractional: np.ndarray  #: (n_k, 3)
+    energies: np.ndarray  #: (n_k, n_bands), Hartree, ascending per k
+    labels: tuple[tuple[int, str], ...] = ()  #: (index, name) of named points
+
+    @property
+    def n_k(self) -> int:
+        return self.k_fractional.shape[0]
+
+    def valence_maximum(self, n_occupied: int) -> float:
+        return float(self.energies[:, :n_occupied].max())
+
+    def conduction_minimum(self, n_occupied: int) -> float:
+        return float(self.energies[:, n_occupied:].min())
+
+    def indirect_gap(self, n_occupied: int) -> float:
+        """min over k' of CBM minus max over k of VBM."""
+        return self.conduction_minimum(n_occupied) - self.valence_maximum(n_occupied)
+
+
+def bands_at_k(
+    ground_state: GroundState,
+    k_fractional,
+    n_bands: int,
+    *,
+    tol: float = 1e-8,
+    seed: int = 0,
+) -> np.ndarray:
+    """Lowest ``n_bands`` eigenvalues of ``H(k)`` (Hartree, ascending)."""
+    ham = BlochHamiltonian(ground_state, k_fractional)
+    rng = default_rng(seed)
+    x0 = ground_state.basis.random_coefficients(n_bands, rng).T
+    result = lobpcg(
+        ham.apply_columns, x0, preconditioner=ham.preconditioner,
+        tol=tol, max_iter=300,
+    )
+    return result.eigenvalues
+
+
+def band_structure(
+    ground_state: GroundState,
+    k_points: list[tuple[str, np.ndarray]],
+    n_bands: int,
+    *,
+    n_interpolate: int = 5,
+    tol: float = 1e-7,
+) -> BandStructure:
+    """Bands along straight segments between named k-points.
+
+    ``k_points`` is a list of ``(label, fractional_k)`` corners; each
+    segment is sampled with ``n_interpolate`` points (corners included).
+    """
+    require(len(k_points) >= 2, "need at least two k-path corners")
+    path: list[np.ndarray] = []
+    labels: list[tuple[int, str]] = []
+    for (name_a, ka), (name_b, kb) in zip(k_points, k_points[1:]):
+        start_index = len(path)
+        labels.append((start_index, name_a))
+        for t in np.linspace(0.0, 1.0, n_interpolate, endpoint=False):
+            path.append((1 - t) * np.asarray(ka, float) + t * np.asarray(kb, float))
+    path.append(np.asarray(k_points[-1][1], dtype=float))
+    labels.append((len(path) - 1, k_points[-1][0]))
+
+    energies = np.vstack(
+        [bands_at_k(ground_state, k, n_bands, tol=tol) for k in path]
+    )
+    return BandStructure(
+        k_fractional=np.vstack(path), energies=energies, labels=tuple(labels)
+    )

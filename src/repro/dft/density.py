@@ -1,0 +1,73 @@
+"""Electron densities: from orbitals, and the atomic-superposition SCF guess."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.atoms.elements import get_element, valence_electron_count
+from repro.pw.basis import PlaneWaveBasis
+from repro.utils.validation import require
+
+
+def density_from_orbitals(
+    orbitals_real: np.ndarray, occupations: np.ndarray, dv: float | None = None
+) -> np.ndarray:
+    """``n(r) = sum_i f_i |psi_i(r)|^2`` from real-space orbitals.
+
+    Parameters
+    ----------
+    orbitals_real:
+        ``(n_bands, N_r)`` complex or real orbitals normalized to
+        ``int |psi|^2 dr = 1``.
+    occupations:
+        ``(n_bands,)`` occupation numbers ``f_i`` (2 for filled bands).
+    dv:
+        If given, the result is validated to integrate to ``sum(f_i)``
+        within 1e-6 relative (cheap insurance against normalization bugs).
+    """
+    occupations = np.asarray(occupations, dtype=float)
+    require(
+        orbitals_real.shape[0] == occupations.shape[0],
+        f"{orbitals_real.shape[0]} orbitals but {occupations.shape[0]} occupations",
+    )
+    n = np.einsum("b,br->r", occupations, np.abs(orbitals_real) ** 2).real
+    if dv is not None:
+        total = n.sum() * dv
+        expected = occupations.sum()
+        if expected > 0:
+            require(
+                abs(total - expected) <= 1e-6 * max(expected, 1.0),
+                f"density integrates to {total:.8f}, expected {expected:.8f} "
+                "(orbital normalization broken?)",
+            )
+    return n
+
+
+def atomic_guess_density(basis: PlaneWaveBasis) -> np.ndarray:
+    """Superposition of atomic valence Gaussians, normalized to N_electrons.
+
+    Each atom contributes ``Z_val`` electrons as a Gaussian of width set by
+    its covalent radius; assembled in G-space with structure factors so the
+    cost is one FFT regardless of atom count.
+    """
+    cell = basis.cell
+    require(cell.n_atoms > 0, "cannot build a density guess for an empty cell")
+    g2 = basis.gvectors.g2
+    n_g = np.zeros(basis.n_r, dtype=complex)
+    for index, symbol in enumerate(cell.species):
+        element = get_element(symbol)
+        width = 0.6 * element.covalent_radius
+        phase = basis.gvectors.structure_factor(cell.fractional_positions[index])
+        n_g += (
+            (element.valence / cell.volume)
+            * np.exp(-0.25 * g2 * width * width)
+            * phase
+        )
+    n_r = basis.fft.backward_real(n_g)
+    # Gaussian tails can overlap into slightly negative interference regions
+    # on coarse grids; clip and renormalize to the exact electron count.
+    n_r = np.maximum(n_r, 0.0)
+    n_electrons = valence_electron_count(cell.species)
+    total = n_r.sum() * basis.grid.dv
+    require(total > 0.0, "density guess vanished (grid too coarse?)")
+    return n_r * (n_electrons / total)

@@ -1,0 +1,182 @@
+"""The ground-state container handed from KS-DFT to LR-TDDFT.
+
+LR-TDDFT (Algorithm 1 of the paper) consumes exactly three things from the
+ground state: orbital energies, occupations, and *real-valued* real-space
+orbitals.  At the Gamma point of a real potential the KS orbitals can always
+be chosen real; :func:`realify_orbitals` enforces that choice even inside
+degenerate groups where a complex eigensolver returns arbitrary unitary
+mixtures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.pw.basis import PlaneWaveBasis
+from repro.utils.validation import require
+
+
+def _degenerate_groups(energies: np.ndarray, tol: float = 1e-5) -> list[list[int]]:
+    """Chain nearly-degenerate consecutive energies into groups."""
+    groups: list[list[int]] = []
+    for i, e in enumerate(energies):
+        if groups and abs(e - energies[groups[-1][-1]]) < tol:
+            groups[-1].append(i)
+        else:
+            groups.append([i])
+    return groups
+
+
+def realify_orbitals(
+    coeffs: np.ndarray,
+    energies: np.ndarray,
+    basis: PlaneWaveBasis,
+    apply_h: Callable[[np.ndarray], np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Rotate Gamma-point orbitals to a real-valued gauge.
+
+    Parameters
+    ----------
+    coeffs:
+        ``(n_bands, N_pw)`` complex sphere coefficients (rows = bands).
+    energies:
+        ``(n_bands,)`` eigenvalues, ascending.
+    apply_h:
+        The KS Hamiltonian block application (rows = bands), used to
+        re-diagonalize inside degenerate groups after realification.
+
+    Returns
+    -------
+    ``(orbitals_real, energies)`` with ``orbitals_real`` of shape
+    ``(n_bands, N_r)``, float64, orthonormal under the grid metric.
+    """
+    psi = basis.to_real(coeffs)  # (nb, Nr) complex
+    dv = basis.grid.dv
+    out = np.empty_like(psi, dtype=float)
+    new_energies = np.array(energies, dtype=float, copy=True)
+
+    for group in _degenerate_groups(np.asarray(energies, dtype=float)):
+        block = psi[group]  # (m, Nr)
+        m = len(group)
+        # Span of a conjugation-closed subspace: the real/imag parts contain
+        # an m-dimensional real basis. Extract it with an SVD.
+        stacked = np.vstack([block.real, block.imag])  # (2m, Nr)
+        _, svals, vt = np.linalg.svd(stacked, full_matrices=False)
+        require(
+            svals[m - 1] > 1e-8 * max(svals[0], 1e-30),
+            "degenerate group is not conjugation-closed; cannot realify "
+            "(is the Hamiltonian real at Gamma?)",
+        )
+        real_basis = vt[:m] / np.sqrt(dv)  # orthonormal under grid metric
+        if m == 1:
+            # Align sign with the dominant-amplitude convention.
+            peak = np.argmax(np.abs(real_basis[0]))
+            if real_basis[0, peak] < 0:
+                real_basis = -real_basis
+            out[group[0]] = real_basis[0]
+            continue
+        # Re-diagonalize H inside the real subspace to restore eigenvectors.
+        group_coeffs = basis.to_recip(real_basis.astype(complex))
+        h_block = apply_h(group_coeffs)
+        h_small = (group_coeffs.conj() @ h_block.T).real
+        h_small = 0.5 * (h_small + h_small.T)
+        evals, evecs = np.linalg.eigh(h_small)
+        out[group] = evecs.T @ real_basis
+        new_energies[group] = evals
+
+    return out, new_energies
+
+
+@dataclass
+class GroundState:
+    """Converged (or synthetic) ground-state data.
+
+    Attributes
+    ----------
+    basis:
+        The plane-wave basis the orbitals live on.
+    energies:
+        ``(n_bands,)`` KS eigenvalues, ascending, in Hartree.
+    orbitals_real:
+        ``(n_bands, N_r)`` real orbitals, ``int |psi|^2 dr = 1``.
+    occupations:
+        ``(n_bands,)`` occupation numbers.
+    density:
+        ``(N_r,)`` electron density.
+    total_energy:
+        Total energy (Hartree); carries the usual G=0 convention constant.
+    converged:
+        SCF convergence flag (synthetic states set it True by construction).
+    history:
+        Per-SCF-iteration diagnostics.
+    """
+
+    basis: PlaneWaveBasis
+    energies: np.ndarray
+    orbitals_real: np.ndarray
+    occupations: np.ndarray
+    density: np.ndarray
+    total_energy: float = 0.0
+    converged: bool = True
+    history: list[dict] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        nb = self.energies.shape[0]
+        require(
+            self.orbitals_real.shape == (nb, self.basis.n_r),
+            f"orbitals must be ({nb}, {self.basis.n_r}), "
+            f"got {self.orbitals_real.shape}",
+        )
+        require(
+            self.occupations.shape == (nb,),
+            f"occupations must be ({nb},), got {self.occupations.shape}",
+        )
+
+    @property
+    def n_bands(self) -> int:
+        return self.energies.shape[0]
+
+    @property
+    def n_electrons(self) -> float:
+        return float(self.occupations.sum())
+
+    @property
+    def n_occupied(self) -> int:
+        """Number of (essentially) filled bands."""
+        return int((self.occupations > 1.0).sum())
+
+    def homo_lumo_gap(self) -> float:
+        """KS gap between highest occupied and lowest empty computed band."""
+        n_occ = self.n_occupied
+        require(0 < n_occ < self.n_bands, "need both occupied and empty bands")
+        return float(self.energies[n_occ] - self.energies[n_occ - 1])
+
+    def select_transition_space(
+        self, n_valence: int | None = None, n_conduction: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Split into the (psi_v, eps_v, psi_c, eps_c) blocks LR-TDDFT uses.
+
+        Defaults: all occupied bands as valence, all computed empty bands as
+        conduction.  Explicit ``n_valence`` takes the *topmost* occupied
+        bands (the ones that matter for low excitations).
+        """
+        n_occ = self.n_occupied
+        require(n_occ >= 1, "no occupied bands")
+        require(self.n_bands > n_occ, "no conduction bands were computed")
+        nv = n_occ if n_valence is None else min(n_valence, n_occ)
+        nc = (
+            self.n_bands - n_occ
+            if n_conduction is None
+            else min(n_conduction, self.n_bands - n_occ)
+        )
+        v_slice = slice(n_occ - nv, n_occ)
+        c_slice = slice(n_occ, n_occ + nc)
+        return (
+            self.orbitals_real[v_slice],
+            self.energies[v_slice],
+            self.orbitals_real[c_slice],
+            self.energies[c_slice],
+        )

@@ -1,0 +1,90 @@
+"""Ground-state persistence: save/load converged states as ``.npz``.
+
+The SCF is the expensive step of the pipeline; persisting its result lets
+LR-TDDFT/RT-TDDFT studies (rank sweeps, kernel ablations) re-run without
+redoing it — the same role PWDFT's wavefunction files play for the paper's
+experiments.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.dft.groundstate import GroundState
+from repro.pw.basis import PlaneWaveBasis
+from repro.pw.cell import UnitCell
+from repro.utils.validation import require
+
+#: Format version written into every file; bump on layout changes.
+FORMAT_VERSION = 1
+
+
+def save_ground_state(gs: GroundState, path: str | pathlib.Path) -> pathlib.Path:
+    """Write a :class:`GroundState` to ``path`` (``.npz`` appended if absent).
+
+    Everything needed to reconstruct the state is stored: cell geometry,
+    cutoff, energies, real-space orbitals, occupations and density.  The
+    basis itself is rebuilt on load (it is deterministic in cell + ecut).
+    """
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "species": list(gs.basis.cell.species),
+        "ecut": gs.basis.ecut,
+        "total_energy": gs.total_energy,
+        "converged": bool(gs.converged),
+    }
+    np.savez_compressed(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        lattice=gs.basis.cell.lattice,
+        fractional_positions=gs.basis.cell.fractional_positions,
+        energies=gs.energies,
+        orbitals_real=gs.orbitals_real,
+        occupations=gs.occupations,
+        density=gs.density,
+    )
+    return path
+
+
+def load_ground_state(path: str | pathlib.Path) -> GroundState:
+    """Read a :class:`GroundState` written by :func:`save_ground_state`.
+
+    The FFT grid is rebuilt from the stored cell + cutoff and verified
+    against the stored orbital shapes (a mismatch means the file was
+    produced by an incompatible grid rule).
+    """
+    path = pathlib.Path(path)
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta"]).decode())
+        require(
+            meta.get("format_version") == FORMAT_VERSION,
+            f"unsupported ground-state file version "
+            f"{meta.get('format_version')!r}",
+        )
+        cell = UnitCell(
+            data["lattice"],
+            tuple(meta["species"]),
+            data["fractional_positions"],
+        )
+        basis = PlaneWaveBasis(cell, float(meta["ecut"]))
+        orbitals = data["orbitals_real"]
+        require(
+            orbitals.shape[1] == basis.n_r,
+            f"stored orbitals have {orbitals.shape[1]} grid points but the "
+            f"rebuilt basis has {basis.n_r}; incompatible grid rule",
+        )
+        return GroundState(
+            basis=basis,
+            energies=data["energies"],
+            orbitals_real=orbitals,
+            occupations=data["occupations"],
+            density=data["density"],
+            total_energy=float(meta["total_energy"]),
+            converged=bool(meta["converged"]),
+        )

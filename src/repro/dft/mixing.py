@@ -1,0 +1,81 @@
+"""Density mixing for the SCF loop.
+
+Two mixers: plain linear damping and Anderson/Pulay (DIIS) acceleration on
+density residuals — the standard combination for plane-wave SCF convergence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+class LinearMixer:
+    """``n_next = n_in + beta (n_out - n_in)``."""
+
+    def __init__(self, beta: float = 0.3) -> None:
+        check_positive(beta, "beta")
+        self.beta = beta
+
+    def mix(self, n_in: np.ndarray, n_out: np.ndarray) -> np.ndarray:
+        return n_in + self.beta * (n_out - n_in)
+
+    def reset(self) -> None:  # symmetry with AndersonMixer
+        pass
+
+
+class AndersonMixer:
+    """Anderson acceleration (equivalently Pulay/DIIS on residuals).
+
+    Keeps the last ``history`` (input, residual) pairs and extrapolates the
+    input that minimizes the linear-combination residual, then applies a
+    linear step ``beta`` on top.  Falls back to linear mixing whenever the
+    least-squares system is degenerate (e.g. first iteration).
+    """
+
+    def __init__(self, beta: float = 0.5, history: int = 5) -> None:
+        check_positive(beta, "beta")
+        check_positive(history, "history")
+        self.beta = beta
+        self.history = history
+        self._inputs: deque[np.ndarray] = deque(maxlen=history)
+        self._residuals: deque[np.ndarray] = deque(maxlen=history)
+
+    def reset(self) -> None:
+        self._inputs.clear()
+        self._residuals.clear()
+
+    def mix(self, n_in: np.ndarray, n_out: np.ndarray) -> np.ndarray:
+        residual = n_out - n_in
+        self._inputs.append(n_in.copy())
+        self._residuals.append(residual.copy())
+
+        m = len(self._residuals)
+        if m == 1:
+            return n_in + self.beta * residual
+
+        r_mat = np.stack(self._residuals, axis=0)  # (m, N)
+        x_mat = np.stack(self._inputs, axis=0)
+        # Minimize || sum_j c_j r_j || subject to sum c_j = 1: solve with the
+        # difference parametrization against the newest residual.
+        diffs = r_mat[:-1] - r_mat[-1]  # (m-1, N)
+        gram = diffs @ diffs.T
+        rhs = -diffs @ r_mat[-1]
+        try:
+            alpha = np.linalg.solve(
+                gram + 1e-12 * np.trace(gram) * np.eye(m - 1) / max(m - 1, 1), rhs
+            )
+        except np.linalg.LinAlgError:
+            return n_in + self.beta * residual
+        coeffs = np.empty(m)
+        coeffs[:-1] = alpha
+        coeffs[-1] = 1.0 - alpha.sum()
+
+        n_opt = coeffs @ x_mat
+        r_opt = coeffs @ r_mat
+        mixed = n_opt + self.beta * r_opt
+        # Densities must stay non-negative; extrapolation can overshoot.
+        return np.maximum(mixed, 0.0)

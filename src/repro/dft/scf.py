@@ -1,0 +1,223 @@
+"""Self-consistent field driver for the plane-wave KS-DFT substrate.
+
+The loop is the standard PWDFT structure: density guess -> effective
+potential -> LOBPCG band solve (warm-started) -> occupations -> new density
+-> Anderson mixing -> repeat; a final tight band solve polishes the orbitals
+before they are rotated to the real gauge LR-TDDFT requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.atoms.elements import valence_electron_count
+from repro.dft.density import atomic_guess_density, density_from_orbitals
+from repro.dft.ewald import ewald_energy
+from repro.dft.groundstate import GroundState, realify_orbitals
+from repro.dft.hamiltonian import KohnShamHamiltonian
+from repro.dft.hartree import hartree_energy
+from repro.dft.mixing import AndersonMixer, LinearMixer
+from repro.dft.xc import lda_potential, xc_energy
+from repro.eigen.lobpcg import lobpcg
+from repro.pw.basis import PlaneWaveBasis
+from repro.pw.cell import UnitCell
+from repro.utils.rng import default_rng
+from repro.utils.timers import TimerRegistry
+from repro.utils.validation import check_positive, require
+
+
+@dataclass
+class SCFOptions:
+    """Knobs of the SCF loop (defaults tuned for the small test systems)."""
+
+    ecut: float = 10.0
+    n_bands: int | None = None  #: total bands; default = n_occ + max(4, n_occ//2)
+    tol: float = 1e-6  #: density residual convergence (per electron)
+    max_iter: int = 60
+    mixer: str = "anderson"  #: "anderson" or "linear"
+    mixing_beta: float = 0.5
+    mixing_history: int = 5
+    smearing_width: float = 0.0  #: Fermi-Dirac width in Ha; 0 = integer fill
+    eig_tol_final: float = 1e-8
+    seed: int | None = None
+    verbose: bool = False
+
+
+@dataclass
+class SCFResultInfo:
+    """Convergence diagnostics of one SCF run."""
+
+    iterations: int
+    converged: bool
+    residuals: list[float] = field(default_factory=list)
+    total_energies: list[float] = field(default_factory=list)
+
+
+def _occupations(
+    energies: np.ndarray, n_electrons: float, width: float
+) -> np.ndarray:
+    """Occupation numbers: integer fill, or Fermi-Dirac when ``width > 0``."""
+    nb = energies.shape[0]
+    if width <= 0.0:
+        require(
+            abs(n_electrons / 2.0 - round(n_electrons / 2.0)) < 1e-9,
+            f"odd electron count {n_electrons} needs smearing_width > 0",
+        )
+        n_occ = int(round(n_electrons / 2.0))
+        require(n_occ <= nb, f"{n_occ} occupied bands but only {nb} computed")
+        occ = np.zeros(nb)
+        occ[:n_occ] = 2.0
+        return occ
+
+    def total(mu: float) -> float:
+        x = np.clip((energies - mu) / width, -200.0, 200.0)
+        return float((2.0 / (1.0 + np.exp(x))).sum())
+
+    lo, hi = energies.min() - 10.0 * width - 1.0, energies.max() + 10.0 * width + 1.0
+    require(total(hi) >= n_electrons - 1e-9, "not enough bands to hold all electrons")
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if total(mid) < n_electrons:
+            lo = mid
+        else:
+            hi = mid
+    mu = 0.5 * (lo + hi)
+    x = np.clip((energies - mu) / width, -200.0, 200.0)
+    occ = 2.0 / (1.0 + np.exp(x))
+    return occ * (n_electrons / occ.sum())
+
+
+def _total_energy(
+    ham: KohnShamHamiltonian,
+    energies: np.ndarray,
+    occupations: np.ndarray,
+    density: np.ndarray,
+    e_ii: float,
+) -> float:
+    """Harris-Foulkes-style total energy with double-counting corrections."""
+    basis = ham.basis
+    dv = basis.grid.dv
+    e_band = float((occupations * energies).sum())
+    e_h = hartree_energy(density, basis)
+    e_xc = xc_energy(density, dv)
+    e_vxc = float((density * lda_potential(density)).sum() * dv)
+    return e_band - e_h - e_vxc + e_xc + e_ii
+
+
+def run_scf(
+    cell: UnitCell,
+    options: SCFOptions | None = None,
+    *,
+    timers: TimerRegistry | None = None,
+    **overrides,
+) -> GroundState:
+    """Run a Gamma-point SCF and return the converged :class:`GroundState`.
+
+    Keyword overrides are applied on top of ``options``:
+    ``run_scf(cell, ecut=8.0, n_bands=12)``.
+    """
+    opts = options or SCFOptions()
+    for key, value in overrides.items():
+        require(hasattr(opts, key), f"unknown SCF option {key!r}")
+        setattr(opts, key, value)
+    check_positive(opts.ecut, "ecut")
+    timers = timers or TimerRegistry()
+
+    n_electrons = valence_electron_count(cell.species)
+    n_occ = int(np.ceil(n_electrons / 2.0))
+    n_bands = opts.n_bands if opts.n_bands is not None else n_occ + max(4, n_occ // 2)
+    require(n_bands >= n_occ, f"n_bands={n_bands} < occupied bands {n_occ}")
+
+    basis = PlaneWaveBasis(cell, opts.ecut)
+    require(
+        n_bands <= basis.n_pw,
+        f"n_bands={n_bands} exceeds basis size N_pw={basis.n_pw}; raise ecut",
+    )
+    ham = KohnShamHamiltonian(basis)
+    rng = default_rng(opts.seed)
+    coeffs = basis.random_coefficients(n_bands, rng)
+
+    with timers.scope("scf/guess"):
+        density = atomic_guess_density(basis)
+    e_ii = ewald_energy(cell)
+
+    mixer = (
+        AndersonMixer(opts.mixing_beta, opts.mixing_history)
+        if opts.mixer == "anderson"
+        else LinearMixer(opts.mixing_beta)
+    )
+    info = SCFResultInfo(iterations=0, converged=False)
+    history: list[dict] = []
+
+    energies = np.zeros(n_bands)
+    occupations = np.zeros(n_bands)
+    residual = np.inf
+    for iteration in range(1, opts.max_iter + 1):
+        ham.update_density(density)
+        eig_tol = float(np.clip(0.03 * residual, opts.eig_tol_final, 1e-3))
+        with timers.scope("scf/bands"):
+            result = lobpcg(
+                ham.apply_columns,
+                coeffs.T,
+                preconditioner=ham.preconditioner,
+                tol=eig_tol,
+                max_iter=100,
+            )
+        coeffs = result.eigenvectors.T
+        energies = result.eigenvalues
+        occupations = _occupations(energies, n_electrons, opts.smearing_width)
+
+        psi_real = basis.to_real(coeffs)
+        density_out = density_from_orbitals(psi_real, occupations, basis.grid.dv)
+        delta = density_out - density
+        residual = float(
+            np.sqrt((delta * delta).sum() * basis.grid.dv) / max(n_electrons, 1.0)
+        )
+        e_total = _total_energy(ham, energies, occupations, density_out, e_ii)
+        info.residuals.append(residual)
+        info.total_energies.append(e_total)
+        history.append(
+            {"iteration": iteration, "residual": residual, "e_total": e_total}
+        )
+        if opts.verbose:  # pragma: no cover - console path
+            print(f"SCF {iteration:3d}: residual={residual:.3e}, E={e_total:.8f} Ha")
+
+        if residual < opts.tol:
+            info.converged = True
+            info.iterations = iteration
+            density = density_out
+            break
+        with timers.scope("scf/mix"):
+            density = mixer.mix(density, density_out)
+    else:
+        info.iterations = opts.max_iter
+
+    # Final polish with the converged potential, then rotate to real gauge.
+    ham.update_density(density)
+    with timers.scope("scf/polish"):
+        result = lobpcg(
+            ham.apply_columns,
+            coeffs.T,
+            preconditioner=ham.preconditioner,
+            tol=opts.eig_tol_final,
+            max_iter=200,
+        )
+    coeffs = result.eigenvectors.T
+    energies = result.eigenvalues
+    occupations = _occupations(energies, n_electrons, opts.smearing_width)
+    orbitals_real, energies = realify_orbitals(coeffs, energies, basis, ham.apply)
+    density = density_from_orbitals(orbitals_real, occupations, basis.grid.dv)
+    e_total = _total_energy(ham, energies, occupations, density, e_ii)
+
+    return GroundState(
+        basis=basis,
+        energies=energies,
+        orbitals_real=orbitals_real,
+        occupations=occupations,
+        density=density,
+        total_energy=e_total,
+        converged=info.converged,
+        history=history,
+    )

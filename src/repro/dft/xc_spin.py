@@ -1,0 +1,135 @@
+"""Spin-resolved LSDA and the spin-flip (triplet) ALDA kernel.
+
+Extension beyond the paper (which is spin-restricted): the spin-polarized
+exchange-correlation energy ``e_xc(n, zeta)`` in the Perdew-Zunger 1981
+parametrization, with the von Barth-Hedin interpolation
+
+    eps_c(rs, zeta) = eps_c^P(rs) + f(zeta) [eps_c^F(rs) - eps_c^P(rs)],
+    f(zeta) = [(1+zeta)^{4/3} + (1-zeta)^{4/3} - 2] / (2^{4/3} - 2),
+
+and the two second-derivative kernels a closed-shell LR-TDDFT needs:
+
+* singlet: ``f_xc^S = d^2 e_xc / d n^2`` at zeta = 0 — identical to
+  :func:`repro.dft.xc.lda_kernel` (cross-checked in the tests), and
+* triplet: ``f_xc^T = d^2 e_xc / d m^2`` at m = 0 (m = spin density) —
+  the spin-stiffness kernel that couples spin-flip excitations.  Triplet
+  excitations see no Hartree term, so ``H_T = D + 2 P^T f_xc^T P``.
+
+All derivatives are analytic and validated against finite differences of
+``e_xc`` in the test-suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dft.xc import DENSITY_FLOOR, _pz_eps_derivs
+
+_CX = -0.75 * (3.0 / np.pi) ** (1.0 / 3.0)
+
+# PZ81 ferromagnetic-branch constants (unpolarized ones live in repro.dft.xc).
+_GAMMA_F = -0.0843
+_BETA1_F = 1.3981
+_BETA2_F = 0.2611
+_A_F = 0.01555
+_B_F = -0.0269
+_C_F = 0.0007
+_D_F = -0.0048
+
+#: f''(0) of the von Barth-Hedin interpolation function.
+FPP0 = 8.0 / (9.0 * (2.0 ** (4.0 / 3.0) - 2.0))
+
+
+def _clip(n: np.ndarray) -> np.ndarray:
+    return np.maximum(np.asarray(n, dtype=float), DENSITY_FLOOR)
+
+
+def _rs(n: np.ndarray) -> np.ndarray:
+    return (3.0 / (4.0 * np.pi * n)) ** (1.0 / 3.0)
+
+
+def _pz_eps_ferro(rs: np.ndarray) -> np.ndarray:
+    """PZ81 correlation energy per particle of the fully polarized gas."""
+    eps = np.empty_like(rs)
+    high = rs < 1.0
+    if high.any():
+        r = rs[high]
+        eps[high] = _A_F * np.log(r) + _B_F + _C_F * r * np.log(r) + _D_F * r
+    low = ~high
+    if low.any():
+        r = rs[low]
+        eps[low] = _GAMMA_F / (1.0 + _BETA1_F * np.sqrt(r) + _BETA2_F * r)
+    return eps
+
+
+def _vbh_interpolation(zeta: np.ndarray) -> np.ndarray:
+    """von Barth-Hedin f(zeta)."""
+    zeta = np.clip(zeta, -1.0, 1.0)
+    return ((1.0 + zeta) ** (4.0 / 3.0) + (1.0 - zeta) ** (4.0 / 3.0) - 2.0) / (
+        2.0 ** (4.0 / 3.0) - 2.0
+    )
+
+
+def lsda_energy_density(n: np.ndarray, zeta: np.ndarray) -> np.ndarray:
+    """XC energy per particle ``eps_xc(n, zeta)``.
+
+    Exchange is exactly spin-scaled; correlation uses PZ81 para/ferro
+    branches with the von Barth-Hedin interpolation.
+    """
+    n = _clip(n)
+    zeta = np.clip(np.asarray(zeta, dtype=float), -1.0, 1.0)
+    phi = 0.5 * ((1.0 + zeta) ** (4.0 / 3.0) + (1.0 - zeta) ** (4.0 / 3.0))
+    eps_x = _CX * n ** (1.0 / 3.0) * phi
+    rs = _rs(n)
+    eps_c_p, _, _ = _pz_eps_derivs(rs)
+    eps_c_f = _pz_eps_ferro(rs)
+    eps_c = eps_c_p + _vbh_interpolation(zeta) * (eps_c_f - eps_c_p)
+    return eps_x + eps_c
+
+
+def lsda_potentials(
+    n_up: np.ndarray, n_down: np.ndarray, *, step: float = 1e-6
+) -> tuple[np.ndarray, np.ndarray]:
+    """Spin-resolved potentials ``v_xc^sigma = d e_xc / d n_sigma``.
+
+    Evaluated by high-accuracy central differences of the analytic energy
+    (the potentials are only needed for spin-polarized SCF extensions and
+    diagnostics; the LR-TDDFT kernels below are fully analytic).
+    """
+    n_up = _clip(n_up)
+    n_down = _clip(n_down)
+
+    def energy(nu, nd):
+        n = nu + nd
+        zeta = (nu - nd) / n
+        return n * lsda_energy_density(n, zeta)
+
+    h_up = step * n_up
+    h_down = step * n_down
+    v_up = (energy(n_up + h_up, n_down) - energy(n_up - h_up, n_down)) / (2 * h_up)
+    v_down = (energy(n_up, n_down + h_down) - energy(n_up, n_down - h_down)) / (
+        2 * h_down
+    )
+    return v_up, v_down
+
+
+def lda_kernel_triplet(n: np.ndarray) -> np.ndarray:
+    """Triplet (spin-flip) ALDA kernel ``f_xc^T = d^2 e_xc / d m^2 |_{m=0}``.
+
+    With ``e_xc = n eps_xc(n, zeta)`` and ``m = n zeta``:
+    ``d^2 e/d m^2 = (1/n) d^2 eps_xc/d zeta^2 |_{zeta=0}``.
+
+    Exchange: ``d^2 phi/d zeta^2(0) = 4/9`` gives
+    ``(4/9) C_x n^{1/3} / n``; correlation contributes
+    ``f''(0) (eps_c^F - eps_c^P) / n`` (the PZ81 spin stiffness).
+    """
+    raw = np.asarray(n, dtype=float)
+    n = _clip(raw)
+    fx = (4.0 / 9.0) * _CX * n ** (1.0 / 3.0) / n
+    rs = _rs(n)
+    eps_c_p, _, _ = _pz_eps_derivs(rs)
+    eps_c_f = _pz_eps_ferro(rs)
+    fc = FPP0 * (eps_c_f - eps_c_p) / n
+    out = fx + fc
+    out[raw < DENSITY_FLOOR] = 0.0
+    return out

@@ -1,0 +1,13 @@
+"""Eigensolvers: blocked LOBPCG (paper Algorithm 2), block Davidson, dense.
+
+All solvers share one operator protocol: ``apply(X)`` maps an ``(n, k)``
+block of column vectors to ``H @ X`` without ever materializing ``H`` —
+which is exactly what the implicit Hamiltonian method of Section 4.3 needs.
+"""
+
+from repro.eigen.results import EigenResult
+from repro.eigen.lobpcg import lobpcg
+from repro.eigen.davidson import davidson
+from repro.eigen.dense import dense_eigh, dense_lowest
+
+__all__ = ["EigenResult", "lobpcg", "davidson", "dense_eigh", "dense_lowest"]

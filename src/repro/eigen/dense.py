@@ -1,0 +1,39 @@
+"""Dense diagonalization — the stand-in for ScaLAPACK's SYEVD.
+
+The paper's naive version diagonalizes the explicit LR-TDDFT Hamiltonian
+with ``ScaLAPACK::Syevd`` at ``O(N_v^3 N_c^3)`` cost; serially that role is
+played by LAPACK's divide-and-conquer driver, which is what
+``scipy.linalg.eigh(driver="evd")`` calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro.utils.linalg import symmetrize
+from repro.utils.validation import check_square
+
+
+def dense_eigh(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Full eigendecomposition of a Hermitian matrix (ascending).
+
+    Symmetrizes first so tiny non-Hermitian round-off from the Hamiltonian
+    assembly GEMMs cannot leak complex eigenvalues.
+    """
+    check_square(matrix, "matrix")
+    return sla.eigh(symmetrize(matrix), driver="evd")
+
+
+def dense_lowest(matrix: np.ndarray, nev: int) -> tuple[np.ndarray, np.ndarray]:
+    """Lowest ``nev`` eigenpairs via the full dense solve.
+
+    This is deliberately the full ``O(n^3)`` solve: it models the naive
+    version's cost profile, where all eigenpairs are computed and the lowest
+    few extracted afterwards.
+    """
+    check_square(matrix, "matrix")
+    if not 0 < nev <= matrix.shape[0]:
+        raise ValueError(f"nev must be in [1, {matrix.shape[0]}], got {nev}")
+    evals, evecs = dense_eigh(matrix)
+    return evals[:nev], evecs[:, :nev]

@@ -1,0 +1,42 @@
+"""Common result container for the iterative eigensolvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EigenResult:
+    """Outcome of an iterative eigensolve.
+
+    Attributes
+    ----------
+    eigenvalues:
+        ``(k,)`` ascending Ritz values.
+    eigenvectors:
+        ``(n, k)`` Ritz vectors (columns), orthonormal.
+    iterations:
+        Number of outer iterations performed.
+    residual_norms:
+        Final ``||H x - theta x||`` per pair.
+    converged:
+        Whether every requested pair met the tolerance.
+    history:
+        Max residual norm per iteration (for convergence plots/tests).
+    """
+
+    eigenvalues: np.ndarray
+    eigenvectors: np.ndarray
+    iterations: int
+    residual_norms: np.ndarray
+    converged: bool
+    history: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.eigenvalues.shape[0] != self.eigenvectors.shape[1]:
+            raise ValueError(
+                f"{self.eigenvalues.shape[0]} eigenvalues but "
+                f"{self.eigenvectors.shape[1]} eigenvectors"
+            )

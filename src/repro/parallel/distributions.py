@@ -1,0 +1,135 @@
+"""Data-distribution descriptors (paper Figure 3).
+
+Three layouts drive the LR-TDDFT pipeline:
+
+* **column block** — each rank owns contiguous whole columns (bands or
+  orbital pairs); the FFT layout, since a rank can transform its pairs
+  independently (Fig 3a),
+* **row block** — each rank owns contiguous grid rows of every column; the
+  GEMM / face-splitting-product layout (Fig 3b),
+* **2-D block cyclic** — ScaLAPACK's layout for the dense diagonalization
+  (Fig 3c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class BlockDistribution1D:
+    """Contiguous block partition of ``n_global`` items over ``n_ranks``.
+
+    The first ``n_global % n_ranks`` ranks get one extra item (the standard
+    near-even split).
+    """
+
+    n_global: int
+    n_ranks: int
+
+    def __post_init__(self) -> None:
+        require(self.n_global >= 0, "n_global must be non-negative")
+        require(self.n_ranks >= 1, "n_ranks must be positive")
+
+    def count(self, rank: int) -> int:
+        """Number of items owned by ``rank``."""
+        base, extra = divmod(self.n_global, self.n_ranks)
+        return base + (1 if rank < extra else 0)
+
+    def counts(self) -> np.ndarray:
+        return np.array([self.count(r) for r in range(self.n_ranks)])
+
+    def displacement(self, rank: int) -> int:
+        """Global index of the first item owned by ``rank``."""
+        base, extra = divmod(self.n_global, self.n_ranks)
+        return rank * base + min(rank, extra)
+
+    def local_slice(self, rank: int) -> slice:
+        start = self.displacement(rank)
+        return slice(start, start + self.count(rank))
+
+    def owner(self, global_index: int) -> int:
+        require(0 <= global_index < self.n_global, f"index {global_index} out of range")
+        base, extra = divmod(self.n_global, self.n_ranks)
+        threshold = extra * (base + 1)
+        if global_index < threshold:
+            return global_index // (base + 1)
+        return extra + (global_index - threshold) // max(base, 1)
+
+    def global_indices(self, rank: int) -> np.ndarray:
+        s = self.local_slice(rank)
+        return np.arange(s.start, s.stop)
+
+
+@dataclass(frozen=True)
+class BlockCyclic2D:
+    """ScaLAPACK-style 2-D block-cyclic descriptor.
+
+    Matrix of shape ``(m, n)`` over a ``p_rows x p_cols`` process grid with
+    ``mb x nb`` blocks; the process holding global entry ``(i, j)`` is
+    ``((i // mb) mod p_rows, (j // nb) mod p_cols)``.
+    """
+
+    m: int
+    n: int
+    mb: int
+    nb: int
+    p_rows: int
+    p_cols: int
+
+    def __post_init__(self) -> None:
+        require(self.mb >= 1 and self.nb >= 1, "block sizes must be positive")
+        require(self.p_rows >= 1 and self.p_cols >= 1, "grid dims must be positive")
+
+    @property
+    def n_ranks(self) -> int:
+        return self.p_rows * self.p_cols
+
+    def grid_coords(self, rank: int) -> tuple[int, int]:
+        """Row-major rank -> (process row, process column)."""
+        require(0 <= rank < self.n_ranks, f"bad rank {rank}")
+        return divmod(rank, self.p_cols)[0], rank % self.p_cols
+
+    def owner(self, i: int, j: int) -> int:
+        pr = (i // self.mb) % self.p_rows
+        pc = (j // self.nb) % self.p_cols
+        return pr * self.p_cols + pc
+
+    def local_rows(self, rank: int) -> np.ndarray:
+        """Global row indices owned by ``rank`` (ascending)."""
+        pr, _ = self.grid_coords(rank)
+        rows = np.arange(self.m)
+        return rows[(rows // self.mb) % self.p_rows == pr]
+
+    def local_cols(self, rank: int) -> np.ndarray:
+        _, pc = self.grid_coords(rank)
+        cols = np.arange(self.n)
+        return cols[(cols // self.nb) % self.p_cols == pc]
+
+    def local_shape(self, rank: int) -> tuple[int, int]:
+        return self.local_rows(rank).size, self.local_cols(rank).size
+
+    def extract_local(self, matrix: np.ndarray, rank: int) -> np.ndarray:
+        """Local block-cyclic tile of a (test-side) global matrix."""
+        require(matrix.shape == (self.m, self.n), "matrix/descriptor mismatch")
+        return matrix[np.ix_(self.local_rows(rank), self.local_cols(rank))]
+
+    def assemble_global(self, locals_by_rank: list[np.ndarray]) -> np.ndarray:
+        """Rebuild the global matrix from all local tiles."""
+        require(len(locals_by_rank) == self.n_ranks, "need one tile per rank")
+        out = np.zeros(
+            (self.m, self.n), dtype=locals_by_rank[0].dtype if self.n_ranks else float
+        )
+        for rank, tile in enumerate(locals_by_rank):
+            rows = self.local_rows(rank)
+            cols = self.local_cols(rank)
+            require(
+                tile.shape == (rows.size, cols.size),
+                f"rank {rank}: tile {tile.shape} vs expected {(rows.size, cols.size)}",
+            )
+            out[np.ix_(rows, cols)] = tile
+        return out

@@ -1,0 +1,70 @@
+"""The SPMD executor: run one function on N virtual ranks.
+
+Thread-per-rank (numpy releases the GIL inside BLAS/FFT, so virtual ranks
+even overlap for real).  A rank that raises aborts the shared barrier;
+every surviving rank unwinds with :class:`~repro.parallel.comm.SpmdAbort`
+and the *original* exception is re-raised to the caller.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.parallel.comm import CommTraffic, Communicator, SpmdAbort, _SharedState
+from repro.utils.validation import require
+
+
+def spmd_run(
+    n_ranks: int,
+    fn: Callable[..., object],
+    *args,
+    return_traffic: bool = False,
+):
+    """Execute ``fn(comm, *args)`` on ``n_ranks`` virtual ranks.
+
+    Parameters
+    ----------
+    fn:
+        The rank program; receives its :class:`Communicator` first.
+    return_traffic:
+        Also return the :class:`CommTraffic` accumulated by the run.
+
+    Returns
+    -------
+    ``results`` — list of per-rank return values (rank order) — or
+    ``(results, traffic)`` when ``return_traffic`` is set.
+    """
+    require(n_ranks >= 1, f"need at least one rank, got {n_ranks}")
+    shared = _SharedState(n_ranks)
+    results: list = [None] * n_ranks
+
+    def worker(rank: int) -> None:
+        comm = Communicator(rank, shared)
+        try:
+            results[rank] = fn(comm, *args)
+        except SpmdAbort:
+            pass  # secondary failure; the original error is in shared.error
+        except BaseException as exc:  # noqa: BLE001 - must not deadlock peers
+            shared.abort(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(rank,), name=f"spmd-rank-{rank}")
+        for rank in range(n_ranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    if shared.error is not None:
+        raise shared.error
+    if return_traffic:
+        return results, shared.traffic
+    return results
+
+
+def spmd_traffic(n_ranks: int, fn: Callable[..., object], *args) -> CommTraffic:
+    """Convenience: run and return only the traffic trace."""
+    _, traffic = spmd_run(n_ranks, fn, *args, return_traffic=True)
+    return traffic

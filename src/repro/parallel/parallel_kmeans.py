@@ -1,0 +1,135 @@
+"""Distributed weighted K-Means (Section 4.2's parallel formulation).
+
+The paper: *"the classification step ... can be locally computed for each
+group of grid points. After this step, the weighted sum and total weight of
+all clusters can be reduced ... and broadcasted to all processors for the
+next iteration."*
+
+Implementation: candidate grid points are row-block partitioned; each
+iteration performs a local assignment (a GEMM), local per-cluster weighted
+accumulations, and one Allreduce of the ``(n_clusters, 4)`` statistics
+(three coordinate sums + weight).  The result is *bit-identical* to
+:func:`repro.core.kmeans.weighted_kmeans` run serially with the same
+initialization — the reseeding of empty clusters resolves global argmax
+candidates identically (descending penalty, stable index tie-break).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kmeans import _init_greedy_weight, _pairwise_sq_dists
+from repro.parallel.comm import Communicator
+from repro.parallel.distributions import BlockDistribution1D
+from repro.utils.validation import require
+
+
+def distributed_kmeans(
+    comm: Communicator,
+    local_points: np.ndarray,
+    local_weights: np.ndarray,
+    n_clusters: int,
+    dist: BlockDistribution1D,
+    *,
+    max_iter: int = 100,
+) -> tuple[np.ndarray, np.ndarray, float, int, bool]:
+    """Weighted Lloyd iterations over row-distributed candidate points.
+
+    Parameters
+    ----------
+    local_points / local_weights:
+        This rank's slab of the candidate set (``dist`` describes the split).
+    n_clusters:
+        Number of clusters N_mu.
+
+    Returns
+    -------
+    ``(centroids, local_labels, inertia, n_iter, converged)`` — centroids
+    and inertia are replicated; labels cover the local slab only.
+    """
+    require(
+        local_points.shape[0] == dist.count(comm.rank),
+        f"rank {comm.rank}: point count does not match distribution",
+    )
+    require(local_weights.shape == (local_points.shape[0],), "weights mismatch")
+
+    n_total = dist.n_global
+    require(0 < n_clusters <= n_total, f"n_clusters must be in [1, {n_total}]")
+    my_offset = dist.displacement(comm.rank)
+
+    # --- initialization: greedy weight seeding on the gathered candidate set.
+    # The candidate set is already pruned (N_r' << N_r), so gathering it for
+    # seeding is cheap; the Lloyd loop below never gathers points again.
+    all_points = np.concatenate(comm.allgather(local_points), axis=0)
+    all_weights = np.concatenate(comm.allgather(local_weights))
+    seed_idx = _init_greedy_weight(all_points, all_weights, n_clusters)
+    centroids = all_points[seed_idx].copy()
+
+    labels = np.full(local_points.shape[0], -1, dtype=np.int64)
+    inertia = np.inf
+    converged = False
+    iteration = 0
+    dim = local_points.shape[1]
+
+    for iteration in range(1, max_iter + 1):
+        # Local classification (the dominant step, embarrassingly parallel).
+        d2 = _pairwise_sq_dists(local_points, centroids)
+        new_labels = (
+            np.argmin(d2, axis=1)
+            if local_points.shape[0]
+            else np.empty(0, dtype=np.int64)
+        )
+        min_d2 = (
+            d2[np.arange(local_points.shape[0]), new_labels]
+            if local_points.shape[0]
+            else np.empty(0)
+        )
+
+        # Local accumulation, then one Allreduce of (sum_wx | sum_w | inertia).
+        stats = np.zeros((n_clusters, dim + 2))
+        if local_points.shape[0]:
+            for d in range(dim):
+                stats[:, d] = np.bincount(
+                    new_labels,
+                    weights=local_weights * local_points[:, d],
+                    minlength=n_clusters,
+                )
+            stats[:, dim] = np.bincount(
+                new_labels, weights=local_weights, minlength=n_clusters
+            )
+        stats[0, dim + 1] = float((local_weights * min_d2).sum())
+        stats = comm.allreduce(stats)
+        new_inertia = float(stats[0, dim + 1])
+
+        w_sum = stats[:, dim]
+        nonzero = w_sum > 0
+        centroids[nonzero] = stats[nonzero, :dim] / w_sum[nonzero, None]
+
+        # Reseed empty clusters at the globally worst-served heavy points,
+        # matching the serial policy exactly (descending penalty, stable
+        # global-index tie-break).
+        empty = np.flatnonzero(w_sum == 0)
+        if empty.size:
+            penalty = local_weights * min_d2
+            n_need = int(empty.size)
+            top_local = np.argsort(penalty)[::-1][:n_need]
+            cand = [
+                (float(penalty[i]), int(my_offset + i), local_points[i])
+                for i in top_local
+            ]
+            all_cand = [c for rank_c in comm.allgather(cand) for c in rank_c]
+            all_cand.sort(key=lambda t: (-t[0], t[1]))
+            for slot, (_, _, point) in zip(empty, all_cand[:n_need]):
+                centroids[slot] = point
+
+        changed = int(not np.array_equal(new_labels, labels))
+        total_changed = comm.allreduce(np.array([changed]))[0]
+        if total_changed == 0:
+            labels = new_labels
+            inertia = new_inertia
+            converged = True
+            break
+        labels = new_labels
+        inertia = new_inertia
+
+    return centroids, labels, inertia, iteration, converged

@@ -1,0 +1,104 @@
+"""Distributed real-time TDDFT: band-parallel propagation.
+
+RT-TDDFT parallelizes along the band index — each rank propagates its own
+occupied orbitals (the Krylov steps are independent) and the only coupling
+is through the density, rebuilt once per step with one ``MPI_Allreduce``
+of an ``N_r`` buffer.  This is exactly how the paper's RT-TDDFT
+predecessor (Table 1's 2019 PWDFT row) distributes work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dft.groundstate import GroundState
+from repro.dft.hamiltonian import KohnShamHamiltonian
+from repro.parallel.comm import Communicator
+from repro.parallel.distributions import BlockDistribution1D
+from repro.rt.propagator import expm_krylov_block
+from repro.rt.tddft import RTResult
+from repro.utils.validation import check_positive, require
+
+
+def distributed_rt_propagate(
+    comm: Communicator,
+    ground_state: GroundState,
+    *,
+    kick_strength: float,
+    kick_direction=(0.0, 0.0, 1.0),
+    dt: float,
+    n_steps: int,
+    krylov_dim: int = 10,
+    self_consistent: bool = True,
+) -> RTResult:
+    """Kick + propagate with bands distributed over ranks.
+
+    Every rank returns the identical :class:`~repro.rt.tddft.RTResult`
+    (observables are globally reduced each step).
+    """
+    check_positive(dt, "dt")
+    check_positive(n_steps, "n_steps")
+    basis = ground_state.basis
+    n_occ = ground_state.n_occupied
+    require(n_occ > 0, "no occupied orbitals")
+    band_dist = BlockDistribution1D(n_occ, comm.size)
+    sl = band_dist.local_slice(comm.rank)
+
+    occupations_local = ground_state.occupations[:n_occ][sl]
+    psi_local = basis.to_recip(
+        ground_state.orbitals_real[:n_occ][sl].astype(complex)
+    )
+
+    # Minimum-image coordinates about the cell centre (as in the serial RT).
+    frac = basis.grid.fractional_points
+    wrapped = (frac - 0.5) - np.round(frac - 0.5)
+    centered = wrapped @ basis.cell.lattice
+
+    direction = np.asarray(kick_direction, dtype=float)
+    direction = direction / np.linalg.norm(direction)
+    phase = np.exp(1j * kick_strength * (centered @ direction))
+    psi_real = basis.to_real(psi_local)
+    psi_local = basis.to_recip(psi_real * phase)
+
+    ham = KohnShamHamiltonian(basis)
+
+    def global_density() -> np.ndarray:
+        psi_r = basis.to_real(psi_local)
+        local = np.einsum(
+            "b,br->r", occupations_local, np.abs(psi_r) ** 2
+        )
+        return comm.allreduce(local)
+
+    def observables() -> tuple[np.ndarray, float]:
+        psi_r = basis.to_real(psi_local)
+        weights = np.einsum("b,br->r", occupations_local, np.abs(psi_r) ** 2)
+        dip_local = (weights @ centered) * basis.grid.dv
+        norm_local = float(np.sum(np.abs(psi_local) ** 2))
+        dip = comm.allreduce(dip_local)
+        norm = comm.allreduce(np.array([norm_local]))[0]
+        return dip, norm
+
+    ham.update_density(global_density())
+    times = [0.0]
+    dip0, norm0 = observables()
+    dipoles = [dip0]
+    norms = [norm0]
+
+    for step in range(1, n_steps + 1):
+        if self_consistent:
+            ham.update_density(global_density())
+        psi_local = expm_krylov_block(
+            ham.apply, psi_local, dt, krylov_dim=krylov_dim
+        )
+        times.append(step * dt)
+        dip, norm = observables()
+        dipoles.append(dip)
+        norms.append(norm)
+
+    return RTResult(
+        times=np.asarray(times),
+        dipoles=np.asarray(dipoles),
+        norms=np.asarray(norms),
+        kick_strength=kick_strength,
+        kick_direction=direction,
+    )

@@ -1,0 +1,65 @@
+"""Performance model: Cori-calibrated cost predictions for the paper's
+scaling figures.
+
+The distributed algorithms in :mod:`repro.parallel` prove correctness at
+small rank counts; this subpackage predicts wall-clock at the paper's scale
+(128 - 12,288 cores, Si_512 - Si_4096) from an alpha-beta machine model of
+the Cori Haswell partition and per-kernel cost functions, calibrated
+against the anchor timings the paper reports (weak scaling Section 6.4,
+Si_4096 strong scaling Section 6.3, Table 6).
+
+* :mod:`repro.perf.machine` — MachineSpec + the Cori Haswell instance,
+* :mod:`repro.perf.costmodel` — GEMM / FFT / collective / K-Means kernels,
+* :mod:`repro.perf.workloads` — problem dimensions of the Si_N series,
+* :mod:`repro.perf.scaling` — per-version time predictions and the
+  strong/weak scaling series (Figures 7-8, Section 6.4, Table 6),
+* :mod:`repro.perf.complexity` — the symbolic complexity tables (2 and 4).
+"""
+
+from repro.perf.machine import CORI_HASWELL, MachineSpec
+from repro.perf.workloads import LRTDDFTWorkload, silicon_workload
+from repro.perf.costmodel import (
+    time_allreduce,
+    time_alltoall,
+    time_dense_eig,
+    time_fft_batch,
+    time_gemm,
+    time_kmeans,
+    time_pair_product,
+)
+from repro.perf.scaling import (
+    PhaseTimes,
+    parallel_efficiency,
+    predict_construction_breakdown,
+    predict_version_time,
+    strong_scaling_series,
+    weak_scaling_series,
+)
+from repro.perf.complexity import (
+    complexity_table_2,
+    complexity_table_4,
+    evaluate_complexity,
+)
+
+__all__ = [
+    "MachineSpec",
+    "CORI_HASWELL",
+    "LRTDDFTWorkload",
+    "silicon_workload",
+    "time_gemm",
+    "time_fft_batch",
+    "time_alltoall",
+    "time_allreduce",
+    "time_kmeans",
+    "time_dense_eig",
+    "time_pair_product",
+    "PhaseTimes",
+    "predict_version_time",
+    "predict_construction_breakdown",
+    "strong_scaling_series",
+    "weak_scaling_series",
+    "parallel_efficiency",
+    "complexity_table_2",
+    "complexity_table_4",
+    "evaluate_complexity",
+]

@@ -1,0 +1,152 @@
+"""Per-kernel cost functions: seconds from problem sizes + machine spec.
+
+Compute kernels follow roofline-style ``flops / (cores x peak x
+efficiency)`` with parallelism caps where the algorithm limits it (batch
+FFTs cannot use more cores than batch entries; ScaLAPACK eigensolvers stop
+scaling past a matrix-size-dependent grid).  Collectives use the alpha-beta
+model at node granularity (ranks on one node share the NIC).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perf.machine import MachineSpec
+from repro.utils.validation import check_positive
+
+
+def time_gemm(
+    m: float, n: float, k: float, spec: MachineSpec, cores: int
+) -> float:
+    """Dense ``C(m,n) += A(m,k) B(k,n)``: ``2 m n k`` flops at GEMM rate."""
+    check_positive(cores, "cores")
+    flops = 2.0 * m * n * k
+    return flops / (spec.peak_flops(cores) * spec.gemm_efficiency)
+
+
+def time_pair_product(
+    n_v: float, n_c: float, n_r: float, spec: MachineSpec, cores: int
+) -> float:
+    """Face-splitting product: one multiply per output element, but
+    bandwidth-bound — modeled by streaming the output once per node."""
+    bytes_moved = 8.0 * n_v * n_c * n_r * 2.0  # write + one read pass
+    nodes = spec.nodes(cores)
+    return bytes_moved / (nodes * spec.mem_bw_per_node)
+
+
+def time_fft_batch(
+    n_batch: float, grid_points: float, spec: MachineSpec, cores: int
+) -> float:
+    """``n_batch`` independent 3-D FFTs of ``grid_points`` each.
+
+    Parallelism is over the batch (the column-block layout of Fig 3a), so
+    at most ``n_batch`` cores help.
+    """
+    check_positive(cores, "cores")
+    effective = min(cores, max(n_batch, 1.0))
+    flops = n_batch * 5.0 * grid_points * np.log2(max(grid_points, 2.0))
+    return flops / (effective * spec.flops_per_core * spec.fft_efficiency)
+
+
+def _participants(spec: MachineSpec, cores: int, threads_per_process: int) -> int:
+    """MPI participants of a collective under the hybrid layout.
+
+    The paper binds ``threads_per_process`` OpenMP threads to each MPI rank
+    (Section 6.1 uses 4, the Si_4096 runs use 16); latency terms scale with
+    the *process* count, which is why "increasing the number of OpenMP
+    threads ... can straightforwardly reduce the communicational cost"
+    (Section 6.3).  Data-volume terms stay bounded by the per-node NIC.
+    """
+    if threads_per_process <= 0:
+        raise ValueError("threads_per_process must be positive")
+    return max(1, cores // threads_per_process)
+
+
+def time_alltoall(
+    total_bytes: float,
+    spec: MachineSpec,
+    cores: int,
+    *,
+    threads_per_process: int = 4,
+) -> float:
+    """Personalized all-to-all of ``total_bytes`` aggregate payload."""
+    nodes = spec.nodes(cores)
+    procs = _participants(spec, cores, threads_per_process)
+    if nodes == 1 and procs == 1:
+        return 0.0
+    off_node = total_bytes * max(nodes - 1, 0) / max(nodes, 1)
+    per_node = off_node / max(nodes, 1)
+    return (procs - 1) * spec.net_latency + per_node / spec.net_bw_per_node
+
+
+def time_allreduce(
+    nbytes: float,
+    spec: MachineSpec,
+    cores: int,
+    *,
+    threads_per_process: int = 4,
+) -> float:
+    """Ring allreduce of an ``nbytes`` buffer (replicated result)."""
+    nodes = spec.nodes(cores)
+    procs = _participants(spec, cores, threads_per_process)
+    if nodes == 1 and procs == 1:
+        return 0.0
+    volume = (
+        (2.0 * nbytes * (nodes - 1) / nodes) / spec.net_bw_per_node
+        if nodes > 1
+        else 0.0
+    )
+    return 2.0 * np.log2(max(procs, 2)) * spec.net_latency + volume
+
+
+def time_reduce(
+    nbytes: float,
+    spec: MachineSpec,
+    cores: int,
+    *,
+    threads_per_process: int = 4,
+) -> float:
+    """Tree reduce to one root."""
+    nodes = spec.nodes(cores)
+    procs = _participants(spec, cores, threads_per_process)
+    if nodes == 1 and procs == 1:
+        return 0.0
+    volume = nbytes / spec.net_bw_per_node if nodes > 1 else 0.0
+    return np.log2(max(procs, 2)) * spec.net_latency + volume
+
+
+def time_kmeans(
+    n_points: float,
+    n_clusters: float,
+    iters: int,
+    spec: MachineSpec,
+    cores: int,
+    *,
+    threads_per_process: int = 4,
+) -> float:
+    """Weighted Lloyd iterations over ``n_points`` (pruned) candidates.
+
+    Per iteration: the classification GEMM (``2 n_points n_clusters d``
+    with d = 3 coordinates, plus the argmin pass) and one small Allreduce.
+    """
+    flops_per_iter = 8.0 * n_points * n_clusters
+    compute = iters * flops_per_iter / (
+        spec.peak_flops(cores) * spec.kmeans_efficiency
+    )
+    comm = iters * time_allreduce(
+        n_clusters * 5 * 8.0, spec, cores,
+        threads_per_process=threads_per_process,
+    )
+    return compute + comm
+
+
+def time_dense_eig(n: float, spec: MachineSpec, cores: int) -> float:
+    """ScaLAPACK SYEVD: ~10 n^3 flops with bounded strong scaling.
+
+    The 2-D process grid stops helping once local blocks shrink below the
+    algorithmic blocking; modeled by capping effective cores at
+    ``(n / 64)^2``.
+    """
+    effective = max(1.0, min(float(cores), (n / 64.0) ** 2))
+    flops = 10.0 * n**3
+    return flops / (effective * spec.flops_per_core * spec.eig_efficiency)

@@ -1,0 +1,74 @@
+"""Machine model of the paper's testbed.
+
+Cori Haswell partition (Section 6.1): dual-socket 16-core Xeon E5-2698 v3
+at 2.3 GHz, 36.8 Gflop/s double-precision peak per core, 128 GB DDR4-2133
+per node, Cray Aries dragonfly interconnect.  Efficiency factors express
+how far real kernels run from peak; they were calibrated once against the
+paper's anchor timings (see ``repro/data/calibration.py``) and are unit
+tested to keep the scaling *shapes* — speedups, efficiency bands,
+crossovers — in the paper's reported ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Parameters of one machine for the cost model."""
+
+    name: str
+    cores_per_node: int
+    flops_per_core: float  #: peak double-precision flop/s per core
+    mem_bw_per_node: float  #: bytes/s streaming bandwidth per node
+    net_latency: float  #: alpha (s) per message
+    net_bw_per_node: float  #: beta^-1 (bytes/s) injection bandwidth per node
+    gemm_efficiency: float  #: fraction of peak sustained by large DGEMM
+    fft_efficiency: float  #: fraction of peak sustained by batched 3-D FFT
+    kmeans_efficiency: float  #: fraction of peak for the K-Means GEMM+argmin
+    eig_efficiency: float  #: fraction of peak for ScaLAPACK SYEVD
+
+    def __post_init__(self) -> None:
+        check_positive(self.cores_per_node, "cores_per_node")
+        check_positive(self.flops_per_core, "flops_per_core")
+        for field_name in (
+            "gemm_efficiency",
+            "fft_efficiency",
+            "kmeans_efficiency",
+            "eig_efficiency",
+        ):
+            value = getattr(self, field_name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{field_name} must be in (0, 1], got {value}")
+
+    def nodes(self, cores: int) -> int:
+        """Node count hosting ``cores`` (the paper's 8 MPI x 4 OMP layout
+        fills whole 32-core nodes)."""
+        check_positive(cores, "cores")
+        return max(1, -(-cores // self.cores_per_node))
+
+    def peak_flops(self, cores: int) -> float:
+        return cores * self.flops_per_core
+
+    def with_overrides(self, **kwargs) -> "MachineSpec":
+        """A modified copy — used by ablation benches (e.g. slower network)."""
+        return replace(self, **kwargs)
+
+
+#: The paper's testbed. Peak numbers from Section 6.1; efficiency factors
+#: and network parameters calibrated against the paper's reported timings.
+CORI_HASWELL = MachineSpec(
+    name="Cori Haswell (Cray XC40)",
+    cores_per_node=32,
+    flops_per_core=36.8e9,
+    mem_bw_per_node=120e9,
+    net_latency=1.8e-6,
+    net_bw_per_node=8.0e9,
+    gemm_efficiency=0.80,
+    fft_efficiency=0.06,
+    kmeans_efficiency=0.20,
+    eig_efficiency=0.12,
+)

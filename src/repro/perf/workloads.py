@@ -1,0 +1,94 @@
+"""Problem dimensions for the paper's silicon series.
+
+Maps Si_N + E_cut to the sizes the cost model consumes: grid points (via
+the paper's grid rule — Si_1000 at 20 Ha gives 104^3 = 1,124,864 points and
+Si_4096 gives 166^3, both quoted in Section 6), valence/conduction counts,
+and the ISDF rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+#: Conventional silicon lattice constant in Bohr (matches repro.atoms).
+_SILICON_A = 10.2625
+
+
+@dataclass(frozen=True)
+class LRTDDFTWorkload:
+    """Dimensions of one LR-TDDFT problem instance."""
+
+    label: str
+    n_atoms: int
+    n_v: int  #: valence (occupied) bands in the transition space
+    n_c: int  #: conduction bands
+    n_r: int  #: real-space grid points
+    n_mu: int  #: ISDF rank
+    n_k: int  #: number of requested lowest excitations
+    prune_fraction: float = 0.10  #: N_r' / N_r surviving the weight pruning
+    kmeans_iters: int = 30
+    lobpcg_iters: int = 30
+
+    @property
+    def n_pairs(self) -> int:
+        return self.n_v * self.n_c
+
+    @property
+    def n_r_pruned(self) -> int:
+        return max(1, int(self.prune_fraction * self.n_r))
+
+    def memory_naive_bytes(self) -> float:
+        """Dominant naive memory: the pair matrix + the explicit Hamiltonian."""
+        return 8.0 * (self.n_r * float(self.n_pairs) + float(self.n_pairs) ** 2)
+
+    def memory_implicit_bytes(self) -> float:
+        """Optimized memory: Theta + Vtilde + compressed coefficients."""
+        return 8.0 * (
+            self.n_r * float(self.n_mu)
+            + float(self.n_mu) ** 2
+            + self.n_mu * float(self.n_v + self.n_c)
+        )
+
+
+def _grid_points_for_silicon(n_atoms: int, ecut: float) -> int:
+    """Paper grid rule on the cubic Si_N supercell (exact 166^3-style dims,
+    no FFT-size rounding, to match the counts quoted in Section 6.1)."""
+    k = round((n_atoms / 8) ** (1 / 3))
+    length = k * _SILICON_A
+    n_axis = int(np.ceil(np.sqrt(2.0 * ecut) * length / np.pi))
+    return n_axis**3
+
+
+def silicon_workload(
+    n_atoms: int,
+    *,
+    ecut: float = 20.0,
+    rank_factor: float = 8.0,
+    n_k: int = 16,
+    conduction_fraction: float = 1.0,
+) -> LRTDDFTWorkload:
+    """Workload for Si_N at the paper's settings.
+
+    Si has 4 valence electrons/atom so ``N_v = 2 N_atoms``; the paper takes
+    ``N_c ~ N_v`` (``conduction_fraction`` scales that) and
+    ``N_mu = rank_factor * N_v`` (Table 3 probes 512-2048 for Si_64,
+    i.e. 2x-16x ``N_v``).
+    """
+    check_positive(n_atoms, "n_atoms")
+    n_v = 2 * n_atoms
+    n_c = max(1, int(conduction_fraction * n_v))
+    n_r = _grid_points_for_silicon(n_atoms, ecut)
+    n_mu = int(rank_factor * n_v)
+    return LRTDDFTWorkload(
+        label=f"Si{n_atoms}",
+        n_atoms=n_atoms,
+        n_v=n_v,
+        n_c=n_c,
+        n_r=n_r,
+        n_mu=min(n_mu, n_v * n_c),
+        n_k=n_k,
+    )

@@ -1,0 +1,24 @@
+"""HGH/GTH norm-conserving pseudopotentials (the paper's Section 6.1 choice)."""
+
+from repro.pseudo.hgh import (
+    HGHParameters,
+    get_pseudopotential,
+    local_potential_recip,
+    local_potential_real,
+    projector_radial_numeric,
+    projector_radial_recip,
+    projector_real,
+)
+from repro.pseudo.kb import NonlocalProjectors, build_projectors
+
+__all__ = [
+    "HGHParameters",
+    "get_pseudopotential",
+    "local_potential_recip",
+    "local_potential_real",
+    "projector_radial_recip",
+    "projector_radial_numeric",
+    "projector_real",
+    "NonlocalProjectors",
+    "build_projectors",
+]

@@ -1,0 +1,122 @@
+"""Kleinman-Bylander separable application of the non-local pseudopotential.
+
+For every atom and every channel ``(l, i, m)`` we assemble the projector
+vector over the plane-wave sphere
+
+    beta_G = Omega^{-1/2} (-i)^l Y_lm(G_hat) R_il(|G|) exp(-i G . tau),
+
+so the non-local operator acts as ``V_nl psi = beta @ (h * (beta^H psi))`` —
+two skinny GEMMs, exactly how PWDFT applies it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pseudo.hgh import HGHParameters, get_pseudopotential, projector_radial_recip
+from repro.pw.basis import PlaneWaveBasis
+from repro.pw.cell import UnitCell
+
+
+def _real_spherical_harmonics(l: int, g_vectors: np.ndarray) -> np.ndarray:
+    """Real Y_lm over a set of G-vectors, shape ``(2l+1, n_g)``.
+
+    Only s and p channels are needed by the H/C/O/Si table.
+    The ``G = 0`` direction is treated as the z-axis (the radial part of any
+    l > 0 projector vanishes there anyway).
+    """
+    n_g = g_vectors.shape[0]
+    if l == 0:
+        return np.full((1, n_g), 0.5 / np.sqrt(np.pi))
+    if l == 1:
+        norms = np.linalg.norm(g_vectors, axis=1)
+        safe = np.where(norms > 1e-12, norms, 1.0)
+        unit = g_vectors / safe[:, None]
+        unit[norms <= 1e-12] = np.array([0.0, 0.0, 1.0])
+        pref = np.sqrt(3.0 / (4.0 * np.pi))
+        return pref * unit.T  # rows: x, y, z
+    raise NotImplementedError(f"spherical harmonics for l={l} not implemented")
+
+
+@dataclass(frozen=True)
+class NonlocalProjectors:
+    """All KB projectors of a cell packed as one matrix.
+
+    Attributes
+    ----------
+    beta:
+        ``(N_pw, n_proj)`` complex projector matrix.
+    h:
+        ``(n_proj,)`` channel strengths (the HGH ``h_ii`` values).
+    labels:
+        ``(atom_index, symbol, l, i, m)`` per projector column, for
+        diagnostics.
+    """
+
+    beta: np.ndarray
+    h: np.ndarray
+    labels: tuple[tuple[int, str, int, int, int], ...]
+
+    @property
+    def n_projectors(self) -> int:
+        return self.beta.shape[1]
+
+    def apply(self, coeffs: np.ndarray) -> np.ndarray:
+        """``V_nl @ psi`` for coefficients ``(..., N_pw)``."""
+        if self.n_projectors == 0:
+            return np.zeros_like(coeffs)
+        overlaps = coeffs @ self.beta.conj()  # (..., n_proj)
+        return (overlaps * self.h) @ self.beta.T
+
+    def energy_weights(self, coeffs: np.ndarray) -> np.ndarray:
+        """Per-band non-local energy ``<psi| V_nl |psi>`` (real)."""
+        overlaps = coeffs @ self.beta.conj()
+        return np.einsum("...p,p,...p->...", overlaps.conj(), self.h, overlaps).real
+
+
+def build_projectors(
+    basis: PlaneWaveBasis, cell: UnitCell | None = None
+) -> NonlocalProjectors:
+    """Assemble the KB projector matrix for every atom in ``cell``.
+
+    ``cell`` defaults to ``basis.cell``; passing it explicitly supports
+    frozen-geometry perturbation tests.
+    """
+    cell = basis.cell if cell is None else cell
+    g_sphere = basis.gvectors.g_sphere
+    g_norm = np.sqrt(basis.gvectors.g2_sphere)
+    inv_sqrt_volume = 1.0 / np.sqrt(basis.volume)
+
+    columns: list[np.ndarray] = []
+    strengths: list[float] = []
+    labels: list[tuple[int, str, int, int, int]] = []
+
+    pseudo_cache: dict[str, HGHParameters] = {}
+    for atom_index, symbol in enumerate(cell.species):
+        params = pseudo_cache.setdefault(symbol, get_pseudopotential(symbol))
+        if not params.projectors:
+            continue
+        phase = basis.gvectors.structure_factor_sphere(
+            cell.fractional_positions[atom_index]
+        )
+        for l, (_, h_list) in sorted(params.projectors.items()):
+            ylm = _real_spherical_harmonics(l, g_sphere)
+            for i, h in enumerate(h_list, start=1):
+                if abs(h) < 1e-14:
+                    continue
+                radial = projector_radial_recip(params, l, i, g_norm)
+                base = ((-1j) ** l) * inv_sqrt_volume * radial * phase
+                for m in range(2 * l + 1):
+                    columns.append(base * ylm[m])
+                    strengths.append(h)
+                    labels.append((atom_index, symbol, l, i, m - l))
+
+    if columns:
+        beta = np.column_stack(columns)
+        h = np.asarray(strengths, dtype=float)
+    else:
+        beta = np.zeros((basis.n_pw, 0), dtype=complex)
+        h = np.zeros(0)
+    return NonlocalProjectors(beta, h, tuple(labels))

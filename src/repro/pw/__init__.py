@@ -1,0 +1,23 @@
+"""Plane-wave infrastructure: unit cells, FFT grids, G-vectors, basis sets.
+
+This subpackage is the discretization layer underneath the Kohn-Sham DFT
+substrate (:mod:`repro.dft`) and the LR-TDDFT core (:mod:`repro.core`):
+periodic unit cells, the real-space FFT grid whose dimensions follow the
+paper's rule ``(N_r)_i = sqrt(2 E_cut) L_i / pi``, the G-vector sphere
+``|G|^2 / 2 <= E_cut`` and Fourier-series transforms between the two.
+"""
+
+from repro.pw.cell import UnitCell
+from repro.pw.grid import RealSpaceGrid, good_fft_size
+from repro.pw.gvectors import GVectors
+from repro.pw.fft import FourierGrid
+from repro.pw.basis import PlaneWaveBasis
+
+__all__ = [
+    "UnitCell",
+    "RealSpaceGrid",
+    "good_fft_size",
+    "GVectors",
+    "FourierGrid",
+    "PlaneWaveBasis",
+]

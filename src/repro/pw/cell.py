@@ -1,0 +1,124 @@
+"""Periodic unit cells with atoms.
+
+Lengths are in Bohr; atomic positions are stored in fractional (crystal)
+coordinates.  The cell owns the lattice geometry used everywhere else:
+volume for normalization, reciprocal vectors for G-vector generation, and
+supercell replication for the Si_64 ... Si_4096 series of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class UnitCell:
+    """A periodic simulation cell.
+
+    Parameters
+    ----------
+    lattice:
+        ``(3, 3)`` array whose *rows* are the lattice vectors in Bohr.
+    species:
+        Chemical symbol per atom, e.g. ``("Si", "Si")``.
+    fractional_positions:
+        ``(n_atoms, 3)`` crystal coordinates in ``[0, 1)``.
+    """
+
+    lattice: np.ndarray
+    species: tuple[str, ...] = field(default_factory=tuple)
+    fractional_positions: np.ndarray = field(
+        default_factory=lambda: np.zeros((0, 3))
+    )
+
+    def __post_init__(self) -> None:
+        lattice = np.asarray(self.lattice, dtype=float)
+        require(lattice.shape == (3, 3), f"lattice must be 3x3, got {lattice.shape}")
+        positions = np.asarray(self.fractional_positions, dtype=float)
+        if positions.size == 0:
+            positions = positions.reshape(0, 3)
+        require(
+            positions.ndim == 2 and positions.shape[1] == 3,
+            f"positions must be (n, 3), got {positions.shape}",
+        )
+        require(
+            len(self.species) == positions.shape[0],
+            f"{len(self.species)} species but {positions.shape[0]} positions",
+        )
+        volume = float(np.linalg.det(lattice))
+        require(volume > 1e-12, "lattice vectors must be right-handed and non-degenerate")
+        object.__setattr__(self, "lattice", lattice)
+        object.__setattr__(self, "species", tuple(self.species))
+        object.__setattr__(self, "fractional_positions", positions % 1.0)
+
+    # -- geometry ---------------------------------------------------------
+
+    @property
+    def volume(self) -> float:
+        """Cell volume Omega in Bohr^3."""
+        return float(np.linalg.det(self.lattice))
+
+    @property
+    def reciprocal_lattice(self) -> np.ndarray:
+        """``(3, 3)`` array whose rows are reciprocal vectors b_i (with 2*pi)."""
+        return 2.0 * np.pi * np.linalg.inv(self.lattice).T
+
+    @property
+    def n_atoms(self) -> int:
+        return len(self.species)
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Norms of the three lattice vectors (used for the grid-size rule)."""
+        return np.linalg.norm(self.lattice, axis=1)
+
+    @property
+    def cartesian_positions(self) -> np.ndarray:
+        """``(n_atoms, 3)`` atomic positions in Bohr."""
+        return self.fractional_positions @ self.lattice
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def cubic(
+        cls,
+        a: float,
+        species: tuple[str, ...] = (),
+        fractional_positions: np.ndarray | None = None,
+    ) -> "UnitCell":
+        """Simple cubic cell of edge ``a`` Bohr."""
+        positions = (
+            np.zeros((0, 3)) if fractional_positions is None else fractional_positions
+        )
+        return cls(a * np.eye(3), species, positions)
+
+    def supercell(self, reps: tuple[int, int, int]) -> "UnitCell":
+        """Replicate the cell ``reps = (n1, n2, n3)`` times along each vector."""
+        n1, n2, n3 = reps
+        require(min(reps) >= 1, f"supercell repetitions must be >= 1, got {reps}")
+        shifts = np.array(
+            [[i, j, k] for i in range(n1) for j in range(n2) for k in range(n3)],
+            dtype=float,
+        )
+        scale = np.array(reps, dtype=float)
+        new_positions = (
+            (self.fractional_positions[None, :, :] + shifts[:, None, :]) / scale
+        ).reshape(-1, 3)
+        new_species = tuple(s for _ in range(len(shifts)) for s in self.species)
+        new_lattice = self.lattice * scale[:, None]
+        return UnitCell(new_lattice, new_species, new_positions)
+
+    def count(self, symbol: str) -> int:
+        """Number of atoms of a given species."""
+        return sum(1 for s in self.species if s == symbol)
+
+    def formula(self) -> str:
+        """Hill-ish chemical formula, e.g. ``Si8`` or ``H2O1``."""
+        seen: dict[str, int] = {}
+        for s in self.species:
+            seen[s] = seen.get(s, 0) + 1
+        return "".join(f"{s}{n}" for s, n in sorted(seen.items()))

@@ -1,0 +1,52 @@
+"""FFT transforms with Fourier-series normalization.
+
+Conventions (the only place they are defined):
+
+* ``forward(f_r) -> f_G`` returns Fourier-series coefficients
+  ``f_G = (1/N_r) sum_r f(r) exp(-i G . r)`` so that
+  ``f(r) = sum_G f_G exp(i G . r)`` exactly on the grid.
+* ``backward`` is the exact inverse.
+
+With these conventions the Poisson solve is simply
+``V_H(G) = 4 pi / |G|^2 * n(G)`` and the convolution theorem holds without
+stray volume factors.  Batched transforms operate on the *leading* axes so a
+block of orbitals ``(n_bands, n1, n2, n3)`` is transformed in one call —
+this is the numpy analogue of the batched FFTW plans used by PWDFT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pw.grid import RealSpaceGrid
+
+_AXES = (-3, -2, -1)
+
+
+@dataclass(frozen=True)
+class FourierGrid:
+    """Forward/backward FFTs bound to one :class:`RealSpaceGrid`."""
+
+    grid: RealSpaceGrid
+
+    def forward(self, f_real: np.ndarray) -> np.ndarray:
+        """Real space -> Fourier-series coefficients on the full grid."""
+        f = self.grid.reshape_to_grid(np.asarray(f_real))
+        out = np.fft.fftn(f, axes=_AXES) / self.grid.n_points
+        return self.grid.flatten_from_grid(out)
+
+    def backward(self, f_recip: np.ndarray) -> np.ndarray:
+        """Fourier-series coefficients -> real space on the full grid."""
+        f = self.grid.reshape_to_grid(np.asarray(f_recip))
+        out = np.fft.ifftn(f, axes=_AXES) * self.grid.n_points
+        return self.grid.flatten_from_grid(out)
+
+    def backward_real(self, f_recip: np.ndarray) -> np.ndarray:
+        """:meth:`backward` for coefficients with Hermitian symmetry.
+
+        Returns the real part; use when the result is known to be a real
+        field (densities, potentials) to halve downstream memory traffic.
+        """
+        return self.backward(f_recip).real

@@ -1,0 +1,23 @@
+"""Real-time TDDFT: the other route to excited states (paper Section 1).
+
+The paper contrasts two TDDFT formulations: frequency-domain linear
+response (its subject) and real-time propagation (its predecessor on the
+same PWDFT stack, Table 1's 2019 row).  This subpackage implements the
+real-time route — delta-kick perturbation, Krylov exponential propagation
+of the KS orbitals with a self-consistently updated Hamiltonian, and the
+dipole-signal Fourier analysis — primarily as an *independent physical
+cross-check*: the peaks of the RT absorption spectrum must coincide with
+the full-Casida excitation energies computed by :mod:`repro.core`.
+"""
+
+from repro.rt.propagator import expm_krylov
+from repro.rt.tddft import RTResult, RealTimeTDDFT
+from repro.rt.spectrum import dipole_spectrum, find_peaks
+
+__all__ = [
+    "expm_krylov",
+    "RealTimeTDDFT",
+    "RTResult",
+    "dipole_spectrum",
+    "find_peaks",
+]

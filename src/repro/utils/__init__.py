@@ -1,0 +1,34 @@
+"""Shared infrastructure: timers, RNG, validation and linear-algebra helpers."""
+
+from repro.utils.rng import default_rng, spawn_rng
+from repro.utils.timers import Timer, TimerRegistry, timed
+from repro.utils.linalg import (
+    orthonormalize,
+    orthonormalize_against,
+    rayleigh_ritz,
+    relative_error,
+    symmetrize,
+)
+from repro.utils.validation import (
+    check_positive,
+    check_shape,
+    check_square,
+    require,
+)
+
+__all__ = [
+    "Timer",
+    "TimerRegistry",
+    "timed",
+    "default_rng",
+    "spawn_rng",
+    "orthonormalize",
+    "orthonormalize_against",
+    "rayleigh_ritz",
+    "relative_error",
+    "symmetrize",
+    "check_positive",
+    "check_shape",
+    "check_square",
+    "require",
+]

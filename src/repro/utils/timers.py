@@ -1,0 +1,116 @@
+"""Hierarchical wall-clock timers.
+
+The paper reports per-phase timings (K-Means / FFT / MPI / GEMM+Allreduce in
+Figure 8); :class:`TimerRegistry` collects those phases with nested scopes so
+the benchmark harness can print the same breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer for one named phase."""
+
+    name: str
+    total: float = 0.0
+    count: int = 0
+    _started: float | None = None
+
+    def start(self) -> None:
+        if self._started is not None:
+            raise RuntimeError(f"timer {self.name!r} already running")
+        self._started = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started is None:
+            raise RuntimeError(f"timer {self.name!r} not running")
+        elapsed = time.perf_counter() - self._started
+        self._started = None
+        self.total += elapsed
+        self.count += 1
+        return elapsed
+
+    @property
+    def running(self) -> bool:
+        return self._started is not None
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Timer({self.name!r}, total={self.total:.6f}s, count={self.count})"
+
+
+class TimerRegistry:
+    """A registry of named timers with nested-scope support.
+
+    Scope names compose with ``/``:  ``with reg.scope("hamiltonian"):`` then
+    ``with reg.scope("fft"):`` accumulates under ``hamiltonian/fft``.
+    """
+
+    def __init__(self) -> None:
+        self._timers: dict[str, Timer] = {}
+        self._stack: list[str] = []
+
+    def timer(self, name: str) -> Timer:
+        """Return (creating if needed) the timer registered under ``name``."""
+        if name not in self._timers:
+            self._timers[name] = Timer(name)
+        return self._timers[name]
+
+    @contextmanager
+    def scope(self, name: str) -> Iterator[Timer]:
+        """Time a nested scope; the full path is joined with ``/``."""
+        path = "/".join(self._stack + [name])
+        t = self.timer(path)
+        self._stack.append(name)
+        t.start()
+        try:
+            yield t
+        finally:
+            t.stop()
+            self._stack.pop()
+
+    def total(self, name: str) -> float:
+        """Total accumulated seconds under ``name`` (0.0 if never used)."""
+        t = self._timers.get(name)
+        return t.total if t is not None else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Snapshot of all totals, keyed by scope path."""
+        return {name: t.total for name, t in self._timers.items()}
+
+    def reset(self) -> None:
+        self._timers.clear()
+        self._stack.clear()
+
+    def report(self, indent: int = 2) -> str:
+        """Human-readable multi-line report sorted by scope path."""
+        lines = []
+        for name in sorted(self._timers):
+            t = self._timers[name]
+            depth = name.count("/")
+            label = name.rsplit("/", 1)[-1]
+            lines.append(
+                f"{' ' * (indent * depth)}{label:<30s} {t.total:10.4f} s  (x{t.count})"
+            )
+        return "\n".join(lines)
+
+
+@contextmanager
+def timed() -> Iterator[Timer]:
+    """Time an anonymous block: ``with timed() as t: ...; t.total``."""
+    t = Timer("<anonymous>")
+    t.start()
+    try:
+        yield t
+    finally:
+        if t.running:
+            t.stop()

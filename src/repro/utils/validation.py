@@ -1,0 +1,38 @@
+"""Small argument-validation helpers used across the library.
+
+Raising early with a precise message is cheaper than debugging a shape error
+three GEMMs downstream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive(value: float | int, name: str) -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_shape(array: np.ndarray, shape: tuple[int, ...], name: str) -> None:
+    """Require an exact shape; ``-1`` entries match any extent."""
+    if array.ndim != len(shape):
+        raise ValueError(
+            f"{name} must have {len(shape)} dimensions, got shape {array.shape}"
+        )
+    for got, want in zip(array.shape, shape):
+        if want != -1 and got != want:
+            raise ValueError(f"{name} must have shape {shape}, got {array.shape}")
+
+
+def check_square(matrix: np.ndarray, name: str) -> None:
+    """Require a square 2-D array."""
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"{name} must be square, got shape {matrix.shape}")

@@ -1,0 +1,48 @@
+"""Tests for the Table 5 accuracy machinery."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import AccuracyRow, accuracy_table
+from repro.analysis.accuracy import format_accuracy_table
+
+
+def test_delta_definitions_match_eq_19():
+    row = AccuracyRow(reference=0.40, naive=0.39, isdf_lobpcg=0.41)
+    assert row.delta_e1 == pytest.approx(100 * (0.40 - 0.39) / 0.40)
+    assert row.delta_e2 == pytest.approx(100 * (0.40 - 0.41) / 0.40)
+
+
+def test_table_assembly():
+    ref = np.array([0.1, 0.2, 0.3, 0.4])
+    rows = accuracy_table(ref, ref * 1.01, ref * 0.99)
+    assert len(rows) == 3
+    assert rows[0].delta_e1 == pytest.approx(-1.0)
+    assert rows[0].delta_e2 == pytest.approx(1.0)
+
+
+def test_table_requires_enough_rows():
+    with pytest.raises(ValueError):
+        accuracy_table(np.array([0.1]), np.array([0.1]), np.array([0.1]))
+
+
+def test_format_contains_columns():
+    rows = accuracy_table(
+        np.array([0.1, 0.2, 0.3]),
+        np.array([0.1, 0.2, 0.3]),
+        np.array([0.1, 0.2, 0.3]),
+    )
+    text = format_accuracy_table(rows, "Si64")
+    assert "Si64" in text
+    assert "ISDF-LOBPCG" in text
+    assert text.count("\n") == 4
+
+
+def test_paper_table5_rows_are_consistent():
+    """The paper's own Table 5 entries satisfy the Eq. 19 definitions."""
+    from repro.data import PAPER_TABLE5_H2O
+
+    for ref, naive, isdf, d1, d2 in PAPER_TABLE5_H2O:
+        row = AccuracyRow(ref, naive, isdf)
+        assert row.delta_e1 == pytest.approx(d1, abs=5e-3)
+        assert row.delta_e2 == pytest.approx(d2, abs=5e-3)

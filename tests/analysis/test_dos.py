@@ -1,0 +1,73 @@
+"""Tests for DOS computation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import density_of_states, excitation_dos
+from repro.analysis.dos import fermi_level_estimate
+
+
+class TestDOS:
+    def test_normalization(self):
+        """Integrated DOS equals the number of levels."""
+        energies = np.array([-0.2, 0.0, 0.1, 0.3])
+        grid = np.linspace(-1.0, 1.0, 4001)
+        g = density_of_states(energies, grid, broadening=0.02)
+        assert np.trapezoid(g, grid) == pytest.approx(4.0, rel=1e-6)
+
+    def test_peaks_at_levels(self):
+        energies = np.array([0.25])
+        grid = np.linspace(0.0, 0.5, 501)
+        g = density_of_states(energies, grid, broadening=0.01)
+        assert grid[np.argmax(g)] == pytest.approx(0.25, abs=1e-3)
+
+    def test_weights_scale_contributions(self):
+        energies = np.array([0.1, 0.4])
+        grid = np.linspace(0.0, 0.5, 2001)
+        g = density_of_states(
+            energies, grid, broadening=0.01, weights=np.array([1.0, 3.0])
+        )
+        peak1 = g[np.argmin(np.abs(grid - 0.1))]
+        peak2 = g[np.argmin(np.abs(grid - 0.4))]
+        assert peak2 == pytest.approx(3 * peak1, rel=1e-3)
+
+    def test_broadening_widens(self):
+        energies = np.array([0.0])
+        grid = np.linspace(-0.5, 0.5, 1001)
+        narrow = density_of_states(energies, grid, broadening=0.01)
+        wide = density_of_states(energies, grid, broadening=0.05)
+        assert narrow.max() > wide.max()
+
+    def test_invalid_broadening(self):
+        with pytest.raises(ValueError):
+            density_of_states(np.array([0.0]), np.linspace(0, 1, 5), broadening=0.0)
+
+    def test_weight_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            density_of_states(
+                np.array([0.0, 1.0]), np.linspace(0, 1, 5), weights=np.ones(3)
+            )
+
+    def test_excitation_dos_delegates(self):
+        e = np.array([0.1, 0.2])
+        grid = np.linspace(0, 0.5, 101)
+        np.testing.assert_allclose(
+            excitation_dos(e, grid, broadening=0.02),
+            density_of_states(e, grid, broadening=0.02),
+        )
+
+
+class TestFermiLevel:
+    def test_gapped_midpoint(self):
+        energies = np.array([-1.0, -0.5, 0.5, 1.0])
+        occ = np.array([2.0, 2.0, 0.0, 0.0])
+        assert fermi_level_estimate(energies, occ) == pytest.approx(0.0)
+
+    def test_all_occupied(self):
+        energies = np.array([-1.0, -0.5])
+        occ = np.array([2.0, 2.0])
+        assert fermi_level_estimate(energies, occ) == pytest.approx(-0.5)
+
+    def test_no_occupied_raises(self):
+        with pytest.raises(ValueError):
+            fermi_level_estimate(np.array([0.0]), np.array([0.0]))

@@ -1,0 +1,28 @@
+"""Tests for element data."""
+
+import pytest
+
+from repro.atoms import get_element
+from repro.atoms.elements import valence_electron_count
+
+
+@pytest.mark.parametrize(
+    "symbol,z,valence", [("H", 1, 1), ("C", 6, 4), ("O", 8, 6), ("Si", 14, 4)]
+)
+def test_table_entries(symbol, z, valence):
+    e = get_element(symbol)
+    assert e.atomic_number == z
+    assert e.valence == valence
+
+
+def test_unknown_element_lists_available():
+    with pytest.raises(KeyError, match="Si"):
+        get_element("Xx")
+
+
+def test_valence_electron_count_water():
+    assert valence_electron_count(("O", "H", "H")) == 8
+
+
+def test_valence_electron_count_silicon():
+    assert valence_electron_count(("Si",) * 8) == 32

@@ -1,0 +1,130 @@
+"""Tests for the structure builders (the paper's test systems)."""
+
+import numpy as np
+import pytest
+
+from repro.atoms import (
+    bulk_silicon,
+    graphene_bilayer,
+    graphene_monolayer,
+    silicon_conventional_cell,
+    silicon_label,
+    silicon_primitive_cell,
+    twisted_bilayer_graphene,
+    water_molecule,
+)
+from repro.atoms.structures import SILICON_A_BOHR, twist_angle
+from repro.constants import ANGSTROM_TO_BOHR, BOHR_TO_ANGSTROM
+
+
+class TestSilicon:
+    @pytest.mark.parametrize("n", [8, 64, 216, 512, 1000, 1728, 2744, 4096])
+    def test_paper_series_atom_counts(self, n):
+        assert bulk_silicon(n).n_atoms == n
+
+    def test_invalid_atom_count(self):
+        with pytest.raises(ValueError):
+            bulk_silicon(100)
+
+    def test_label(self):
+        assert silicon_label(bulk_silicon(64)) == "Si64"
+
+    def test_nearest_neighbour_distance(self):
+        """Diamond bond length: a * sqrt(3) / 4 = 2.35 Angstrom."""
+        cell = silicon_conventional_cell()
+        cart = cell.cartesian_positions
+        d = np.linalg.norm(cart[0] - cart[4], axis=-1)
+        assert d * BOHR_TO_ANGSTROM == pytest.approx(2.352, abs=0.01)
+
+    def test_primitive_and_conventional_consistent_density(self):
+        prim = silicon_primitive_cell()
+        conv = silicon_conventional_cell()
+        assert prim.n_atoms / prim.volume == pytest.approx(conv.n_atoms / conv.volume)
+
+    def test_si64_box_matches_paper(self):
+        """Table 5 quotes a 20.525^3 box for Si_64 (2x2x2 conventional cells)."""
+        cell = bulk_silicon(64)
+        assert cell.lengths[0] == pytest.approx(2 * SILICON_A_BOHR)
+        assert cell.lengths[0] == pytest.approx(20.525, abs=1e-3)
+
+
+class TestWater:
+    def test_composition(self):
+        cell = water_molecule()
+        assert sorted(cell.species) == ["H", "H", "O"]
+
+    def test_oh_bond_length(self):
+        cell = water_molecule()
+        cart = cell.cartesian_positions
+        d = np.linalg.norm(cart[1] - cart[0])
+        assert d * BOHR_TO_ANGSTROM == pytest.approx(0.9572, abs=1e-4)
+
+    def test_hoh_angle(self):
+        cell = water_molecule()
+        cart = cell.cartesian_positions
+        v1, v2 = cart[1] - cart[0], cart[2] - cart[0]
+        angle = np.degrees(
+            np.arccos(v1 @ v2 / (np.linalg.norm(v1) * np.linalg.norm(v2)))
+        )
+        assert angle == pytest.approx(104.52, abs=0.01)
+
+    def test_default_box_is_11_angstrom(self):
+        cell = water_molecule()
+        assert cell.lengths[0] == pytest.approx(11.0 * ANGSTROM_TO_BOHR)
+
+    def test_molecule_centred(self):
+        cell = water_molecule()
+        centre = cell.cartesian_positions.mean(axis=0)
+        np.testing.assert_allclose(centre, cell.lengths / 2, atol=1.0)
+
+
+class TestGraphene:
+    def test_monolayer_two_atoms(self):
+        assert graphene_monolayer().n_atoms == 2
+
+    def test_cc_bond_length(self):
+        cell = graphene_monolayer()
+        cart = cell.cartesian_positions
+        d = np.linalg.norm(cart[1] - cart[0])
+        assert d * BOHR_TO_ANGSTROM == pytest.approx(1.42, abs=0.01)
+
+    def test_bilayer_interlayer_distance(self):
+        dist = 6.0
+        cell = graphene_bilayer(interlayer_distance=dist)
+        z = cell.cartesian_positions[:, 2]
+        assert np.ptp(z) == pytest.approx(dist)
+
+    def test_bilayer_stacking_validation(self):
+        with pytest.raises(ValueError, match="stacking"):
+            graphene_bilayer(stacking="ABC")
+
+
+class TestTwistedBilayer:
+    @pytest.mark.parametrize("m,n,atoms", [(1, 2, 28), (2, 3, 76), (1, 3, 52)])
+    def test_commensurate_atom_counts(self, m, n, atoms):
+        cell = twisted_bilayer_graphene(m, n)
+        assert cell.n_atoms == atoms
+
+    def test_twist_angle_1_2(self):
+        assert np.degrees(twist_angle(1, 2)) == pytest.approx(21.787, abs=0.01)
+
+    def test_twist_angle_decreases_toward_magic(self):
+        angles = [np.degrees(twist_angle(m, m + 1)) for m in (1, 2, 3)]
+        assert angles[0] > angles[1] > angles[2]
+
+    def test_layers_have_equal_atom_counts(self):
+        cell = twisted_bilayer_graphene(1, 2, interlayer_distance=6.0)
+        z = cell.cartesian_positions[:, 2]
+        lo = (z < z.mean()).sum()
+        assert lo == cell.n_atoms // 2
+
+    def test_invalid_indices(self):
+        with pytest.raises(ValueError):
+            twisted_bilayer_graphene(2, 2)
+
+    def test_minimum_cc_distance_physical(self):
+        cell = twisted_bilayer_graphene(1, 2)
+        cart = cell.cartesian_positions
+        d = np.linalg.norm(cart[:, None] - cart[None, :], axis=2)
+        d[np.diag_indices_from(d)] = np.inf
+        assert d.min() * BOHR_TO_ANGSTROM > 1.3  # no overlapping atoms

@@ -1,0 +1,100 @@
+"""Tests for the naive explicit Casida/TDA solver."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HxcKernel,
+    build_casida_hamiltonian,
+    build_vhxc,
+    solve_casida_dense,
+    transition_diagonal,
+)
+
+
+@pytest.fixture(scope="module")
+def setup(si8_synthetic):
+    gs = si8_synthetic
+    psi_v, eps_v, psi_c, eps_c = gs.select_transition_space(4, 4)
+    kernel = HxcKernel(gs.basis, gs.density)
+    return gs, psi_v, eps_v, psi_c, eps_c, kernel
+
+
+def test_transition_diagonal_values():
+    d = transition_diagonal(np.array([-0.3]), np.array([0.2, 0.4]))
+    np.testing.assert_allclose(d, [0.5, 0.7])
+
+
+def test_vhxc_is_symmetric(setup):
+    _, psi_v, _, psi_c, _, kernel = setup
+    vhxc = build_vhxc(psi_v, psi_c, kernel)
+    np.testing.assert_allclose(vhxc, vhxc.T, atol=1e-12)
+
+
+def test_vhxc_matches_elementwise_integrals(setup):
+    """Spot-check V_Hxc entries against direct kernel matrix elements."""
+    _, psi_v, _, psi_c, _, kernel = setup
+    vhxc = build_vhxc(psi_v, psi_c, kernel)
+    from repro.core import pair_products
+
+    z = pair_products(psi_v, psi_c)
+    direct = kernel.matrix_elements(z[:, [0, 5, 9]].T, z[:, [0, 5, 9]].T)
+    sub = vhxc[np.ix_([0, 5, 9], [0, 5, 9])]
+    np.testing.assert_allclose(sub, direct, atol=1e-10)
+
+
+def test_hamiltonian_diagonal_contains_transitions(setup):
+    _, psi_v, eps_v, psi_c, eps_c, kernel = setup
+    h = build_casida_hamiltonian(psi_v, eps_v, psi_c, eps_c, kernel)
+    vhxc = build_vhxc(psi_v, psi_c, kernel)
+    d = transition_diagonal(eps_v, eps_c)
+    np.testing.assert_allclose(np.diag(h), d + 2 * np.diag(vhxc), atol=1e-12)
+
+
+def test_hamiltonian_symmetric(setup):
+    _, psi_v, eps_v, psi_c, eps_c, kernel = setup
+    h = build_casida_hamiltonian(psi_v, eps_v, psi_c, eps_c, kernel)
+    np.testing.assert_allclose(h, h.T, atol=1e-12)
+
+
+def test_excitations_exceed_gap_minus_binding(setup):
+    """Lowest excitation should be positive for a gapped reference."""
+    _, psi_v, eps_v, psi_c, eps_c, kernel = setup
+    h = build_casida_hamiltonian(psi_v, eps_v, psi_c, eps_c, kernel)
+    evals, _ = solve_casida_dense(h)
+    assert evals[0] > 0.0
+
+
+def test_solve_dense_truncation(setup):
+    _, psi_v, eps_v, psi_c, eps_c, kernel = setup
+    h = build_casida_hamiltonian(psi_v, eps_v, psi_c, eps_c, kernel)
+    evals, evecs = solve_casida_dense(h, 3)
+    assert evals.shape == (3,)
+    assert evecs.shape == (h.shape[0], 3)
+    full, _ = solve_casida_dense(h)
+    np.testing.assert_allclose(evals, full[:3])
+
+
+def test_solve_dense_invalid_truncation(setup):
+    _, psi_v, eps_v, psi_c, eps_c, kernel = setup
+    h = build_casida_hamiltonian(psi_v, eps_v, psi_c, eps_c, kernel)
+    with pytest.raises(ValueError):
+        solve_casida_dense(h, 0)
+
+
+def test_mismatched_energies_rejected(setup):
+    _, psi_v, eps_v, psi_c, eps_c, kernel = setup
+    with pytest.raises(ValueError):
+        build_casida_hamiltonian(psi_v, eps_v[:-1], psi_c, eps_c, kernel)
+
+
+def test_rpa_kernel_gives_higher_first_excitation(setup):
+    """Dropping the (attractive) ALDA fxc raises excitation energies."""
+    gs, psi_v, eps_v, psi_c, eps_c, _ = setup
+    full = HxcKernel(gs.basis, gs.density, include_xc=True)
+    rpa = HxcKernel(gs.basis, gs.density, include_xc=False)
+    h_full = build_casida_hamiltonian(psi_v, eps_v, psi_c, eps_c, full)
+    h_rpa = build_casida_hamiltonian(psi_v, eps_v, psi_c, eps_c, rpa)
+    e_full, _ = solve_casida_dense(h_full, 1)
+    e_rpa, _ = solve_casida_dense(h_rpa, 1)
+    assert e_rpa[0] > e_full[0]

@@ -1,0 +1,93 @@
+"""Tests for the ISDF least-squares fitting step."""
+
+import numpy as np
+import pytest
+
+from repro.core import coefficient_matrix, fit_interpolation_vectors, pair_products
+from repro.utils.rng import default_rng
+
+
+@pytest.fixture()
+def orbitals():
+    rng = default_rng(0)
+    psi_v = rng.standard_normal((3, 150))
+    psi_c = rng.standard_normal((4, 150))
+    return psi_v, psi_c
+
+
+def test_coefficient_matrix_values(orbitals):
+    psi_v, psi_c = orbitals
+    idx = np.array([5, 50, 120])
+    c = coefficient_matrix(psi_v, psi_c, idx)
+    assert c.shape == (3, 12)
+    # Entry (mu, (v, c)) = psi_v(r_mu) psi_c(r_mu).
+    assert c[1, 2 * 4 + 3] == pytest.approx(psi_v[2, 50] * psi_c[3, 50])
+
+
+def test_separable_gram_matches_dense(orbitals):
+    """The Hadamard shortcut must equal the dense Z C^T / C C^T products."""
+    psi_v, psi_c = orbitals
+    idx = np.array([10, 40, 70, 100, 130])
+    z = pair_products(psi_v, psi_c)
+    c = coefficient_matrix(psi_v, psi_c, idx)
+    theta = fit_interpolation_vectors(psi_v, psi_c, idx, regularization=0.0)
+    dense_theta = z @ c.T @ np.linalg.inv(c @ c.T)
+    np.testing.assert_allclose(theta, dense_theta, atol=1e-8)
+
+
+def test_interpolation_property(orbitals):
+    """At full rank (N_mu = N_cv) the fit reproduces Z exactly."""
+    psi_v, psi_c = orbitals
+    rng = default_rng(1)
+    idx = rng.choice(150, size=12, replace=False)
+    theta = fit_interpolation_vectors(psi_v, psi_c, idx)
+    c = coefficient_matrix(psi_v, psi_c, idx)
+    z = pair_products(psi_v, psi_c)
+    np.testing.assert_allclose(theta @ c, z, atol=1e-6)
+
+
+def test_least_squares_optimality(orbitals):
+    """Theta minimizes ||Z - Theta C||_F: the residual is orthogonal to the
+    row space of C."""
+    psi_v, psi_c = orbitals
+    idx = np.array([3, 33, 63, 93])
+    theta = fit_interpolation_vectors(psi_v, psi_c, idx, regularization=0.0)
+    c = coefficient_matrix(psi_v, psi_c, idx)
+    z = pair_products(psi_v, psi_c)
+    residual = z - theta @ c
+    np.testing.assert_allclose(residual @ c.T, 0.0, atol=1e-8)
+
+
+def test_error_decreases_with_rank(orbitals):
+    psi_v, psi_c = orbitals
+    z = pair_products(psi_v, psi_c)
+    rng = default_rng(2)
+    errors = []
+    for n_mu in (2, 4, 8, 12):
+        idx = rng.choice(150, size=n_mu, replace=False)
+        theta = fit_interpolation_vectors(psi_v, psi_c, idx)
+        c = coefficient_matrix(psi_v, psi_c, idx)
+        errors.append(np.linalg.norm(z - theta @ c))
+    assert errors[-1] < 1e-6
+    assert errors[0] > errors[-1]
+
+
+def test_grid_mismatch_rejected(orbitals):
+    psi_v, psi_c = orbitals
+    with pytest.raises(ValueError):
+        fit_interpolation_vectors(psi_v, psi_c[:, :-1], np.array([0, 1]))
+
+
+def test_empty_indices_rejected(orbitals):
+    psi_v, psi_c = orbitals
+    with pytest.raises(ValueError):
+        fit_interpolation_vectors(psi_v, psi_c, np.array([], dtype=int))
+
+
+def test_duplicate_points_survive_via_ridge(orbitals):
+    """Duplicated interpolation points make C C^T singular; the ridge must
+    keep the solve finite."""
+    psi_v, psi_c = orbitals
+    idx = np.array([7, 7, 80])
+    theta = fit_interpolation_vectors(psi_v, psi_c, idx)
+    assert np.all(np.isfinite(theta))

@@ -1,0 +1,99 @@
+"""Tests for the implicit (matrix-free) Casida operator (Section 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HxcKernel,
+    ImplicitCasidaOperator,
+    build_isdf_hamiltonian,
+    isdf_decompose,
+)
+from repro.utils.rng import default_rng
+
+
+@pytest.fixture(scope="module")
+def operator(si8_synthetic):
+    gs = si8_synthetic
+    psi_v, eps_v, psi_c, eps_c = gs.select_transition_space()
+    kernel = HxcKernel(gs.basis, gs.density)
+    isdf = isdf_decompose(
+        psi_v, psi_c, 64, method="kmeans",
+        grid_points=gs.basis.grid.cartesian_points, rng=default_rng(0),
+    )
+    op = ImplicitCasidaOperator(isdf, eps_v, eps_c, kernel)
+    explicit = build_isdf_hamiltonian(isdf, eps_v, eps_c, kernel)
+    return op, explicit
+
+
+def test_apply_matches_explicit_hamiltonian(operator, rng):
+    op, explicit = operator
+    x = rng.standard_normal((op.n_pairs, 7))
+    np.testing.assert_allclose(op.apply(x), explicit @ x, atol=1e-10)
+
+
+def test_materialize_matches_explicit(operator):
+    op, explicit = operator
+    np.testing.assert_allclose(op.materialize(), explicit, atol=1e-10)
+
+
+def test_one_dimensional_input(operator, rng):
+    op, explicit = operator
+    x = rng.standard_normal(op.n_pairs)
+    out = op.apply(x)
+    assert out.shape == (op.n_pairs,)
+    np.testing.assert_allclose(out, explicit @ x, atol=1e-10)
+
+
+def test_operator_is_symmetric(operator, rng):
+    op, _ = operator
+    a = rng.standard_normal(op.n_pairs)
+    b = rng.standard_normal(op.n_pairs)
+    assert a @ op.apply(b) == pytest.approx(b @ op.apply(a))
+
+
+def test_diagonal_matches_materialized(operator):
+    op, explicit = operator
+    np.testing.assert_allclose(op.diagonal(), np.diag(explicit), atol=1e-10)
+
+
+def test_apply_counter_increments(operator, rng):
+    op, _ = operator
+    before = op.n_apply
+    op.apply(rng.standard_normal((op.n_pairs, 2)))
+    assert op.n_apply == before + 1
+
+
+def test_preconditioner_positive_scaling(operator, rng):
+    """The safe |D - theta| preconditioner never flips residual signs."""
+    op, _ = operator
+    r = rng.standard_normal((op.n_pairs, 3))
+    w = op.preconditioner(r, np.array([0.1, 0.2, 0.3]))
+    assert (np.sign(w) == np.sign(r)).all()
+
+
+def test_shape_mismatch_rejected(operator, rng):
+    op, _ = operator
+    with pytest.raises(ValueError):
+        op.apply(rng.standard_normal((op.n_pairs + 1, 2)))
+
+
+def test_memory_footprint_is_nmu_squared(operator):
+    """The implicit operator stores Vtilde (N_mu^2), never N_cv^2."""
+    op, _ = operator
+    assert op.vtilde.shape == (op.isdf.n_mu, op.isdf.n_mu)
+    assert not hasattr(op, "hamiltonian")
+
+
+def test_lobpcg_on_operator_matches_dense(operator):
+    from repro.eigen import lobpcg
+
+    op, explicit = operator
+    ref = np.linalg.eigvalsh(explicit)[:4]
+    rng = default_rng(5)
+    res = lobpcg(
+        op.apply, rng.standard_normal((op.n_pairs, 4)),
+        preconditioner=op.preconditioner, tol=1e-10, max_iter=300,
+    )
+    assert res.converged
+    np.testing.assert_allclose(res.eigenvalues, ref, atol=1e-8)

@@ -1,0 +1,139 @@
+"""Tests for the ISDF decomposition driver."""
+
+import numpy as np
+import pytest
+
+from repro.core import ISDFDecomposition, isdf_decompose
+from repro.core.isdf import default_rank
+from repro.utils.rng import default_rng
+
+
+@pytest.fixture(scope="module")
+def synthetic_orbitals(si8_synthetic):
+    gs = si8_synthetic
+    psi_v, _, psi_c, _ = gs.select_transition_space()
+    return gs, psi_v, psi_c
+
+
+class TestDefaultRank:
+    def test_paper_scaling(self):
+        """N_mu ~ 10 sqrt(N_v N_c), i.e. ~10 N_e for N_v ~ N_c ~ N_e."""
+        assert default_rank(100, 100, 10**6) == 1000
+
+    def test_clipped_to_pair_count(self):
+        assert default_rank(2, 3, 1000) == 6
+
+    def test_clipped_to_grid(self):
+        assert default_rank(100, 100, 500) == 500
+
+
+class TestDecompose:
+    @pytest.mark.parametrize("method", ["kmeans", "qrcp"])
+    def test_shapes(self, synthetic_orbitals, method):
+        gs, psi_v, psi_c = synthetic_orbitals
+        isdf = isdf_decompose(
+            psi_v, psi_c, 48, method=method,
+            grid_points=gs.basis.grid.cartesian_points,
+        )
+        assert isdf.theta.shape == (gs.basis.n_r, 48)
+        assert isdf.n_mu == 48
+        assert isdf.n_pairs == psi_v.shape[0] * psi_c.shape[0]
+        assert isdf.method == method
+
+    def test_kmeans_requires_grid_points(self, synthetic_orbitals):
+        _, psi_v, psi_c = synthetic_orbitals
+        with pytest.raises(ValueError, match="grid_points"):
+            isdf_decompose(psi_v, psi_c, 16, method="kmeans")
+
+    def test_unknown_method(self, synthetic_orbitals):
+        gs, psi_v, psi_c = synthetic_orbitals
+        with pytest.raises(ValueError, match="method"):
+            isdf_decompose(psi_v, psi_c, 16, method="svd")
+
+    def test_relative_error_reasonable(self, synthetic_orbitals):
+        """Synthetic random orbitals are close to incompressible, so the
+        Frobenius bar is loose; real orbitals (test_driver) do much better."""
+        gs, psi_v, psi_c = synthetic_orbitals
+        isdf = isdf_decompose(
+            psi_v, psi_c, 96, method="kmeans",
+            grid_points=gs.basis.grid.cartesian_points,
+        )
+        assert isdf.relative_error(psi_v, psi_c) < 0.35
+
+    def test_error_decreases_with_rank(self, synthetic_orbitals):
+        gs, psi_v, psi_c = synthetic_orbitals
+        errs = [
+            isdf_decompose(
+                psi_v, psi_c, n_mu, method="qrcp", rng=default_rng(4)
+            ).relative_error(psi_v, psi_c)
+            for n_mu in (16, 64, 128)
+        ]
+        assert errs[0] > errs[1] > errs[2]
+        assert errs[2] < 1e-6  # full rank: exact
+
+    def test_apply_c_matches_dense(self, synthetic_orbitals, rng):
+        gs, psi_v, psi_c = synthetic_orbitals
+        isdf = isdf_decompose(psi_v, psi_c, 32, method="qrcp", rng=default_rng(1))
+        x = rng.standard_normal((isdf.n_pairs, 5))
+        np.testing.assert_allclose(
+            isdf.apply_c(x), isdf.coefficients() @ x, atol=1e-10
+        )
+
+    def test_apply_ct_matches_dense(self, synthetic_orbitals, rng):
+        gs, psi_v, psi_c = synthetic_orbitals
+        isdf = isdf_decompose(psi_v, psi_c, 32, method="qrcp", rng=default_rng(2))
+        y = rng.standard_normal((32, 4))
+        np.testing.assert_allclose(
+            isdf.apply_ct(y), isdf.coefficients().T @ y, atol=1e-10
+        )
+
+    def test_reconstruct_matches_theta_times_c(self, synthetic_orbitals):
+        gs, psi_v, psi_c = synthetic_orbitals
+        isdf = isdf_decompose(psi_v, psi_c, 24, method="qrcp", rng=default_rng(3))
+        np.testing.assert_allclose(
+            isdf.reconstruct(), isdf.theta @ isdf.coefficients(), atol=1e-12
+        )
+
+    def test_default_rank_used_when_unspecified(self, synthetic_orbitals):
+        gs, psi_v, psi_c = synthetic_orbitals
+        isdf = isdf_decompose(
+            psi_v, psi_c, method="kmeans",
+            grid_points=gs.basis.grid.cartesian_points, rank_factor=4.0,
+        )
+        expect = default_rank(psi_v.shape[0], psi_c.shape[0], gs.basis.n_r, 4.0)
+        assert isdf.n_mu == expect
+
+    @pytest.mark.parametrize("n_mu", [16, 48, 96])
+    def test_cheap_error_matches_exact(self, synthetic_orbitals, n_mu):
+        """The closed-form residual equals the materialized one."""
+        gs, psi_v, psi_c = synthetic_orbitals
+        isdf = isdf_decompose(psi_v, psi_c, n_mu, method="qrcp", rng=default_rng(7))
+        exact = isdf.relative_error(psi_v, psi_c)
+        cheap = isdf.relative_error_cheap(psi_v, psi_c)
+        assert cheap == pytest.approx(exact, abs=1e-8)
+
+    def test_cheap_error_never_materializes_z(self, synthetic_orbitals, monkeypatch):
+        """relative_error_cheap must not call pair_products."""
+        import repro.core.isdf as isdf_mod
+
+        gs, psi_v, psi_c = synthetic_orbitals
+        isdf = isdf_decompose(psi_v, psi_c, 32, method="qrcp", rng=default_rng(8))
+
+        def boom(*args, **kwargs):
+            raise AssertionError("pair_products called")
+
+        monkeypatch.setattr(isdf_mod, "pair_products", boom)
+        value = isdf.relative_error_cheap(psi_v, psi_c)
+        assert 0.0 <= value <= 1.0
+
+    def test_timers_populated(self, synthetic_orbitals):
+        from repro.utils.timers import TimerRegistry
+
+        gs, psi_v, psi_c = synthetic_orbitals
+        timers = TimerRegistry()
+        isdf_decompose(
+            psi_v, psi_c, 16, method="kmeans",
+            grid_points=gs.basis.grid.cartesian_points, timers=timers,
+        )
+        assert timers.total("isdf/select_kmeans") > 0
+        assert timers.total("isdf/fit") > 0

@@ -1,0 +1,90 @@
+"""Tests for the f_Hxc kernel operator."""
+
+import numpy as np
+import pytest
+
+from repro.core import HxcKernel
+from repro.dft.hartree import hartree_potential
+from repro.dft.xc import lda_kernel
+from repro.pw import PlaneWaveBasis, UnitCell
+from repro.utils.rng import default_rng
+
+
+@pytest.fixture(scope="module")
+def basis():
+    return PlaneWaveBasis(UnitCell.cubic(9.0), ecut=6.0)
+
+
+@pytest.fixture(scope="module")
+def density(basis):
+    rng = default_rng(0)
+    n = rng.random(basis.n_r) + 0.1
+    return n
+
+
+def test_apply_is_hartree_plus_fxc(basis, density):
+    rng = default_rng(1)
+    field = rng.standard_normal(basis.n_r)
+    kernel = HxcKernel(basis, density)
+    expected = hartree_potential(field, basis) + lda_kernel(density) * field
+    np.testing.assert_allclose(kernel.apply(field), expected, atol=1e-12)
+
+
+def test_hartree_only_mode(basis, density):
+    rng = default_rng(2)
+    field = rng.standard_normal(basis.n_r)
+    kernel = HxcKernel(basis, density, include_xc=False)
+    np.testing.assert_allclose(
+        kernel.apply(field), hartree_potential(field, basis), atol=1e-12
+    )
+    assert kernel.fxc_diagonal is None
+
+
+def test_xc_only_mode(basis, density):
+    rng = default_rng(3)
+    field = rng.standard_normal(basis.n_r)
+    kernel = HxcKernel(basis, density, include_hartree=False)
+    np.testing.assert_allclose(kernel.apply(field), lda_kernel(density) * field)
+
+
+def test_symmetric_operator(basis, density):
+    """<a|f_Hxc|b> = <b|f_Hxc|a> for real fields."""
+    rng = default_rng(4)
+    a = rng.standard_normal(basis.n_r)
+    b = rng.standard_normal(basis.n_r)
+    kernel = HxcKernel(basis, density)
+    lhs = (a * kernel.apply(b)).sum()
+    rhs = (b * kernel.apply(a)).sum()
+    assert lhs == pytest.approx(rhs)
+
+
+def test_matrix_elements_symmetry(basis, density):
+    rng = default_rng(5)
+    fields = rng.standard_normal((4, basis.n_r))
+    kernel = HxcKernel(basis, density)
+    m = kernel.matrix_elements(fields, fields)
+    np.testing.assert_allclose(m, m.T, atol=1e-12)
+
+
+def test_hartree_part_is_positive_semidefinite(basis, density):
+    """The Coulomb kernel alone must be PSD on zero-mean fields."""
+    rng = default_rng(6)
+    fields = rng.standard_normal((6, basis.n_r))
+    kernel = HxcKernel(basis, density, include_xc=False)
+    m = kernel.matrix_elements(fields, fields)
+    evals = np.linalg.eigvalsh(0.5 * (m + m.T))
+    assert evals.min() > -1e-10
+
+
+def test_batched_apply(basis, density):
+    rng = default_rng(7)
+    fields = rng.standard_normal((3, basis.n_r))
+    kernel = HxcKernel(basis, density)
+    batched = kernel.apply(fields)
+    for i in range(3):
+        np.testing.assert_allclose(batched[i], kernel.apply(fields[i]), atol=1e-12)
+
+
+def test_density_shape_validated(basis):
+    with pytest.raises(ValueError, match="density"):
+        HxcKernel(basis, np.zeros(10))

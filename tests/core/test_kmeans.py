@@ -1,0 +1,150 @@
+"""Tests for weighted K-Means interpolation-point selection (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import select_points_kmeans, weighted_kmeans
+from repro.core.kmeans import _pairwise_sq_dists
+from repro.utils.rng import default_rng
+
+
+class TestPairwiseDistances:
+    def test_matches_direct(self, rng):
+        p = rng.standard_normal((20, 3))
+        c = rng.standard_normal((5, 3))
+        d2 = _pairwise_sq_dists(p, c)
+        direct = ((p[:, None, :] - c[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(d2, direct, atol=1e-10)
+
+    def test_nonnegative(self, rng):
+        p = rng.standard_normal((50, 3)) * 1e-8
+        assert (_pairwise_sq_dists(p, p) >= 0).all()
+
+
+class TestWeightedKMeans:
+    def test_well_separated_clusters_found(self):
+        rng = default_rng(0)
+        centres = np.array([[0.0, 0, 0], [10.0, 0, 0], [0, 10.0, 0]])
+        points = np.vstack(
+            [c + 0.3 * rng.standard_normal((30, 3)) for c in centres]
+        )
+        weights = np.ones(90)
+        got, labels, inertia, n_iter, converged = weighted_kmeans(
+            points, weights, 3, rng=rng
+        )
+        assert converged
+        # Each recovered centroid is near one true centre.
+        d = np.linalg.norm(got[:, None] - centres[None], axis=2)
+        assert d.min(axis=1).max() < 0.5
+
+    def test_assignments_are_nearest_centroid(self, rng):
+        points = rng.standard_normal((100, 3))
+        weights = rng.random(100) + 0.1
+        centroids, labels, *_ = weighted_kmeans(points, weights, 5, rng=rng)
+        d2 = _pairwise_sq_dists(points, centroids)
+        np.testing.assert_array_equal(labels, np.argmin(d2, axis=1))
+
+    def test_centroids_are_weighted_means(self, rng):
+        points = rng.standard_normal((80, 3))
+        weights = rng.random(80) + 0.1
+        centroids, labels, *_ = weighted_kmeans(points, weights, 4, rng=rng)
+        for k in range(4):
+            members = labels == k
+            if members.any():
+                expect = (weights[members, None] * points[members]).sum(0) / weights[
+                    members
+                ].sum()
+                np.testing.assert_allclose(centroids[k], expect, atol=1e-10)
+
+    def test_zero_weight_points_do_not_attract_centroids(self):
+        rng = default_rng(1)
+        cluster = 0.1 * rng.standard_normal((40, 3))
+        outliers = np.array([[100.0, 100, 100], [120.0, 80, 90]])
+        points = np.vstack([cluster, outliers])
+        weights = np.concatenate([np.ones(40), np.zeros(2)])
+        centroids, *_ = weighted_kmeans(points, weights, 2, rng=rng)
+        assert np.linalg.norm(centroids, axis=1).max() < 5.0
+
+    def test_deterministic_greedy_init(self, rng):
+        points = rng.standard_normal((60, 3))
+        weights = rng.random(60)
+        a = weighted_kmeans(points, weights, 4, init="greedy-weight")
+        b = weighted_kmeans(points, weights, 4, init="greedy-weight")
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_plusplus_init_deterministic_with_seed(self, rng):
+        points = rng.standard_normal((60, 3))
+        weights = rng.random(60)
+        a = weighted_kmeans(points, weights, 4, init="plusplus", rng=default_rng(9))
+        b = weighted_kmeans(points, weights, 4, init="plusplus", rng=default_rng(9))
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_invalid_inputs(self, rng):
+        points = rng.standard_normal((10, 3))
+        with pytest.raises(ValueError):
+            weighted_kmeans(points, np.ones(10), 0)
+        with pytest.raises(ValueError):
+            weighted_kmeans(points, np.ones(9), 2)
+        with pytest.raises(ValueError):
+            weighted_kmeans(points, -np.ones(10), 2)
+        with pytest.raises(ValueError):
+            weighted_kmeans(points, np.ones(10), 2, init="bogus")
+
+    def test_n_clusters_equals_n_points(self, rng):
+        points = rng.standard_normal((6, 3))
+        centroids, labels, inertia, *_ = weighted_kmeans(points, np.ones(6), 6)
+        assert inertia == pytest.approx(0.0, abs=1e-20)
+        assert sorted(labels.tolist()) == list(range(6))
+
+
+class TestSelectPoints:
+    def test_selection_on_synthetic_system(self, si8_synthetic):
+        gs = si8_synthetic
+        psi_v, _, psi_c, _ = gs.select_transition_space()
+        res = select_points_kmeans(
+            psi_v, psi_c, 32, grid_points=gs.basis.grid.cartesian_points
+        )
+        assert res.indices.shape == (32,)
+        assert len(set(res.indices.tolist())) == 32
+        assert res.indices.min() >= 0
+        assert res.indices.max() < gs.basis.n_r
+
+    def test_points_land_in_high_weight_regions(self, si8_synthetic):
+        from repro.core import pair_weights
+
+        gs = si8_synthetic
+        psi_v, _, psi_c, _ = gs.select_transition_space()
+        w = pair_weights(psi_v, psi_c)
+        res = select_points_kmeans(
+            psi_v, psi_c, 16, grid_points=gs.basis.grid.cartesian_points
+        )
+        # Every chosen point carries non-trivial weight.
+        assert w[res.indices].min() > 1e-6 * w.max()
+
+    def test_pruning_shrinks_candidates(self, si8_synthetic):
+        gs = si8_synthetic
+        psi_v, _, psi_c, _ = gs.select_transition_space()
+        tight = select_points_kmeans(
+            psi_v, psi_c, 8,
+            grid_points=gs.basis.grid.cartesian_points, prune_threshold=1e-2,
+        )
+        loose = select_points_kmeans(
+            psi_v, psi_c, 8,
+            grid_points=gs.basis.grid.cartesian_points, prune_threshold=1e-8,
+        )
+        assert tight.candidate_indices.size < loose.candidate_indices.size
+
+    def test_zero_orbitals_rejected(self):
+        psi = np.zeros((2, 50))
+        with pytest.raises(ValueError, match="vanish"):
+            select_points_kmeans(psi, psi, 4, grid_points=np.zeros((50, 3)))
+
+    def test_aggressive_pruning_falls_back(self, si8_synthetic):
+        """Pruning that leaves fewer candidates than n_mu must not crash."""
+        gs = si8_synthetic
+        psi_v, _, psi_c, _ = gs.select_transition_space()
+        res = select_points_kmeans(
+            psi_v, psi_c, 24,
+            grid_points=gs.basis.grid.cartesian_points, prune_threshold=0.999,
+        )
+        assert res.indices.shape == (24,)

@@ -1,0 +1,60 @@
+"""Tests for the face-splitting pair products."""
+
+import numpy as np
+import pytest
+
+from repro.core import pair_index, pair_products, pair_weights
+from repro.core.pair_products import pair_energies
+
+
+class TestPairProducts:
+    def test_shape_and_ordering(self, rng):
+        psi_v = rng.standard_normal((3, 50))
+        psi_c = rng.standard_normal((4, 50))
+        z = pair_products(psi_v, psi_c)
+        assert z.shape == (50, 12)
+        for v in range(3):
+            for c in range(4):
+                np.testing.assert_allclose(
+                    z[:, pair_index(v, c, 4)], psi_v[v] * psi_c[c]
+                )
+
+    def test_grid_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError, match="grid"):
+            pair_products(rng.standard_normal((2, 10)), rng.standard_normal((2, 11)))
+
+    def test_one_dimensional_input_rejected(self, rng):
+        with pytest.raises(ValueError):
+            pair_products(rng.standard_normal(10), rng.standard_normal((2, 10)))
+
+    def test_contiguous_output(self, rng):
+        z = pair_products(rng.standard_normal((2, 20)), rng.standard_normal((3, 20)))
+        assert z.flags["C_CONTIGUOUS"]
+
+
+class TestPairWeights:
+    def test_equals_row_norms_of_z(self, rng):
+        """Eq. 14: w(r) is exactly the squared 2-norm of row r of Z."""
+        psi_v = rng.standard_normal((3, 40))
+        psi_c = rng.standard_normal((5, 40))
+        z = pair_products(psi_v, psi_c)
+        w = pair_weights(psi_v, psi_c)
+        np.testing.assert_allclose(w, np.einsum("rp,rp->r", z, z))
+
+    def test_nonnegative(self, rng):
+        w = pair_weights(rng.standard_normal((2, 30)), rng.standard_normal((2, 30)))
+        assert (w >= 0).all()
+
+
+class TestPairEnergies:
+    def test_ordering_matches_pairs(self):
+        eps_v = np.array([-0.5, -0.2])
+        eps_c = np.array([0.1, 0.3, 0.4])
+        d = pair_energies(eps_v, eps_c)
+        assert d.shape == (6,)
+        assert d[pair_index(0, 0, 3)] == pytest.approx(0.6)
+        assert d[pair_index(1, 2, 3)] == pytest.approx(0.6)
+
+    def test_all_positive_for_gapped_system(self):
+        d = pair_energies(np.array([-1.0, -0.5]), np.array([0.5, 1.0]))
+        assert (d > 0).all()

@@ -1,0 +1,68 @@
+"""Tests for the static data tables."""
+
+import pytest
+
+from repro.data import (
+    PAPER_SI4096_STRONG,
+    PAPER_SPEEDUP_TABLE6,
+    PAPER_TABLE3,
+    PAPER_WEAK_SCALING,
+    SOFTWARE_SURVEY,
+)
+from repro.data.calibration import paper_workload
+from repro.data.software_survey import format_survey_table
+
+
+class TestSurvey:
+    def test_five_rows(self):
+        assert len(SOFTWARE_SURVEY) == 5
+
+    def test_this_work_row(self):
+        row = SOFTWARE_SURVEY[-1]
+        assert row.reference == "This work"
+        assert row.n_atoms == 4096
+        assert row.theory == "LR-TDDFT"
+        assert row.basis_set == "PW"
+
+    def test_this_work_has_largest_lrtddft_system(self):
+        lrtddft = [r for r in SOFTWARE_SURVEY if r.theory == "LR-TDDFT"]
+        assert max(r.n_atoms for r in lrtddft) == 4096
+
+    def test_format_renders_all_rows(self):
+        text = format_survey_table()
+        for row in SOFTWARE_SURVEY:
+            assert row.software in text
+
+
+class TestPaperNumbers:
+    def test_table3_speedups_motivate_kmeans(self):
+        """QRCP/K-Means ratio grows with N_mu (6.3x -> 26.4x)."""
+        ratios = [q / k for q, k in PAPER_TABLE3.values()]
+        assert ratios == sorted(ratios)
+        assert ratios[0] > 5
+
+    def test_table6_average_speedup(self):
+        """Section 6.5 quotes an average of 9.254x over Table 6."""
+        speedups = [s for _, _, s in PAPER_SPEEDUP_TABLE6.values()]
+        assert sum(speedups) / len(speedups) == pytest.approx(9.25, abs=0.01)
+
+    def test_weak_scaling_monotone(self):
+        times = list(PAPER_WEAK_SCALING.values())
+        assert times == sorted(times)
+
+    def test_si4096_efficiency_quote(self):
+        """14.02 s at 8,192 -> 10.70 s at 12,288 cores = 87.34% efficiency."""
+        eff = (PAPER_SI4096_STRONG[8192] / PAPER_SI4096_STRONG[12288]) / (
+            12288 / 8192
+        )
+        assert eff == pytest.approx(0.8734, abs=1e-3)
+
+
+class TestCalibration:
+    def test_paper_workload_uses_table5_transition_space(self):
+        w = paper_workload(512)
+        assert w.n_v == 128
+        assert w.n_c == 50
+
+    def test_grid_grows_with_system(self):
+        assert paper_workload(4096).n_r > paper_workload(512).n_r

@@ -1,0 +1,111 @@
+"""Tests for non-self-consistent band structures."""
+
+import numpy as np
+import pytest
+
+from repro.constants import HARTREE_TO_EV
+from repro.dft.bands import (
+    BlochHamiltonian,
+    band_structure,
+    bands_at_k,
+    build_projectors_at_k,
+)
+from repro.utils.rng import default_rng
+
+
+class TestBlochHamiltonian:
+    def test_gamma_reproduces_scf_bands(self, si2_ground_state):
+        e = bands_at_k(si2_ground_state, [0, 0, 0], 8)
+        np.testing.assert_allclose(
+            e, si2_ground_state.energies[:8], atol=1e-8
+        )
+
+    def test_hermitian_at_general_k(self, si2_ground_state):
+        ham = BlochHamiltonian(si2_ground_state, [0.3, 0.1, 0.2])
+        rng = default_rng(0)
+        a = si2_ground_state.basis.random_coefficients(1, rng)[0]
+        b = si2_ground_state.basis.random_coefficients(1, rng)[0]
+        lhs = np.vdot(a, ham.apply(b))
+        rhs = np.vdot(b, ham.apply(a)).conjugate()
+        assert lhs == pytest.approx(rhs, abs=1e-12)
+
+    def test_projectors_at_gamma_match_static(self, si2_ground_state):
+        from repro.pseudo import build_projectors
+
+        basis = si2_ground_state.basis
+        at_k = build_projectors_at_k(basis, np.zeros(3))
+        static = build_projectors(basis)
+        np.testing.assert_allclose(at_k.beta, static.beta, atol=1e-12)
+        np.testing.assert_allclose(at_k.h, static.h)
+
+    def test_time_reversal_symmetry(self, si2_ground_state):
+        """eps(k) = eps(-k) for a real potential."""
+        k = [0.21, 0.08, 0.13]
+        e_plus = bands_at_k(si2_ground_state, k, 6)
+        e_minus = bands_at_k(si2_ground_state, [-x for x in k], 6)
+        np.testing.assert_allclose(e_plus, e_minus, atol=1e-6)
+
+    def test_reciprocal_lattice_periodicity(self, si2_ground_state):
+        """eps(k) = eps(k + G) up to the finite-basis asymmetry.
+
+        Shifting k by a reciprocal-lattice vector relabels the plane waves;
+        with a finite sphere the sets differ at the boundary, so low bands
+        agree to basis-cutoff accuracy, not machine precision.
+        """
+        e_0 = bands_at_k(si2_ground_state, [0.1, 0.0, 0.0], 4)
+        e_g = bands_at_k(si2_ground_state, [1.1, 0.0, 0.0], 4)
+        np.testing.assert_allclose(e_0, e_g, atol=5e-3)
+
+    def test_bad_k_shape_rejected(self, si2_ground_state):
+        with pytest.raises(ValueError):
+            BlochHamiltonian(si2_ground_state, [0.0, 0.0])
+
+
+class TestSiliconPhysics:
+    @pytest.fixture(scope="class")
+    def bs(self, si2_ground_state):
+        return band_structure(
+            si2_ground_state,
+            [
+                ("L", np.array([0.5, 0.5, 0.5])),
+                ("Gamma", np.array([0.0, 0.0, 0.0])),
+                ("X", np.array([0.5, 0.0, 0.5])),
+            ],
+            n_bands=8,
+            n_interpolate=4,
+        )
+
+    def test_silicon_gap_is_indirect(self, bs, si2_ground_state):
+        """The CBM lies along Gamma-X, below the Gamma conduction state."""
+        indirect = bs.indirect_gap(4)
+        direct_gamma = si2_ground_state.homo_lumo_gap()
+        assert 0.0 < indirect < direct_gamma
+
+    def test_gap_magnitude_physical(self, bs):
+        """LDA silicon indirect gap ~0.5 eV; coarse cutoff shifts it but it
+        must stay within (0, 1.5) eV."""
+        gap_ev = bs.indirect_gap(4) * HARTREE_TO_EV
+        assert 0.0 < gap_ev < 1.5
+
+    def test_valence_band_width_physical(self, bs):
+        """Silicon valence bandwidth ~12 eV (LDA)."""
+        n_occ = 4
+        width = (
+            bs.valence_maximum(n_occ)
+            - bs.energies[:, 0].min()
+        ) * HARTREE_TO_EV
+        assert 10.0 < width < 14.0
+
+    def test_x_point_degeneracies(self, si2_ground_state):
+        """Diamond-structure X point: bands stick together in pairs."""
+        e = bands_at_k(si2_ground_state, [0.5, 0.0, 0.5], 6)
+        assert e[0] == pytest.approx(e[1], abs=2e-3)
+        assert e[2] == pytest.approx(e[3], abs=2e-3)
+
+    def test_labels_recorded(self, bs):
+        names = [name for _, name in bs.labels]
+        assert names == ["L", "Gamma", "X"]
+
+    def test_path_length(self, bs):
+        assert bs.n_k == 2 * 4 + 1
+        assert bs.energies.shape == (bs.n_k, 8)

@@ -1,0 +1,98 @@
+"""Tests for the spherically truncated Coulomb kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core import HxcKernel
+from repro.dft.hartree import coulomb_kernel, truncated_coulomb_kernel
+from repro.pw import PlaneWaveBasis, UnitCell
+from repro.utils.rng import default_rng
+
+
+@pytest.fixture(scope="module")
+def basis():
+    return PlaneWaveBasis(UnitCell.cubic(12.0), ecut=8.0)
+
+
+class TestKernelValues:
+    def test_g0_finite(self, basis):
+        kernel = truncated_coulomb_kernel(basis, radius=5.0)
+        assert kernel[0] == pytest.approx(2 * np.pi * 25.0)
+
+    def test_matches_formula(self, basis):
+        rc = 4.0
+        kernel = truncated_coulomb_kernel(basis, rc)
+        g2 = basis.gvectors.g2
+        idx = 10
+        g = np.sqrt(g2[idx])
+        assert kernel[idx] == pytest.approx(
+            4 * np.pi / g2[idx] * (1 - np.cos(g * rc))
+        )
+
+    def test_default_radius_is_half_box(self, basis):
+        auto = truncated_coulomb_kernel(basis)
+        explicit = truncated_coulomb_kernel(basis, radius=6.0)
+        np.testing.assert_allclose(auto, explicit)
+
+    def test_bounded_by_twice_periodic(self, basis):
+        """1 - cos in [0, 2]: the truncated kernel never exceeds 2x 4pi/G^2."""
+        trunc = truncated_coulomb_kernel(basis, radius=5.0)
+        periodic = coulomb_kernel(basis)
+        assert (trunc[1:] <= 2 * periodic[1:] + 1e-12).all()
+
+    def test_invalid_radius(self, basis):
+        with pytest.raises(ValueError):
+            truncated_coulomb_kernel(basis, radius=0.0)
+
+    def test_real_space_truncation(self, basis):
+        """The real-space interaction of two separated Gaussian charges
+        vanishes once they sit farther apart than R_c."""
+        from repro.pw import RealSpaceGrid
+
+        grid = basis.grid
+        sigma = 0.5
+
+        def gaussian_at(centre):
+            delta = grid.cartesian_points - np.asarray(centre)
+            r2 = np.einsum("ij,ij->i", delta, delta)
+            return np.exp(-r2 / (2 * sigma**2)) / (2 * np.pi * sigma**2) ** 1.5
+
+        n1 = gaussian_at([3.0, 6.0, 6.0])
+        n2 = gaussian_at([9.0, 6.0, 6.0])  # 6 Bohr apart
+        kernel_small = truncated_coulomb_kernel(basis, radius=2.0)
+        f1 = basis.fft.forward(n1.astype(complex))
+        v1 = basis.fft.backward_real(f1 * kernel_small)
+        interaction = (v1 * n2).sum() * grid.dv
+        assert abs(interaction) < 1e-3  # beyond R_c: (almost) no coupling
+
+        kernel_large = truncated_coulomb_kernel(basis, radius=11.0)
+        v1_large = basis.fft.backward_real(f1 * kernel_large)
+        interaction_large = (v1_large * n2).sum() * grid.dv
+        assert interaction_large > 0.1  # within R_c: real Coulomb coupling
+
+
+class TestKernelInHxc:
+    def test_truncation_changes_molecular_excitations(self, water_ground_state):
+        from repro.core import LRTDDFTSolver, build_casida_hamiltonian, solve_casida_dense
+
+        gs = water_ground_state
+        psi_v, eps_v, psi_c, eps_c = gs.select_transition_space()
+        periodic = HxcKernel(gs.basis, gs.density)
+        truncated = HxcKernel(gs.basis, gs.density, coulomb_truncation="auto")
+        h_p = build_casida_hamiltonian(psi_v, eps_v, psi_c, eps_c, periodic)
+        h_t = build_casida_hamiltonian(psi_v, eps_v, psi_c, eps_c, truncated)
+        e_p, _ = solve_casida_dense(h_p, 3)
+        e_t, _ = solve_casida_dense(h_t, 3)
+        # Both physical, differing by the image-interaction correction.
+        assert (e_t > 0).all()
+        rel = np.abs((e_t - e_p) / e_p)
+        assert 1e-6 < rel.max() < 0.1
+
+    def test_auto_string_accepted(self, water_ground_state):
+        kernel = HxcKernel(
+            water_ground_state.basis, water_ground_state.density,
+            coulomb_truncation="auto",
+        )
+        rng = default_rng(0)
+        field = rng.standard_normal(water_ground_state.basis.n_r)
+        assert np.all(np.isfinite(kernel.apply(field)))

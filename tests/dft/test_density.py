@@ -1,0 +1,69 @@
+"""Tests for density construction and the atomic guess."""
+
+import numpy as np
+import pytest
+
+from repro.atoms import silicon_primitive_cell, water_molecule
+from repro.constants import ANGSTROM_TO_BOHR
+from repro.dft import atomic_guess_density, density_from_orbitals
+from repro.pw import PlaneWaveBasis
+from repro.utils.rng import default_rng
+
+
+class TestDensityFromOrbitals:
+    def test_integrates_to_electron_count(self):
+        basis = PlaneWaveBasis(silicon_primitive_cell(), ecut=6.0)
+        rng = default_rng(0)
+        coeffs = basis.random_coefficients(3, rng)
+        psi = basis.to_real(coeffs)
+        occ = np.array([2.0, 2.0, 1.0])
+        n = density_from_orbitals(psi, occ, basis.grid.dv)
+        assert n.sum() * basis.grid.dv == pytest.approx(5.0)
+
+    def test_nonnegative(self):
+        basis = PlaneWaveBasis(silicon_primitive_cell(), ecut=6.0)
+        psi = basis.to_real(basis.random_coefficients(2, default_rng(1)))
+        n = density_from_orbitals(psi, np.array([2.0, 2.0]))
+        assert (n >= 0).all()
+
+    def test_mismatched_occupations_raise(self):
+        with pytest.raises(ValueError, match="occupations"):
+            density_from_orbitals(np.ones((2, 10)), np.array([2.0]))
+
+    def test_normalization_check_fires(self):
+        """Denormalized orbitals + dv validation must raise."""
+        basis = PlaneWaveBasis(silicon_primitive_cell(), ecut=6.0)
+        psi = basis.to_real(basis.random_coefficients(1, default_rng(2))) * 2.0
+        with pytest.raises(ValueError, match="integrates"):
+            density_from_orbitals(psi, np.array([2.0]), basis.grid.dv)
+
+
+class TestAtomicGuess:
+    def test_integrates_to_valence_count_silicon(self):
+        basis = PlaneWaveBasis(silicon_primitive_cell(), ecut=8.0)
+        n = atomic_guess_density(basis)
+        assert n.sum() * basis.grid.dv == pytest.approx(8.0)
+
+    def test_integrates_to_valence_count_water(self):
+        basis = PlaneWaveBasis(water_molecule(box=7 * ANGSTROM_TO_BOHR), ecut=8.0)
+        n = atomic_guess_density(basis)
+        assert n.sum() * basis.grid.dv == pytest.approx(8.0)
+
+    def test_nonnegative(self):
+        basis = PlaneWaveBasis(silicon_primitive_cell(), ecut=8.0)
+        assert (atomic_guess_density(basis) >= 0).all()
+
+    def test_peaks_near_atoms(self):
+        cell = water_molecule(box=8 * ANGSTROM_TO_BOHR)
+        basis = PlaneWaveBasis(cell, ecut=8.0)
+        n = atomic_guess_density(basis)
+        peak = basis.grid.cartesian_points[np.argmax(n)]
+        oxygen = cell.cartesian_positions[0]
+        assert np.linalg.norm(peak - oxygen) < 1.0
+
+    def test_empty_cell_rejected(self):
+        from repro.pw import UnitCell
+
+        basis = PlaneWaveBasis(UnitCell.cubic(8.0), ecut=6.0)
+        with pytest.raises(ValueError, match="empty cell"):
+            atomic_guess_density(basis)

@@ -1,0 +1,49 @@
+"""Tests for the Ewald ion-ion sum."""
+
+import numpy as np
+import pytest
+
+from repro.atoms import silicon_conventional_cell, silicon_primitive_cell
+from repro.dft import ewald_energy
+from repro.pw import UnitCell
+
+
+def test_empty_cell_zero():
+    assert ewald_energy(UnitCell.cubic(10.0)) == 0.0
+
+
+def test_eta_independence():
+    """The split parameter must not change the converged sum."""
+    cell = silicon_primitive_cell()
+    e1 = ewald_energy(cell, eta=0.25)
+    e2 = ewald_energy(cell, eta=0.45)
+    e3 = ewald_energy(cell)
+    assert e1 == pytest.approx(e2, abs=1e-8)
+    assert e1 == pytest.approx(e3, abs=1e-8)
+
+
+def test_supercell_extensivity():
+    cell = silicon_primitive_cell()
+    sup = cell.supercell((2, 1, 1))
+    assert ewald_energy(sup) == pytest.approx(2 * ewald_energy(cell), abs=1e-7)
+
+
+def test_primitive_conventional_consistency():
+    prim = silicon_primitive_cell()
+    conv = silicon_conventional_cell()
+    assert ewald_energy(conv) == pytest.approx(4 * ewald_energy(prim), abs=1e-7)
+
+
+def test_silicon_reference_value():
+    """Quantum-Espresso reports 'ewald contribution ~ -16.80 Ry' for the
+    2-atom Si cell at a = 10.2625 Bohr, i.e. about -4.20 Ha per atom."""
+    cell = silicon_primitive_cell()
+    per_atom = ewald_energy(cell) / cell.n_atoms
+    assert per_atom == pytest.approx(-4.199, abs=0.005)
+
+
+def test_scaling_with_lattice_constant():
+    """Coulomb energy scales as 1/a for a rigid rescale."""
+    a = silicon_primitive_cell(10.0)
+    b = silicon_primitive_cell(20.0)
+    assert ewald_energy(a) == pytest.approx(2 * ewald_energy(b), abs=1e-7)

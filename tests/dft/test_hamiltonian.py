@@ -1,0 +1,91 @@
+"""Tests for the matrix-free Kohn-Sham Hamiltonian."""
+
+import numpy as np
+import pytest
+
+from repro.atoms import silicon_primitive_cell
+from repro.dft import KohnShamHamiltonian, atomic_guess_density
+from repro.pw import PlaneWaveBasis
+from repro.utils.rng import default_rng
+
+
+@pytest.fixture(scope="module")
+def ham():
+    basis = PlaneWaveBasis(silicon_primitive_cell(), ecut=8.0)
+    h = KohnShamHamiltonian(basis)
+    h.update_density(atomic_guess_density(basis))
+    return h
+
+
+def test_hermitian(ham):
+    rng = default_rng(0)
+    a = ham.basis.random_coefficients(1, rng)[0]
+    b = ham.basis.random_coefficients(1, rng)[0]
+    lhs = np.vdot(a, ham.apply(b))
+    rhs = np.vdot(b, ham.apply(a)).conjugate()
+    assert lhs == pytest.approx(rhs, abs=1e-12)
+
+
+def test_linear(ham):
+    rng = default_rng(1)
+    a = ham.basis.random_coefficients(1, rng)[0]
+    b = ham.basis.random_coefficients(1, rng)[0]
+    np.testing.assert_allclose(
+        ham.apply(1.5 * a - 0.5j * b),
+        1.5 * ham.apply(a) - 0.5j * ham.apply(b),
+        atol=1e-12,
+    )
+
+
+def test_kinetic_limit_for_high_g(ham):
+    """A pure high-|G| plane wave is dominated by its kinetic eigenvalue."""
+    idx = int(np.argmax(ham.basis.kinetic_diagonal))
+    c = np.zeros(ham.basis.n_pw, dtype=complex)
+    c[idx] = 1.0
+    expect = ham.basis.kinetic_diagonal[idx]
+    got = np.vdot(c, ham.apply(c)).real
+    # Potential contribution is bounded by max|V|, small relative to T here.
+    assert got == pytest.approx(expect + ham.v_effective.mean(), abs=np.abs(ham.v_effective).max())
+
+
+def test_update_density_changes_potential(ham):
+    v_before = ham.v_effective.copy()
+    ham.update_density(ham.basis.grid.dv * 0 + atomic_guess_density(ham.basis) * 1.0)
+    np.testing.assert_allclose(ham.v_effective, v_before)  # same density
+    bumped = atomic_guess_density(ham.basis)
+    bumped = bumped * (8.0 / (bumped.sum() * ham.basis.grid.dv))
+    ham.update_density(bumped * 1.2 / 1.2)  # no-op scale, still same
+    np.testing.assert_allclose(ham.v_effective, v_before)
+
+
+def test_wrong_density_shape_rejected(ham):
+    with pytest.raises(ValueError, match="density"):
+        ham.update_density(np.zeros(7))
+
+
+def test_apply_columns_transposition(ham):
+    rng = default_rng(2)
+    block = ham.basis.random_coefficients(3, rng)
+    np.testing.assert_allclose(
+        ham.apply_columns(block.T), ham.apply(block).T, atol=1e-14
+    )
+
+
+def test_preconditioner_damps_high_g(ham):
+    rng = default_rng(3)
+    r = ham.basis.random_coefficients(2, rng).T
+    out = ham.preconditioner(r, np.zeros(2))
+    kinetic = ham.basis.kinetic_diagonal
+    hi = kinetic > 0.8 * kinetic.max()
+    lo = kinetic < 0.2 * kinetic.max()
+    damp_hi = np.abs(out[hi]).mean() / np.abs(r[hi]).mean()
+    damp_lo = np.abs(out[lo]).mean() / np.abs(r[lo]).mean()
+    assert damp_hi < damp_lo
+
+
+def test_diagonal_has_kinetic_shape(ham):
+    d = ham.diagonal()
+    assert d.shape == (ham.basis.n_pw,)
+    np.testing.assert_allclose(
+        d - d[0], ham.basis.kinetic_diagonal - ham.basis.kinetic_diagonal[0]
+    )

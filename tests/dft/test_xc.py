@@ -1,0 +1,95 @@
+"""Tests for LDA exchange-correlation, including the ALDA kernel.
+
+Every analytic derivative is cross-checked against high-order central
+finite differences — the kernel enters the LR-TDDFT integrals directly, so
+a sign or factor error here shifts every excitation energy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dft.xc import (
+    DENSITY_FLOOR,
+    lda_energy_density,
+    lda_kernel,
+    lda_potential,
+    xc_energy,
+)
+
+
+def _central_derivative(f, x, rel_step=1e-5):
+    h = rel_step * x
+    return (f(x + h) - f(x - h)) / (2 * h)
+
+
+DENSITIES = np.array([1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.5, 1.0, 5.0, 20.0])
+
+
+class TestEnergyDensity:
+    def test_negative_everywhere(self):
+        assert (lda_energy_density(DENSITIES) < 0).all()
+
+    def test_monotone_decreasing_with_density(self):
+        eps = lda_energy_density(DENSITIES)
+        assert (np.diff(eps) < 0).all()
+
+    def test_high_density_exchange_dominates(self):
+        """eps_xc -> C_x n^(1/3) as n -> inf."""
+        n = np.array([1e6])
+        cx = -0.75 * (3 / np.pi) ** (1 / 3)
+        assert lda_energy_density(n)[0] == pytest.approx(cx * n[0] ** (1 / 3), rel=1e-2)
+
+
+class TestPotential:
+    def test_vxc_is_derivative_of_energy(self):
+        got = lda_potential(DENSITIES)
+        ref = _central_derivative(
+            lambda n: n * lda_energy_density(n), DENSITIES
+        )
+        np.testing.assert_allclose(got, ref, rtol=1e-6)
+
+    def test_branch_continuity_at_rs_1(self):
+        """PZ81 is parametrized in two rs branches meeting at rs = 1."""
+        n_at_rs1 = 3.0 / (4.0 * np.pi)
+        below = lda_potential(np.array([n_at_rs1 * 0.999]))[0]
+        above = lda_potential(np.array([n_at_rs1 * 1.001]))[0]
+        assert below == pytest.approx(above, rel=2e-3)
+
+
+class TestKernel:
+    def test_fxc_is_derivative_of_vxc(self):
+        got = lda_kernel(DENSITIES)
+        ref = _central_derivative(lda_potential, DENSITIES)
+        np.testing.assert_allclose(got, ref, rtol=1e-5)
+
+    def test_fxc_negative(self):
+        """The ALDA kernel is attractive for the unpolarized electron gas."""
+        assert (lda_kernel(DENSITIES) < 0).all()
+
+    def test_vacuum_floor_zeroes_kernel(self):
+        n = np.array([0.0, DENSITY_FLOOR / 10])
+        np.testing.assert_array_equal(lda_kernel(n), 0.0)
+
+    def test_kernel_finite_near_floor(self):
+        assert np.isfinite(lda_kernel(np.array([DENSITY_FLOOR * 2]))).all()
+
+
+class TestXCEnergy:
+    def test_total_energy_scales_with_volume_weight(self):
+        n = np.full(100, 0.3)
+        assert xc_energy(n, dv=0.2) == pytest.approx(2 * xc_energy(n, dv=0.1))
+
+    def test_uniform_gas_value(self):
+        """HEG at rs = 2: eps_x = -0.4582/rs = -0.2291 Ha and
+        eps_c(PZ81) ~ -0.0448 Ha, so eps_xc ~ -0.274 Ha per electron."""
+        rs = 2.0
+        n = 3.0 / (4.0 * np.pi * rs**3)
+        per_particle = lda_energy_density(np.array([n]))[0]
+        assert per_particle == pytest.approx(-0.274, abs=0.002)
+
+    def test_exchange_only_value_at_rs1(self):
+        """eps_x(rs = 1) = -(3/4)(3/(2 pi))^(2/3)... the canonical
+        -0.4582 Ha value."""
+        n = 3.0 / (4.0 * np.pi)
+        cx = -0.75 * (3 / np.pi) ** (1 / 3)
+        assert cx * n ** (1 / 3) == pytest.approx(-0.4582, abs=2e-4)

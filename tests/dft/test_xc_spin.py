@@ -1,0 +1,137 @@
+"""Tests for spin-resolved LSDA and the triplet kernel.
+
+Every analytic derivative is validated against finite differences of the
+analytic energy — the strongest internal check available.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dft.xc import lda_energy_density, lda_kernel
+from repro.dft.xc_spin import (
+    FPP0,
+    _vbh_interpolation,
+    lda_kernel_triplet,
+    lsda_energy_density,
+    lsda_potentials,
+)
+
+DENSITIES = np.array([1e-3, 1e-2, 0.05, 0.1, 0.5, 1.0, 5.0])
+
+
+class TestLSDAEnergy:
+    def test_reduces_to_lda_at_zero_polarization(self):
+        np.testing.assert_allclose(
+            lsda_energy_density(DENSITIES, np.zeros_like(DENSITIES)),
+            lda_energy_density(DENSITIES),
+            rtol=1e-12,
+        )
+
+    def test_polarization_symmetry(self):
+        zeta = np.full_like(DENSITIES, 0.37)
+        np.testing.assert_allclose(
+            lsda_energy_density(DENSITIES, zeta),
+            lsda_energy_density(DENSITIES, -zeta),
+            rtol=1e-12,
+        )
+
+    def test_exchange_enhanced_at_full_polarization(self):
+        """|eps_x| grows by 2^(1/3) at zeta = 1; correlation weakens —
+        net eps_xc(1) < eps_xc(0) for dense electron gases."""
+        n = np.array([1.0])
+        e0 = lsda_energy_density(n, np.array([0.0]))[0]
+        e1 = lsda_energy_density(n, np.array([1.0]))[0]
+        assert e1 < e0  # more negative
+
+    def test_interpolation_endpoints(self):
+        assert _vbh_interpolation(np.array([0.0]))[0] == pytest.approx(0.0)
+        assert _vbh_interpolation(np.array([1.0]))[0] == pytest.approx(1.0)
+        assert _vbh_interpolation(np.array([-1.0]))[0] == pytest.approx(1.0)
+
+    def test_fpp0_value(self):
+        """f''(0) = 8 / (9 (2^{4/3} - 2)) ~ 1.70992."""
+        assert FPP0 == pytest.approx(1.70992, abs=1e-4)
+
+
+class TestPotentials:
+    def test_symmetric_at_zero_polarization(self):
+        v_up, v_down = lsda_potentials(DENSITIES / 2, DENSITIES / 2)
+        np.testing.assert_allclose(v_up, v_down, rtol=1e-8)
+
+    def test_matches_unpolarized_vxc(self):
+        from repro.dft.xc import lda_potential
+
+        v_up, _ = lsda_potentials(DENSITIES / 2, DENSITIES / 2)
+        np.testing.assert_allclose(v_up, lda_potential(DENSITIES), rtol=1e-4)
+
+    def test_majority_spin_more_bound(self):
+        """The majority channel sees a deeper exchange potential."""
+        v_up, v_down = lsda_potentials(
+            0.8 * DENSITIES, 0.2 * DENSITIES
+        )
+        assert (v_up < v_down).all()
+
+
+class TestTripletKernel:
+    def test_matches_finite_difference_in_m(self):
+        """f_xc^T = d^2 [n eps_xc(n, m/n)] / d m^2 at m = 0."""
+        n = DENSITIES
+        h = 1e-4 * n
+
+        def energy(m):
+            return n * lsda_energy_density(n, m / n)
+
+        numeric = (energy(h) - 2 * energy(np.zeros_like(n)) + energy(-h)) / h**2
+        analytic = lda_kernel_triplet(n)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-4)
+
+    def test_negative(self):
+        """Spin-flip kernel is attractive (triplets below singlets)."""
+        assert (lda_kernel_triplet(DENSITIES) < 0).all()
+
+    def test_exchange_parts_coincide(self):
+        """Slater exchange gives identical singlet and triplet kernels:
+        d^2 e_x/d n^2 = d^2 e_x/d m^2 = (4/9) C_x n^{-2/3}.  (The
+        singlet-triplet splitting of excitations therefore comes from the
+        Hartree term, not from exchange.)  Checked by finite differences of
+        the exact spin-scaled exchange energy in both directions."""
+        cx = -0.75 * (3 / np.pi) ** (1 / 3)
+        n = DENSITIES
+        expected = (4.0 / 9.0) * cx * n ** (-2.0 / 3.0)
+
+        def e_x(nu, nd):
+            # Exact spin scaling: e_x = 2^{1/3} C_x (nu^{4/3} + nd^{4/3}).
+            return 2.0 ** (1.0 / 3.0) * cx * (nu ** (4 / 3) + nd ** (4 / 3))
+
+        h = 1e-4 * n
+        half = n / 2
+        d2_dn2 = (
+            e_x(half + h / 2, half + h / 2)
+            - 2 * e_x(half, half)
+            + e_x(half - h / 2, half - h / 2)
+        ) / h**2
+        d2_dm2 = (
+            e_x(half + h / 2, half - h / 2)
+            - 2 * e_x(half, half)
+            + e_x(half - h / 2, half + h / 2)
+        ) / h**2
+        np.testing.assert_allclose(d2_dn2, expected, rtol=1e-4)
+        np.testing.assert_allclose(d2_dm2, expected, rtol=1e-4)
+
+    def test_vacuum_floor(self):
+        out = lda_kernel_triplet(np.array([0.0, 1e-14]))
+        np.testing.assert_array_equal(out, 0.0)
+
+
+class TestSingletKernelConsistency:
+    def test_singlet_kernel_from_spin_formula(self):
+        """d^2 e/d n^2 at zeta = 0 computed from the spin-resolved energy
+        must equal the spin-restricted lda_kernel."""
+        n = DENSITIES
+        h = 1e-4 * n
+
+        def energy(nn):
+            return nn * lsda_energy_density(nn, np.zeros_like(nn))
+
+        numeric = (energy(n + h) - 2 * energy(n) + energy(n - h)) / h**2
+        np.testing.assert_allclose(lda_kernel(n), numeric, rtol=1e-4)

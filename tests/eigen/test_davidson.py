@@ -1,0 +1,64 @@
+"""Tests for the block Davidson eigensolver."""
+
+import numpy as np
+import pytest
+
+from repro.eigen import davidson, dense_lowest, lobpcg
+from repro.utils.rng import default_rng
+
+
+def _random_symmetric(n, rng):
+    a = rng.standard_normal((n, n))
+    return (a + a.T) / 2 + np.diag(np.arange(n, dtype=float))
+
+
+class TestDavidson:
+    def test_matches_dense_reference(self, rng):
+        a = _random_symmetric(150, rng)
+        ref, _ = dense_lowest(a, 4)
+        res = davidson(lambda x: a @ x, rng.standard_normal((150, 4)), np.diag(a), tol=1e-9)
+        assert res.converged
+        np.testing.assert_allclose(res.eigenvalues, ref, atol=1e-8)
+
+    def test_agrees_with_lobpcg(self, rng):
+        a = _random_symmetric(120, rng)
+        x0 = rng.standard_normal((120, 3))
+        res_d = davidson(lambda x: a @ x, x0, np.diag(a), tol=1e-10)
+        res_l = lobpcg(lambda x: a @ x, x0, tol=1e-10)
+        np.testing.assert_allclose(res_d.eigenvalues, res_l.eigenvalues, atol=1e-8)
+
+    def test_restart_path_executes(self, rng):
+        """Small max_subspace forces restarts; must still converge."""
+        a = _random_symmetric(100, rng)
+        ref, _ = dense_lowest(a, 3)
+        res = davidson(
+            lambda x: a @ x, rng.standard_normal((100, 3)), np.diag(a),
+            tol=1e-8, max_subspace=9, max_iter=400,
+        )
+        assert res.converged
+        np.testing.assert_allclose(res.eigenvalues, ref, atol=1e-7)
+
+    def test_wrong_diagonal_shape_rejected(self, rng):
+        with pytest.raises(ValueError, match="diagonal"):
+            davidson(lambda x: x, rng.standard_normal((10, 2)), np.zeros(5))
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(ValueError):
+            davidson(lambda x: x, np.zeros((5, 0)), np.zeros(5))
+
+    def test_unconverged_flag(self, rng):
+        a = _random_symmetric(200, rng)
+        res = davidson(
+            lambda x: a @ x, rng.standard_normal((200, 4)), np.diag(a),
+            tol=1e-14, max_iter=2,
+        )
+        assert not res.converged
+
+    def test_complex_hermitian(self, rng):
+        n = 80
+        a = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+        a = (a + a.conj().T) / 2 + np.diag(np.arange(n, dtype=float))
+        x0 = rng.standard_normal((n, 3)) + 1j * rng.standard_normal((n, 3))
+        res = davidson(lambda x: a @ x, x0, np.real(np.diag(a)), tol=1e-9)
+        assert res.converged
+        np.testing.assert_allclose(res.eigenvalues, np.linalg.eigvalsh(a)[:3], atol=1e-8)

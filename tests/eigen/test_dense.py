@@ -1,0 +1,55 @@
+"""Tests for the dense SYEVD stand-in."""
+
+import numpy as np
+import pytest
+
+from repro.eigen import dense_eigh, dense_lowest
+
+
+def test_matches_numpy(rng):
+    a = rng.standard_normal((30, 30))
+    a = a + a.T
+    evals, evecs = dense_eigh(a)
+    np.testing.assert_allclose(evals, np.linalg.eigvalsh(a), atol=1e-12)
+    np.testing.assert_allclose(evecs.T @ evecs, np.eye(30), atol=1e-12)
+
+
+def test_symmetrizes_slightly_asymmetric_input(rng):
+    a = rng.standard_normal((10, 10))
+    a = a + a.T + 1e-13 * rng.standard_normal((10, 10))
+    evals, _ = dense_eigh(a)
+    assert np.isrealobj(evals)
+
+
+def test_non_square_rejected():
+    with pytest.raises(ValueError):
+        dense_eigh(np.zeros((3, 4)))
+
+
+def test_lowest_truncates(rng):
+    a = rng.standard_normal((20, 20))
+    a = a + a.T
+    evals, evecs = dense_lowest(a, 5)
+    assert evals.shape == (5,)
+    assert evecs.shape == (20, 5)
+    np.testing.assert_allclose(evals, np.linalg.eigvalsh(a)[:5], atol=1e-12)
+
+
+@pytest.mark.parametrize("nev", [0, 21])
+def test_lowest_bad_nev(rng, nev):
+    a = np.eye(20)
+    with pytest.raises(ValueError):
+        dense_lowest(a, nev)
+
+
+def test_eigenresult_validation():
+    from repro.eigen import EigenResult
+
+    with pytest.raises(ValueError):
+        EigenResult(
+            eigenvalues=np.zeros(3),
+            eigenvectors=np.zeros((5, 2)),
+            iterations=1,
+            residual_norms=np.zeros(3),
+            converged=True,
+        )

@@ -1,0 +1,90 @@
+"""Tests for data-distribution descriptors (paper Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import BlockCyclic2D, BlockDistribution1D
+
+
+class TestBlockDistribution1D:
+    def test_counts_sum_to_global(self):
+        d = BlockDistribution1D(17, 4)
+        assert d.counts().sum() == 17
+
+    def test_near_even_split(self):
+        d = BlockDistribution1D(10, 3)
+        assert d.counts().tolist() == [4, 3, 3]
+
+    def test_displacements_consistent(self):
+        d = BlockDistribution1D(13, 4)
+        for r in range(1, 4):
+            assert d.displacement(r) == d.displacement(r - 1) + d.count(r - 1)
+
+    def test_owner_matches_slices(self):
+        d = BlockDistribution1D(23, 5)
+        for i in range(23):
+            r = d.owner(i)
+            s = d.local_slice(r)
+            assert s.start <= i < s.stop
+
+    def test_owner_out_of_range(self):
+        with pytest.raises(ValueError):
+            BlockDistribution1D(5, 2).owner(5)
+
+    def test_more_ranks_than_items(self):
+        d = BlockDistribution1D(2, 5)
+        assert d.counts().tolist() == [1, 1, 0, 0, 0]
+
+    def test_global_indices(self):
+        d = BlockDistribution1D(10, 3)
+        np.testing.assert_array_equal(d.global_indices(1), [4, 5, 6])
+
+    def test_empty_distribution(self):
+        d = BlockDistribution1D(0, 3)
+        assert d.counts().tolist() == [0, 0, 0]
+
+
+class TestBlockCyclic2D:
+    @pytest.fixture()
+    def desc(self):
+        return BlockCyclic2D(m=10, n=12, mb=2, nb=3, p_rows=2, p_cols=2)
+
+    def test_grid_coords_row_major(self, desc):
+        assert desc.grid_coords(0) == (0, 0)
+        assert desc.grid_coords(1) == (0, 1)
+        assert desc.grid_coords(2) == (1, 0)
+
+    def test_owner_cyclic_pattern(self, desc):
+        # Block (0,0) -> rank 0; next row block -> process row 1.
+        assert desc.owner(0, 0) == 0
+        assert desc.owner(2, 0) == 2
+        assert desc.owner(0, 3) == 1
+        assert desc.owner(4, 0) == 0  # wraps around
+
+    def test_every_entry_has_exactly_one_owner(self, desc):
+        coverage = np.zeros((desc.m, desc.n), dtype=int)
+        for rank in range(desc.n_ranks):
+            rows = desc.local_rows(rank)
+            cols = desc.local_cols(rank)
+            coverage[np.ix_(rows, cols)] += 1
+        np.testing.assert_array_equal(coverage, 1)
+
+    def test_local_shapes_sum_to_global(self, desc):
+        total = sum(
+            desc.local_shape(r)[0] * desc.local_shape(r)[1]
+            for r in range(desc.n_ranks)
+        )
+        assert total == desc.m * desc.n
+
+    def test_extract_assemble_roundtrip(self, desc, rng):
+        matrix = rng.standard_normal((desc.m, desc.n))
+        tiles = [desc.extract_local(matrix, r) for r in range(desc.n_ranks)]
+        np.testing.assert_array_equal(desc.assemble_global(tiles), matrix)
+
+    def test_extract_wrong_shape(self, desc):
+        with pytest.raises(ValueError):
+            desc.extract_local(np.zeros((3, 3)), 0)
+
+    def test_bad_rank(self, desc):
+        with pytest.raises(ValueError):
+            desc.grid_coords(desc.n_ranks)

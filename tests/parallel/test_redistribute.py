@@ -1,0 +1,133 @@
+"""Tests for layout redistribution (alltoall transposes, pdgemr2d analogue)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    BlockCyclic2D,
+    BlockDistribution1D,
+    allgather_rows,
+    gather_matrix,
+    row_block_to_block_cyclic,
+    spmd_run,
+    transpose_to_column_block,
+    transpose_to_row_block,
+)
+
+
+@pytest.fixture()
+def matrix(rng):
+    return rng.standard_normal((30, 14))
+
+
+def _row_slab(matrix, dist, rank):
+    return matrix[dist.local_slice(rank)]
+
+
+class TestTranspose:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 3, 4])
+    def test_row_to_column_block(self, matrix, n_ranks):
+        rows, cols = matrix.shape
+        row_dist = BlockDistribution1D(rows, n_ranks)
+        col_dist = BlockDistribution1D(cols, n_ranks)
+
+        def prog(comm):
+            slab = _row_slab(matrix, row_dist, comm.rank)
+            return transpose_to_column_block(comm, slab, row_dist, col_dist)
+
+        results = spmd_run(n_ranks, prog)
+        for rank, block in enumerate(results):
+            expect = matrix[:, col_dist.local_slice(rank)]
+            np.testing.assert_array_equal(block, expect)
+
+    @pytest.mark.parametrize("n_ranks", [1, 2, 4])
+    def test_roundtrip(self, matrix, n_ranks):
+        rows, cols = matrix.shape
+        row_dist = BlockDistribution1D(rows, n_ranks)
+        col_dist = BlockDistribution1D(cols, n_ranks)
+
+        def prog(comm):
+            slab = _row_slab(matrix, row_dist, comm.rank)
+            col_block = transpose_to_column_block(comm, slab, row_dist, col_dist)
+            back = transpose_to_row_block(comm, col_block, row_dist, col_dist)
+            return np.array_equal(back, slab)
+
+        assert all(spmd_run(n_ranks, prog))
+
+    def test_shape_validation(self, matrix):
+        row_dist = BlockDistribution1D(30, 2)
+        col_dist = BlockDistribution1D(14, 2)
+
+        def prog(comm):
+            bad = np.zeros((5, 14))
+            transpose_to_column_block(comm, bad, row_dist, col_dist)
+
+        with pytest.raises(ValueError, match="slab shape"):
+            spmd_run(2, prog)
+
+    def test_traffic_volume_matches_off_diagonal_data(self, matrix):
+        """Alltoall must move exactly the off-diagonal tiles of the slab."""
+        row_dist = BlockDistribution1D(30, 3)
+        col_dist = BlockDistribution1D(14, 3)
+
+        def prog(comm):
+            slab = _row_slab(matrix, row_dist, comm.rank)
+            transpose_to_column_block(comm, slab, row_dist, col_dist)
+
+        _, traffic = spmd_run(3, prog, return_traffic=True)
+        expected = sum(
+            row_dist.count(src) * col_dist.count(dst) * 8
+            for src in range(3)
+            for dst in range(3)
+            if src != dst
+        )
+        assert traffic.bytes_by_op["alltoall"] == expected
+
+
+class TestGathers:
+    def test_allgather_rows(self, matrix):
+        dist = BlockDistribution1D(30, 4)
+
+        def prog(comm):
+            return allgather_rows(comm, _row_slab(matrix, dist, comm.rank), dist)
+
+        for result in spmd_run(4, prog):
+            np.testing.assert_array_equal(result, matrix)
+
+    def test_gather_matrix_root_only(self, matrix):
+        dist = BlockDistribution1D(30, 3)
+
+        def prog(comm):
+            return gather_matrix(comm, _row_slab(matrix, dist, comm.rank), dist)
+
+        results = spmd_run(3, prog)
+        np.testing.assert_array_equal(results[0], matrix)
+        assert results[1] is None and results[2] is None
+
+
+class TestBlockCyclicRedistribution:
+    @pytest.mark.parametrize("n_ranks,p_rows,p_cols", [(2, 2, 1), (4, 2, 2), (6, 2, 3)])
+    def test_matches_direct_extraction(self, rng, n_ranks, p_rows, p_cols):
+        matrix = rng.standard_normal((16, 12))
+        row_dist = BlockDistribution1D(16, n_ranks)
+        desc = BlockCyclic2D(16, 12, mb=3, nb=2, p_rows=p_rows, p_cols=p_cols)
+
+        def prog(comm):
+            slab = matrix[row_dist.local_slice(comm.rank)]
+            return row_block_to_block_cyclic(comm, slab, row_dist, desc)
+
+        tiles = spmd_run(n_ranks, prog)
+        for rank, tile in enumerate(tiles):
+            np.testing.assert_array_equal(tile, desc.extract_local(matrix, rank))
+
+    def test_assemble_recovers_global(self, rng):
+        matrix = rng.standard_normal((10, 10))
+        row_dist = BlockDistribution1D(10, 4)
+        desc = BlockCyclic2D(10, 10, mb=2, nb=2, p_rows=2, p_cols=2)
+
+        def prog(comm):
+            slab = matrix[row_dist.local_slice(comm.rank)]
+            return row_block_to_block_cyclic(comm, slab, row_dist, desc)
+
+        tiles = spmd_run(4, prog)
+        np.testing.assert_array_equal(desc.assemble_global(tiles), matrix)

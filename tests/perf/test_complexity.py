@@ -1,0 +1,75 @@
+"""Tests for the complexity tables (paper Tables 2 and 4)."""
+
+import pytest
+
+from repro.perf import (
+    complexity_table_2,
+    complexity_table_4,
+    evaluate_complexity,
+    silicon_workload,
+)
+
+
+def test_table2_has_five_phases():
+    rows = complexity_table_2()
+    assert len(rows) == 5
+    assert rows[-1][0].startswith("ScaLAPACK")
+
+
+def test_table4_has_five_versions():
+    rows = complexity_table_4()
+    assert len(rows) == 5
+    assert rows[0].version == "naive"
+    assert rows[-1].version == "implicit-kmeans-isdf-lobpcg"
+
+
+def test_implicit_memory_is_nmu_squared():
+    assert complexity_table_4()[-1].diag_memory == "O(Nmu^2)"
+
+
+class TestNumericEvaluation:
+    @pytest.fixture()
+    def workload(self):
+        return silicon_workload(1000)
+
+    def test_all_versions_evaluate(self, workload):
+        for row in complexity_table_4():
+            values = evaluate_complexity(row.version, workload)
+            assert all(v > 0 for v in values.values())
+
+    def test_unknown_version(self, workload):
+        with pytest.raises(ValueError):
+            evaluate_complexity("bogus", workload)
+
+    def test_construction_compute_ordering(self, workload):
+        """Optimized construction costs must be far below the naive one."""
+        naive = evaluate_complexity("naive", workload)
+        implicit = evaluate_complexity("implicit-kmeans-isdf-lobpcg", workload)
+        assert implicit["construct_compute"] < naive["construct_compute"] / 10
+
+    def test_diag_compute_two_orders_reduction(self, workload):
+        """Abstract claim: computation reduced ~2 orders of magnitude."""
+        naive = evaluate_complexity("naive", workload)
+        implicit = evaluate_complexity("implicit-kmeans-isdf-lobpcg", workload)
+        assert implicit["diag_compute"] < naive["diag_compute"] / 100
+
+    def test_diag_memory_two_orders_reduction(self, workload):
+        naive = evaluate_complexity("naive", workload)
+        implicit = evaluate_complexity("implicit-kmeans-isdf-lobpcg", workload)
+        assert implicit["diag_memory"] < naive["diag_memory"] / 100
+
+    def test_kmeans_beats_qrcp_selection_term(self, workload):
+        """Table 4 rows 2 vs 3 differ only in the Nmu Nr^2 vs Nmu Nr'^2 term."""
+        qrcp = evaluate_complexity("qrcp-isdf", workload)
+        kmeans = evaluate_complexity("kmeans-isdf", workload)
+        assert kmeans["construct_compute"] < qrcp["construct_compute"]
+
+    def test_lobpcg_reduces_diag_vs_dense(self, workload):
+        dense = evaluate_complexity("kmeans-isdf", workload)
+        lobpcg = evaluate_complexity("kmeans-isdf-lobpcg", workload)
+        assert lobpcg["diag_compute"] < dense["diag_compute"]
+
+    def test_32gb_example_from_section_4(self):
+        """Section 4: N_c = N_v = 256 in double precision -> a 32 GB matrix."""
+        n_cv = 256 * 256
+        assert n_cv**2 * 8 == pytest.approx(32 * 1024**3, rel=0.05)

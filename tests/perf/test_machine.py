@@ -1,0 +1,44 @@
+"""Tests for the machine model."""
+
+import pytest
+
+from repro.perf import CORI_HASWELL, MachineSpec
+
+
+def test_cori_parameters_match_paper():
+    """Section 6.1: 2.3 GHz 16-core x 2 sockets, 36.8 Gflops/core."""
+    assert CORI_HASWELL.cores_per_node == 32
+    assert CORI_HASWELL.flops_per_core == pytest.approx(36.8e9)
+
+
+def test_nodes_rounds_up():
+    assert CORI_HASWELL.nodes(1) == 1
+    assert CORI_HASWELL.nodes(32) == 1
+    assert CORI_HASWELL.nodes(33) == 2
+    assert CORI_HASWELL.nodes(12288) == 384
+
+
+def test_peak_flops():
+    assert CORI_HASWELL.peak_flops(128) == pytest.approx(128 * 36.8e9)
+
+
+def test_invalid_efficiency_rejected():
+    with pytest.raises(ValueError, match="gemm_efficiency"):
+        MachineSpec(
+            name="x", cores_per_node=1, flops_per_core=1.0,
+            mem_bw_per_node=1.0, net_latency=1.0, net_bw_per_node=1.0,
+            gemm_efficiency=1.5, fft_efficiency=0.1,
+            kmeans_efficiency=0.1, eig_efficiency=0.1,
+        )
+
+
+def test_with_overrides_returns_modified_copy():
+    spec = CORI_HASWELL.with_overrides(net_latency=5e-6)
+    assert spec.net_latency == 5e-6
+    assert CORI_HASWELL.net_latency != 5e-6
+    assert spec.name == CORI_HASWELL.name
+
+
+def test_nodes_requires_positive_cores():
+    with pytest.raises(ValueError):
+        CORI_HASWELL.nodes(0)

@@ -1,0 +1,191 @@
+"""Tests for the version time models and the paper's scaling claims.
+
+These encode the *shape* assertions of the reproduction: who wins, by
+roughly what factor, and how efficiency behaves — checked against the
+calibrated model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.calibration import (
+    CALIBRATED_SPEC,
+    STRONG_SCALING_CORES,
+    TABLE6_CORES,
+    WEAK_SCALING_CORES,
+    paper_workload,
+)
+from repro.data.paper_reference import (
+    PAPER_SPEEDUP_TABLE6,
+    PAPER_WEAK_SCALING,
+)
+from repro.perf import (
+    parallel_efficiency,
+    predict_construction_breakdown,
+    predict_version_time,
+    silicon_workload,
+    strong_scaling_series,
+    weak_scaling_series,
+)
+from repro.perf.scaling import VERSIONS
+
+
+class TestPhaseTimes:
+    def test_total_is_sum(self):
+        w = paper_workload(64)
+        t = predict_version_time("naive", w, 128, CALIBRATED_SPEC)
+        assert t.total == pytest.approx(t.construction + t.diagonalization)
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError):
+            predict_version_time("magic", paper_workload(64), 128)
+
+    def test_naive_has_no_selection_phase(self):
+        t = predict_version_time("naive", paper_workload(64), 128, CALIBRATED_SPEC)
+        assert t.selection == 0.0
+        assert t.fit == 0.0
+
+    def test_isdf_versions_have_selection_phase(self):
+        for version in VERSIONS[1:]:
+            t = predict_version_time(version, paper_workload(64), 128, CALIBRATED_SPEC)
+            assert t.selection > 0.0
+
+
+class TestVersionOrdering:
+    """Table 4's promise: each optimization level is faster than the last."""
+
+    @pytest.mark.parametrize("n_atoms", [64, 216, 512, 1000])
+    def test_monotone_improvement(self, n_atoms):
+        w = paper_workload(n_atoms)
+        totals = [
+            predict_version_time(v, w, TABLE6_CORES, CALIBRATED_SPEC).total
+            for v in (
+                "naive",
+                "kmeans-isdf",
+                "kmeans-isdf-lobpcg",
+                "implicit-kmeans-isdf-lobpcg",
+            )
+        ]
+        assert totals[0] > totals[1] > totals[2] >= totals[3]
+
+    def test_kmeans_selection_cheaper_than_qrcp(self):
+        w = paper_workload(512)
+        t_q = predict_version_time("qrcp-isdf", w, TABLE6_CORES, CALIBRATED_SPEC)
+        t_k = predict_version_time("kmeans-isdf", w, TABLE6_CORES, CALIBRATED_SPEC)
+        assert t_k.selection < t_q.selection
+
+
+class TestTable6Shape:
+    def test_speedups_in_paper_band(self):
+        """Overall speedup ~10x (Section 6.5): every size in [3, 25]."""
+        for label, (_, _, sp_ref) in PAPER_SPEEDUP_TABLE6.items():
+            w = paper_workload(int(label[2:]))
+            tn = predict_version_time("naive", w, TABLE6_CORES, CALIBRATED_SPEC).total
+            to = predict_version_time(
+                "implicit-kmeans-isdf-lobpcg", w, TABLE6_CORES, CALIBRATED_SPEC
+            ).total
+            speedup = tn / to
+            assert 3.0 < speedup < 25.0
+            # Within a factor 2 of the paper's reported speedup.
+            assert 0.5 < speedup / sp_ref < 2.0
+
+    def test_speedup_decreases_with_system_size(self):
+        """The paper's Table 6 trend: 13.06 -> 9.89 -> 7.79 -> 6.26."""
+        speedups = []
+        for n in (64, 216, 512, 1000):
+            w = paper_workload(n)
+            tn = predict_version_time("naive", w, TABLE6_CORES, CALIBRATED_SPEC).total
+            to = predict_version_time(
+                "implicit-kmeans-isdf-lobpcg", w, TABLE6_CORES, CALIBRATED_SPEC
+            ).total
+            speedups.append(tn / to)
+        assert all(a > b for a, b in zip(speedups, speedups[1:]))
+
+    def test_absolute_times_within_factor_2(self):
+        for label, (tn_ref, to_ref, _) in PAPER_SPEEDUP_TABLE6.items():
+            w = paper_workload(int(label[2:]))
+            tn = predict_version_time("naive", w, TABLE6_CORES, CALIBRATED_SPEC).total
+            to = predict_version_time(
+                "implicit-kmeans-isdf-lobpcg", w, TABLE6_CORES, CALIBRATED_SPEC
+            ).total
+            assert 0.5 < tn / tn_ref < 2.0
+            assert 0.4 < to / to_ref < 2.5
+
+
+class TestStrongScaling:
+    def test_naive_efficiency_above_paper_floor(self):
+        """Section 6.3: naive keeps >= 50% efficiency up to 2,048 cores."""
+        w = paper_workload(1000)
+        series = strong_scaling_series(
+            "naive", w, list(STRONG_SCALING_CORES), CALIBRATED_SPEC
+        )
+        effs = parallel_efficiency(series, list(STRONG_SCALING_CORES))
+        assert effs[-1] >= 0.5
+
+    def test_times_decrease_with_cores(self):
+        w = paper_workload(1000)
+        for version in ("naive", "kmeans-isdf", "implicit-kmeans-isdf-lobpcg"):
+            series = strong_scaling_series(
+                version, w, list(STRONG_SCALING_CORES), CALIBRATED_SPEC
+            )
+            totals = [t.total for t in series]
+            assert all(a > b for a, b in zip(totals, totals[1:]))
+
+    def test_si4096_efficiency_near_paper(self):
+        """Section 6.3: 87.34% efficiency from 8,192 to 12,288 cores."""
+        w = paper_workload(4096)
+        series = strong_scaling_series(
+            "implicit-kmeans-isdf-lobpcg", w, [8192, 12288], CALIBRATED_SPEC
+        )
+        eff = parallel_efficiency(series, [8192, 12288])[1]
+        assert 0.7 < eff <= 1.0
+
+    def test_efficiency_of_first_point_is_one(self):
+        w = paper_workload(1000)
+        series = strong_scaling_series("naive", w, [128, 256], CALIBRATED_SPEC)
+        assert parallel_efficiency(series, [128, 256])[0] == pytest.approx(1.0)
+
+
+class TestWeakScaling:
+    def test_monotone_in_system_size(self):
+        workloads = [paper_workload(n) for n in (512, 1000, 1728, 2744, 4096)]
+        series = weak_scaling_series(workloads, WEAK_SCALING_CORES, CALIBRATED_SPEC)
+        totals = [t.total for t in series]
+        assert all(a < b for a, b in zip(totals, totals[1:]))
+
+    def test_growth_shape_near_paper(self):
+        """Paper ratio Si4096/Si512 = 11.7; model must be within 2x."""
+        t512 = predict_version_time(
+            "implicit-kmeans-isdf-lobpcg", paper_workload(512),
+            WEAK_SCALING_CORES, CALIBRATED_SPEC,
+        ).total
+        t4096 = predict_version_time(
+            "implicit-kmeans-isdf-lobpcg", paper_workload(4096),
+            WEAK_SCALING_CORES, CALIBRATED_SPEC,
+        ).total
+        paper_ratio = PAPER_WEAK_SCALING["Si4096"] / PAPER_WEAK_SCALING["Si512"]
+        assert 0.5 < (t4096 / t512) / paper_ratio < 2.0
+
+
+class TestBreakdown:
+    def test_phases_sum_to_construction(self):
+        w = paper_workload(1000)
+        b = predict_construction_breakdown(w, 1024, CALIBRATED_SPEC)
+        t = predict_version_time(
+            "implicit-kmeans-isdf-lobpcg", w, 1024, CALIBRATED_SPEC
+        )
+        assert sum(b.values()) == pytest.approx(t.construction)
+
+    def test_gemm_share_near_paper(self):
+        """Section 6.3: GEMM+Allreduce is 12.87% of construction time."""
+        w = paper_workload(1000)
+        b = predict_construction_breakdown(w, 1024, CALIBRATED_SPEC)
+        share = b["gemm_allreduce"] / sum(b.values())
+        assert 0.05 < share < 0.25
+
+    def test_all_phases_scale_down_with_cores(self):
+        w = paper_workload(1000)
+        b_lo = predict_construction_breakdown(w, 128, CALIBRATED_SPEC)
+        b_hi = predict_construction_breakdown(w, 2048, CALIBRATED_SPEC)
+        for phase in ("kmeans", "fft", "gemm_allreduce"):
+            assert b_hi[phase] < b_lo[phase]

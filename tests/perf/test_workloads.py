@@ -1,0 +1,54 @@
+"""Tests for the silicon workload dimension generator."""
+
+import pytest
+
+from repro.perf import silicon_workload
+from repro.perf.workloads import _grid_points_for_silicon
+
+
+class TestGridRule:
+    def test_si4096_matches_paper(self):
+        """Section 6.1: N_r = 166^3 = 4,574,296 for Si_4096 at 20 Ha."""
+        assert _grid_points_for_silicon(4096, 20.0) == 166**3 == 4574296
+
+    def test_si1000_matches_paper(self):
+        """Section 6.3: N_r = 104^3 = 1,124,864 for Si_1000 at 20 Ha."""
+        assert _grid_points_for_silicon(1000, 20.0) == 104**3 == 1124864
+
+    def test_grows_with_cutoff(self):
+        assert _grid_points_for_silicon(64, 40.0) > _grid_points_for_silicon(64, 20.0)
+
+
+class TestWorkload:
+    def test_valence_counts(self):
+        w = silicon_workload(64)
+        assert w.n_v == 128  # 4 electrons/atom, 2 per band
+        assert w.label == "Si64"
+
+    def test_pair_count(self):
+        w = silicon_workload(64)
+        assert w.n_pairs == w.n_v * w.n_c
+
+    def test_rank_clipped_to_pairs(self):
+        w = silicon_workload(8, rank_factor=10**6)
+        assert w.n_mu <= w.n_pairs
+
+    def test_pruned_points(self):
+        w = silicon_workload(64)
+        assert 1 <= w.n_r_pruned <= w.n_r
+        assert w.n_r_pruned == int(w.prune_fraction * w.n_r)
+
+    def test_memory_naive_exceeds_implicit(self):
+        w = silicon_workload(512)
+        assert w.memory_naive_bytes() > 10 * w.memory_implicit_bytes()
+
+    def test_memory_reduction_factor_paper_scale(self):
+        """The paper claims ~2 orders of magnitude memory reduction at its
+        nominal scaling (N_v ~ N_c ~ N_e, N_mu ~ 10 N_e)."""
+        w = silicon_workload(1000)
+        ratio = w.memory_naive_bytes() / w.memory_implicit_bytes()
+        assert ratio > 100
+
+    def test_invalid_atoms(self):
+        with pytest.raises(ValueError):
+            silicon_workload(0)

@@ -1,0 +1,78 @@
+"""Property-based tests for linear-algebra helpers and eigensolvers."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.eigen import lobpcg
+from repro.utils.linalg import (
+    orthonormalize,
+    stable_generalized_eigh,
+    symmetrize,
+)
+from repro.utils.rng import default_rng
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10**6), st.integers(2, 30), st.integers(1, 6))
+def test_orthonormalize_produces_orthonormal_columns(seed, n, k):
+    k = min(k, n)
+    rng = default_rng(seed)
+    x = rng.standard_normal((n, k))
+    q = orthonormalize(x)
+    np.testing.assert_allclose(q.T @ q, np.eye(k), atol=1e-8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10**6), st.integers(2, 20))
+def test_symmetrize_idempotent(seed, n):
+    rng = default_rng(seed)
+    a = rng.standard_normal((n, n))
+    s = symmetrize(a)
+    np.testing.assert_allclose(symmetrize(s), s, atol=1e-14)
+    # Symmetrization preserves the diagonal and the symmetric part.
+    np.testing.assert_allclose(np.diag(s), np.diag(a), atol=1e-14)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10**6), st.integers(3, 15))
+def test_generalized_eigh_residuals(seed, n):
+    """A v = lambda B v holds for every returned pair."""
+    rng = default_rng(seed)
+    a = rng.standard_normal((n, n))
+    a = symmetrize(a)
+    b = rng.standard_normal((n, n))
+    b = b @ b.T + n * np.eye(n)
+    evals, vecs = stable_generalized_eigh(a, b)
+    for j in range(len(evals)):
+        residual = a @ vecs[:, j] - evals[j] * (b @ vecs[:, j])
+        assert np.linalg.norm(residual) < 1e-7 * max(1.0, abs(evals[j])) * n
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10**6), st.integers(10, 40), st.integers(1, 4))
+def test_lobpcg_eigenvalues_above_spectrum_floor(seed, n, k):
+    """Ritz values never undershoot the true minimum eigenvalue (variational
+    property — the regression the divergence bug violated)."""
+    rng = default_rng(seed)
+    a = rng.standard_normal((n, n))
+    a = symmetrize(a) + np.diag(np.linspace(0, n, n))
+    floor = np.linalg.eigvalsh(a)[0]
+    res = lobpcg(lambda x: a @ x, rng.standard_normal((n, k)), tol=1e-8, max_iter=150)
+    assert res.eigenvalues.min() >= floor - 1e-6
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10**6), st.integers(8, 30))
+def test_lobpcg_invariant_to_spectral_shift(seed, n):
+    """Eigenvalues of A + c I are those of A shifted by c."""
+    rng = default_rng(seed)
+    a = rng.standard_normal((n, n))
+    a = symmetrize(a) + np.diag(np.arange(n, dtype=float))
+    x0 = rng.standard_normal((n, 3))
+    r1 = lobpcg(lambda x: a @ x, x0, tol=1e-9, max_iter=200)
+    shift = 7.5
+    r2 = lobpcg(lambda x: a @ x + shift * x, x0, tol=1e-9, max_iter=200)
+    if r1.converged and r2.converged:
+        np.testing.assert_allclose(
+            r2.eigenvalues, r1.eigenvalues + shift, atol=1e-6
+        )

@@ -1,0 +1,92 @@
+"""Property-based tests for the SPMD runtime and distributions."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel import (
+    BlockCyclic2D,
+    BlockDistribution1D,
+    spmd_run,
+    transpose_to_column_block,
+)
+from repro.utils.rng import default_rng
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 200), st.integers(1, 9))
+def test_block_distribution_partitions_exactly(n_global, n_ranks):
+    d = BlockDistribution1D(n_global, n_ranks)
+    # Counts sum to the total and slices tile [0, n_global).
+    assert d.counts().sum() == n_global
+    covered = []
+    for r in range(n_ranks):
+        s = d.local_slice(r)
+        covered.extend(range(s.start, s.stop))
+    assert covered == list(range(n_global))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(1, 200), st.integers(1, 9))
+def test_owner_consistent_with_slices(n_global, n_ranks):
+    d = BlockDistribution1D(n_global, n_ranks)
+    for i in range(0, n_global, max(1, n_global // 11)):
+        r = d.owner(i)
+        assert i in d.global_indices(r)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(1, 12),
+    st.integers(1, 12),
+    st.integers(1, 4),
+    st.integers(1, 4),
+    st.integers(1, 3),
+    st.integers(1, 3),
+)
+def test_block_cyclic_exact_cover(m, n, mb, nb, p_rows, p_cols):
+    desc = BlockCyclic2D(m, n, mb, nb, p_rows, p_cols)
+    coverage = np.zeros((m, n), dtype=int)
+    for rank in range(desc.n_ranks):
+        coverage[np.ix_(desc.local_rows(rank), desc.local_cols(rank))] += 1
+    np.testing.assert_array_equal(coverage, 1)
+    # owner() agrees with the tiling.
+    for i in range(0, m, max(1, m // 5)):
+        for j in range(0, n, max(1, n // 5)):
+            rank = desc.owner(i, j)
+            assert i in desc.local_rows(rank)
+            assert j in desc.local_cols(rank)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10**6), st.integers(1, 4), st.integers(2, 12), st.integers(1, 9))
+def test_transpose_roundtrip_any_shape(seed, n_ranks, rows, cols):
+    rng = default_rng(seed)
+    matrix = rng.standard_normal((rows, cols))
+    row_dist = BlockDistribution1D(rows, n_ranks)
+    col_dist = BlockDistribution1D(cols, n_ranks)
+
+    def prog(comm):
+        slab = matrix[row_dist.local_slice(comm.rank)]
+        return transpose_to_column_block(comm, slab, row_dist, col_dist)
+
+    results = spmd_run(n_ranks, prog)
+    for rank, block in enumerate(results):
+        np.testing.assert_array_equal(
+            block, matrix[:, col_dist.local_slice(rank)]
+        )
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10**6), st.integers(1, 5))
+def test_allreduce_equals_serial_sum(seed, n_ranks):
+    rng = default_rng(seed)
+    pieces = [rng.standard_normal(7) for _ in range(n_ranks)]
+    expected = pieces[0].copy()
+    for p in pieces[1:]:
+        expected = expected + p
+
+    def prog(comm):
+        return comm.allreduce(pieces[comm.rank])
+
+    for result in spmd_run(n_ranks, prog):
+        np.testing.assert_array_equal(result, expected)

@@ -1,0 +1,74 @@
+"""Property-based tests for the physics substrates."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dft.xc import lda_energy_density, lda_kernel, lda_potential
+from repro.pw import PlaneWaveBasis, UnitCell
+from repro.utils.rng import default_rng
+
+densities = st.floats(1e-8, 1e3, allow_nan=False, width=64)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(densities, min_size=1, max_size=20))
+def test_xc_derivative_chain(values):
+    """eps, v and f are consistent under numerical differentiation for any
+    physical density."""
+    n = np.asarray(values)
+    h = 1e-6 * n
+    v_numeric = ((n + h) * lda_energy_density(n + h) - (n - h) * lda_energy_density(n - h)) / (2 * h)
+    np.testing.assert_allclose(lda_potential(n), v_numeric, rtol=1e-4)
+    f_numeric = (lda_potential(n + h) - lda_potential(n - h)) / (2 * h)
+    np.testing.assert_allclose(lda_kernel(n), f_numeric, rtol=1e-3)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(densities, min_size=2, max_size=20))
+def test_xc_potential_monotone(values):
+    """v_xc is a monotonically decreasing function of... actually v_xc is
+    negative and decreases with density (more binding at higher n)."""
+    n = np.sort(np.asarray(values))
+    v = lda_potential(n)
+    assert (v < 0).all()
+    assert (np.diff(v) <= 1e-12).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10**6), st.floats(3.0, 10.0))
+def test_basis_roundtrip_any_cutoff(seed, ecut):
+    basis = PlaneWaveBasis(UnitCell.cubic(7.0), ecut=ecut)
+    rng = default_rng(seed)
+    c = basis.random_coefficients(2, rng)
+    np.testing.assert_allclose(basis.to_recip(basis.to_real(c)), c, atol=1e-10)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10**6))
+def test_hartree_energy_positive_definite(seed):
+    """E_H[n] >= 0 for any real density fluctuation (Coulomb is PSD)."""
+    from repro.dft import hartree_energy
+
+    basis = PlaneWaveBasis(UnitCell.cubic(6.0), ecut=5.0)
+    rng = default_rng(seed)
+    n = rng.standard_normal(basis.n_r)  # sign-indefinite test field
+    assert hartree_energy(n, basis) >= -1e-10
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10**6), st.integers(1, 3), st.integers(1, 3))
+def test_casida_hamiltonian_symmetric_for_any_orbitals(seed, n_v, n_c):
+    """H = D + 2 P^T f_Hxc P is symmetric whatever the (real) inputs."""
+    from repro.core import HxcKernel, build_casida_hamiltonian
+
+    basis = PlaneWaveBasis(UnitCell.cubic(6.0), ecut=4.0)
+    rng = default_rng(seed)
+    psi_v = rng.standard_normal((n_v, basis.n_r))
+    psi_c = rng.standard_normal((n_c, basis.n_r))
+    density = rng.random(basis.n_r) + 0.05
+    kernel = HxcKernel(basis, density)
+    h = build_casida_hamiltonian(
+        psi_v, np.sort(rng.random(n_v)) - 1.0,
+        psi_c, np.sort(rng.random(n_c)) + 1.0, kernel,
+    )
+    np.testing.assert_allclose(h, h.T, atol=1e-10)

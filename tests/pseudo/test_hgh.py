@@ -1,0 +1,112 @@
+"""Tests for the HGH pseudopotential forms.
+
+The analytic reciprocal-space expressions are validated against independent
+numerical radial transforms of the real-space definitions — the strongest
+check available without external reference data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.pseudo import (
+    get_pseudopotential,
+    local_potential_real,
+    local_potential_recip,
+    projector_radial_numeric,
+    projector_radial_recip,
+    projector_real,
+)
+
+
+class TestTable:
+    @pytest.mark.parametrize("symbol,zion", [("H", 1), ("C", 4), ("O", 6), ("Si", 4)])
+    def test_ionic_charges(self, symbol, zion):
+        assert get_pseudopotential(symbol).zion == zion
+
+    def test_unknown_species(self):
+        with pytest.raises(KeyError):
+            get_pseudopotential("Fe")
+
+    def test_silicon_has_two_s_projectors(self):
+        si = get_pseudopotential("Si")
+        assert len(si.projectors[0][1]) == 2
+        assert si.n_projector_channels == 3
+
+    def test_hydrogen_is_local_only(self):
+        assert get_pseudopotential("H").projectors == {}
+
+
+class TestLocalPotential:
+    def test_real_space_coulomb_tail(self):
+        """V(r) -> -Z/r at large r (erf -> 1, Gaussian dies)."""
+        si = get_pseudopotential("Si")
+        r = np.array([8.0, 12.0])
+        np.testing.assert_allclose(
+            local_potential_real(si, r), -si.zion / r, rtol=1e-10
+        )
+
+    def test_real_space_finite_at_origin(self):
+        si = get_pseudopotential("Si")
+        v0 = local_potential_real(si, np.array([0.0]))[0]
+        assert np.isfinite(v0)
+
+    @pytest.mark.parametrize("symbol", ["H", "C", "O", "Si"])
+    def test_recip_matches_numerical_transform(self, symbol):
+        """(1/Omega) int V(r) e^{-iGr} dr via screened split, vs analytic."""
+        params = get_pseudopotential(symbol)
+        omega = 500.0
+        r = np.linspace(1e-6, 30.0, 40000)
+        short_ranged = local_potential_real(params, r) + params.zion / r
+        for g in (0.4, 1.0, 2.5, 5.0):
+            j0 = np.sin(g * r) / (g * r)
+            numeric = (
+                4 * np.pi * np.trapezoid(r * r * short_ranged * j0, r) / omega
+                - 4 * np.pi * params.zion / (g * g * omega)
+            )
+            analytic = local_potential_recip(params, np.array([g * g]), omega)[0]
+            assert analytic == pytest.approx(numeric, abs=1e-7)
+
+    def test_g0_is_finite_regularized(self):
+        si = get_pseudopotential("Si")
+        v0 = local_potential_recip(si, np.array([0.0]), 100.0)[0]
+        assert np.isfinite(v0)
+
+    def test_volume_scaling(self):
+        si = get_pseudopotential("Si")
+        g2 = np.array([1.0])
+        a = local_potential_recip(si, g2, 100.0)[0]
+        b = local_potential_recip(si, g2, 200.0)[0]
+        assert a == pytest.approx(2 * b)
+
+
+class TestProjectors:
+    @pytest.mark.parametrize("symbol,l,i", [("Si", 0, 1), ("Si", 0, 2), ("Si", 1, 1), ("C", 0, 1), ("O", 1, 1)])
+    def test_analytic_matches_numeric(self, symbol, l, i):
+        params = get_pseudopotential(symbol)
+        g = np.linspace(0.05, 8.0, 9)
+        analytic = projector_radial_recip(params, l, i, g)
+        numeric = projector_radial_numeric(params, l, i, g)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-8, atol=1e-12)
+
+    def test_real_space_normalization(self):
+        """HGH projectors are L2-normalized: int r^2 p(r)^2 dr = 1."""
+        si = get_pseudopotential("Si")
+        r = np.linspace(0, 20, 40000)
+        for l, i in [(0, 1), (0, 2), (1, 1)]:
+            p = projector_real(si, l, i, r)
+            norm = np.trapezoid(r * r * p * p, r)
+            assert norm == pytest.approx(1.0, abs=1e-8)
+
+    def test_p_projector_vanishes_at_g0(self):
+        si = get_pseudopotential("Si")
+        assert projector_radial_recip(si, 1, 1, np.array([0.0]))[0] == 0.0
+
+    def test_missing_channel_raises(self):
+        h = get_pseudopotential("H")
+        with pytest.raises(ValueError):
+            projector_real(h, 0, 1, np.array([1.0]))
+
+    def test_unimplemented_closed_form(self):
+        si = get_pseudopotential("Si")
+        with pytest.raises(NotImplementedError):
+            projector_radial_recip(si, 1, 3, np.array([1.0]))

@@ -1,0 +1,104 @@
+"""Tests for the Kleinman-Bylander projector assembly and application."""
+
+import numpy as np
+import pytest
+
+from repro.atoms import silicon_primitive_cell, water_molecule
+from repro.constants import ANGSTROM_TO_BOHR
+from repro.pseudo import build_projectors
+from repro.pw import PlaneWaveBasis
+from repro.utils.rng import default_rng
+
+
+@pytest.fixture(scope="module")
+def si_basis():
+    return PlaneWaveBasis(silicon_primitive_cell(), ecut=8.0)
+
+
+@pytest.fixture(scope="module")
+def si_proj(si_basis):
+    return build_projectors(si_basis)
+
+
+def test_silicon_projector_count(si_proj):
+    # Per Si atom: s(i=1) + s(i=2) + p(i=1, 3 m-values) = 5; two atoms = 10.
+    assert si_proj.n_projectors == 10
+
+
+def test_labels_match_columns(si_proj):
+    assert len(si_proj.labels) == si_proj.n_projectors
+    symbols = {lab[1] for lab in si_proj.labels}
+    assert symbols == {"Si"}
+
+
+def test_apply_is_hermitian(si_basis, si_proj):
+    """<a|V_nl|b> = conj(<b|V_nl|a>) for random coefficient vectors."""
+    rng = default_rng(0)
+    a = si_basis.random_coefficients(1, rng)[0]
+    b = si_basis.random_coefficients(1, rng)[0]
+    lhs = np.vdot(a, si_proj.apply(b))
+    rhs = np.vdot(b, si_proj.apply(a)).conjugate()
+    assert lhs == pytest.approx(rhs, abs=1e-12)
+
+
+def test_apply_linear(si_basis, si_proj):
+    rng = default_rng(1)
+    a = si_basis.random_coefficients(1, rng)[0]
+    b = si_basis.random_coefficients(1, rng)[0]
+    lhs = si_proj.apply(2.0 * a + 3.0 * b)
+    rhs = 2.0 * si_proj.apply(a) + 3.0 * si_proj.apply(b)
+    np.testing.assert_allclose(lhs, rhs, atol=1e-12)
+
+
+def test_apply_batched_matches_loop(si_basis, si_proj):
+    rng = default_rng(2)
+    block = si_basis.random_coefficients(4, rng)
+    batched = si_proj.apply(block)
+    for i in range(4):
+        np.testing.assert_allclose(batched[i], si_proj.apply(block[i]), atol=1e-14)
+
+
+def test_energy_weights_real_and_match_expectation(si_basis, si_proj):
+    rng = default_rng(3)
+    c = si_basis.random_coefficients(2, rng)
+    e = si_proj.energy_weights(c)
+    for i in range(2):
+        expect = np.vdot(c[i], si_proj.apply(c[i])).real
+        assert e[i] == pytest.approx(expect, abs=1e-12)
+
+
+def test_hydrogen_only_cell_has_no_projectors():
+    from repro.pw import UnitCell
+
+    cell = UnitCell(8.0 * np.eye(3), ("H", "H"), np.array([[0.4, 0.5, 0.5], [0.6, 0.5, 0.5]]))
+    basis = PlaneWaveBasis(cell, ecut=6.0)
+    proj = build_projectors(basis)
+    assert proj.n_projectors == 0
+    c = basis.random_coefficients(1, default_rng(0))
+    np.testing.assert_array_equal(proj.apply(c), np.zeros_like(c))
+
+
+def test_water_projector_count():
+    basis = PlaneWaveBasis(water_molecule(box=7.0 * ANGSTROM_TO_BOHR), ecut=6.0)
+    proj = build_projectors(basis)
+    # O: s + 3p = 4; H atoms contribute none.
+    assert proj.n_projectors == 4
+
+
+def test_translation_invariance_of_energies(si_basis):
+    """Rigidly translating the cell must not change V_nl expectation values
+    of translated orbitals (checked via the projector overlap spectrum)."""
+    from repro.pw import UnitCell
+
+    cell = si_basis.cell
+    shifted = UnitCell(
+        cell.lattice, cell.species, cell.fractional_positions + 0.18
+    )
+    proj_a = build_projectors(si_basis)
+    proj_b = build_projectors(PlaneWaveBasis(shifted, si_basis.ecut))
+    # The Gram matrices of the projector sets are translation invariant.
+    gram_a = proj_a.beta.conj().T @ proj_a.beta
+    gram_b = proj_b.beta.conj().T @ proj_b.beta
+    np.testing.assert_allclose(
+        np.linalg.eigvalsh(gram_a), np.linalg.eigvalsh(gram_b), atol=1e-10
+    )

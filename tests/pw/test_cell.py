@@ -1,0 +1,86 @@
+"""Tests for UnitCell geometry."""
+
+import numpy as np
+import pytest
+
+from repro.pw import UnitCell
+from repro.atoms import silicon_conventional_cell, silicon_primitive_cell
+
+
+class TestConstruction:
+    def test_cubic_volume(self):
+        cell = UnitCell.cubic(3.0)
+        assert cell.volume == pytest.approx(27.0)
+
+    def test_species_position_count_mismatch(self):
+        with pytest.raises(ValueError, match="species"):
+            UnitCell(np.eye(3), ("Si",), np.zeros((2, 3)))
+
+    def test_left_handed_lattice_rejected(self):
+        lattice = np.eye(3)
+        lattice[0, 0] = -1.0
+        with pytest.raises(ValueError, match="right-handed"):
+            UnitCell(lattice)
+
+    def test_positions_wrapped_to_unit_interval(self):
+        cell = UnitCell(np.eye(3), ("Si",), np.array([[1.25, -0.25, 0.5]]))
+        np.testing.assert_allclose(cell.fractional_positions[0], [0.25, 0.75, 0.5])
+
+    def test_bad_lattice_shape(self):
+        with pytest.raises(ValueError, match="3x3"):
+            UnitCell(np.eye(2))
+
+
+class TestGeometry:
+    def test_reciprocal_lattice_duality(self):
+        cell = silicon_primitive_cell()
+        product = cell.lattice @ cell.reciprocal_lattice.T
+        np.testing.assert_allclose(product, 2 * np.pi * np.eye(3), atol=1e-12)
+
+    def test_cartesian_positions(self):
+        cell = UnitCell(2.0 * np.eye(3), ("Si",), np.array([[0.5, 0.5, 0.5]]))
+        np.testing.assert_allclose(cell.cartesian_positions[0], [1.0, 1.0, 1.0])
+
+    def test_lengths(self):
+        cell = UnitCell.cubic(4.0)
+        np.testing.assert_allclose(cell.lengths, [4.0, 4.0, 4.0])
+
+    def test_primitive_volume_is_quarter_of_conventional(self):
+        prim = silicon_primitive_cell()
+        conv = silicon_conventional_cell()
+        assert prim.volume == pytest.approx(conv.volume / 4.0)
+
+
+class TestSupercell:
+    def test_supercell_atom_count(self):
+        cell = silicon_conventional_cell()
+        sup = cell.supercell((2, 2, 2))
+        assert sup.n_atoms == 64
+
+    def test_supercell_volume(self):
+        cell = silicon_conventional_cell()
+        sup = cell.supercell((2, 1, 3))
+        assert sup.volume == pytest.approx(6.0 * cell.volume)
+
+    def test_supercell_preserves_density_of_atoms(self):
+        cell = silicon_conventional_cell()
+        sup = cell.supercell((2, 2, 2))
+        assert sup.n_atoms / sup.volume == pytest.approx(cell.n_atoms / cell.volume)
+
+    def test_invalid_reps_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            silicon_conventional_cell().supercell((0, 1, 1))
+
+    def test_no_duplicate_positions(self):
+        sup = silicon_conventional_cell().supercell((2, 2, 2))
+        cart = sup.cartesian_positions
+        dists = np.linalg.norm(cart[:, None, :] - cart[None, :, :], axis=2)
+        dists[np.diag_indices_from(dists)] = np.inf
+        assert dists.min() > 1.0  # Bohr
+
+
+class TestFormula:
+    def test_count_and_formula(self):
+        cell = silicon_conventional_cell()
+        assert cell.count("Si") == 8
+        assert cell.formula() == "Si8"

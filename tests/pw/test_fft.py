@@ -1,0 +1,77 @@
+"""Tests for the Fourier-series FFT conventions."""
+
+import numpy as np
+import pytest
+
+from repro.pw import FourierGrid, RealSpaceGrid, UnitCell
+
+
+@pytest.fixture()
+def fourier():
+    grid = RealSpaceGrid(UnitCell.cubic(5.0), (8, 8, 8))
+    return FourierGrid(grid)
+
+
+def test_roundtrip(fourier, rng):
+    f = rng.standard_normal(fourier.grid.n_points).astype(complex)
+    np.testing.assert_allclose(fourier.backward(fourier.forward(f)), f, atol=1e-12)
+
+
+def test_constant_field_maps_to_g0(fourier):
+    f = np.full(fourier.grid.n_points, 3.7, dtype=complex)
+    f_g = fourier.forward(f)
+    assert f_g[0] == pytest.approx(3.7)
+    np.testing.assert_allclose(f_g[1:], 0.0, atol=1e-12)
+
+
+def test_single_plane_wave_coefficient(fourier):
+    """f(r) = exp(i G1 . r) must give coefficient 1 at miller (1,0,0)."""
+    grid = fourier.grid
+    from repro.pw import GVectors
+
+    gv = GVectors(grid, ecut=1.0)
+    phase = grid.fractional_points @ np.array([1, 0, 0])
+    f = np.exp(2j * np.pi * phase)
+    f_g = fourier.forward(f)
+    idx = np.flatnonzero((gv.miller == [1, 0, 0]).all(axis=1))[0]
+    assert f_g[idx] == pytest.approx(1.0)
+    f_g[idx] = 0.0
+    np.testing.assert_allclose(f_g, 0.0, atol=1e-12)
+
+
+def test_batched_transform_matches_loop(fourier, rng):
+    fields = rng.standard_normal((4, fourier.grid.n_points)).astype(complex)
+    batched = fourier.forward(fields)
+    for i in range(4):
+        np.testing.assert_allclose(batched[i], fourier.forward(fields[i]))
+
+
+def test_backward_real_matches_real_part(fourier, rng):
+    f = rng.standard_normal(fourier.grid.n_points)
+    f_g = fourier.forward(f.astype(complex))
+    np.testing.assert_allclose(fourier.backward_real(f_g), f, atol=1e-12)
+
+
+def test_parseval(fourier, rng):
+    """sum_r |f|^2 / N = sum_G |f_G|^2 under the series convention."""
+    f = rng.standard_normal(fourier.grid.n_points).astype(complex)
+    f_g = fourier.forward(f)
+    lhs = (np.abs(f) ** 2).sum() / fourier.grid.n_points
+    rhs = (np.abs(f_g) ** 2).sum()
+    assert lhs == pytest.approx(rhs)
+
+
+def test_convolution_theorem(fourier, rng):
+    """Multiplying coefficients equals periodic convolution of fields."""
+    n = fourier.grid.n_points
+    a = rng.standard_normal(n).astype(complex)
+    b = rng.standard_normal(n).astype(complex)
+    prod_g = fourier.forward(a) * fourier.forward(b)
+    direct = fourier.backward(prod_g)
+    # Periodic convolution via dense loop on a tiny grid is too slow; use
+    # numpy's FFT with matching normalization as the independent reference.
+    shape = fourier.grid.shape
+    ref = np.fft.ifftn(
+        np.fft.fftn(a.reshape(shape)) * np.fft.fftn(b.reshape(shape))
+    ).ravel() / n
+    np.testing.assert_allclose(direct, ref, atol=1e-10)

@@ -1,0 +1,92 @@
+"""Tests for the real-space grid and the paper's grid-size rule."""
+
+import numpy as np
+import pytest
+
+from repro.atoms import bulk_silicon
+from repro.pw import RealSpaceGrid, UnitCell, good_fft_size
+from repro.pw.grid import grid_shape_for_cutoff
+
+
+class TestGoodFFTSize:
+    @pytest.mark.parametrize("n,expected", [(1, 2), (2, 2), (7, 8), (11, 12), (13, 15), (17, 18)])
+    def test_rounds_to_5_smooth(self, n, expected):
+        assert good_fft_size(n) == expected
+
+    def test_result_is_5_smooth(self):
+        for n in range(2, 200):
+            m = good_fft_size(n)
+            for p in (2, 3, 5):
+                while m % p == 0:
+                    m //= p
+            assert m == 1
+
+
+class TestGridShapeRule:
+    def test_paper_si4096_grid(self):
+        """Section 6.1: Si_4096 at Ecut = 20 Ha uses a 166^3 grid.
+
+        The raw rule gives ceil(sqrt(40) * 8a / pi) = 166 per axis
+        (before FFT-size rounding; 166 is not 5-smooth so we round up).
+        """
+        cell = bulk_silicon(4096)
+        gmax = np.sqrt(2.0 * 20.0)
+        raw = int(np.ceil(gmax * cell.lengths[0] / np.pi))
+        assert raw == 166
+
+    def test_shape_grows_with_cutoff(self):
+        cell = UnitCell.cubic(10.0)
+        lo = grid_shape_for_cutoff(cell, 5.0)
+        hi = grid_shape_for_cutoff(cell, 20.0)
+        assert all(h >= l for h, l in zip(hi, lo))
+
+    def test_anisotropic_cell(self):
+        lattice = np.diag([10.0, 20.0, 10.0])
+        shape = grid_shape_for_cutoff(UnitCell(lattice), 10.0)
+        assert shape[1] > shape[0]
+
+    def test_invalid_cutoff(self):
+        with pytest.raises(ValueError):
+            grid_shape_for_cutoff(UnitCell.cubic(10.0), 0.0)
+
+
+class TestRealSpaceGrid:
+    def test_point_count_and_dv(self):
+        grid = RealSpaceGrid(UnitCell.cubic(4.0), (4, 4, 4))
+        assert grid.n_points == 64
+        assert grid.dv == pytest.approx(64.0 / 64)
+
+    def test_fractional_points_cover_unit_cube(self):
+        grid = RealSpaceGrid(UnitCell.cubic(1.0), (3, 3, 3))
+        pts = grid.fractional_points
+        assert pts.min() == 0.0
+        assert pts.max() < 1.0
+        assert pts.shape == (27, 3)
+
+    def test_cartesian_points_match_lattice(self):
+        cell = UnitCell.cubic(6.0)
+        grid = RealSpaceGrid(cell, (2, 2, 2))
+        np.testing.assert_allclose(grid.cartesian_points.max(axis=0), [3.0, 3.0, 3.0])
+
+    def test_reshape_roundtrip(self, rng):
+        grid = RealSpaceGrid(UnitCell.cubic(2.0), (3, 4, 5))
+        flat = rng.standard_normal(grid.n_points)
+        np.testing.assert_array_equal(
+            grid.flatten_from_grid(grid.reshape_to_grid(flat)), flat
+        )
+
+    def test_reshape_with_batch_axes(self, rng):
+        grid = RealSpaceGrid(UnitCell.cubic(2.0), (3, 3, 3))
+        flat = rng.standard_normal((2, 5, grid.n_points))
+        cube = grid.reshape_to_grid(flat)
+        assert cube.shape == (2, 5, 3, 3, 3)
+
+    def test_integrate_constant(self):
+        cell = UnitCell.cubic(3.0)
+        grid = RealSpaceGrid(cell, (4, 4, 4))
+        assert grid.integrate(np.ones(grid.n_points)) == pytest.approx(cell.volume)
+
+    def test_from_cutoff_uses_rule(self):
+        cell = UnitCell.cubic(10.0)
+        grid = RealSpaceGrid.from_cutoff(cell, 10.0)
+        assert grid.shape == grid_shape_for_cutoff(cell, 10.0)

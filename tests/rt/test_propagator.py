@@ -1,0 +1,93 @@
+"""Tests for the Krylov exponential propagator."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.rt import expm_krylov
+from repro.rt.propagator import expm_krylov_block
+from repro.utils.rng import default_rng
+
+
+@pytest.fixture()
+def hermitian():
+    rng = default_rng(0)
+    n = 60
+    h = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+    h = 0.5 * (h + h.conj().T)
+    return h
+
+
+def test_matches_dense_expm(hermitian):
+    rng = default_rng(1)
+    psi = rng.standard_normal(60) + 1j * rng.standard_normal(60)
+    dt = 0.05
+    exact = sla.expm(-1j * dt * hermitian) @ psi
+    approx = expm_krylov(lambda v: hermitian @ v, psi, dt, krylov_dim=25)
+    np.testing.assert_allclose(approx, exact, atol=1e-9)
+
+
+def test_norm_conservation(hermitian):
+    rng = default_rng(2)
+    psi = rng.standard_normal(60) + 1j * rng.standard_normal(60)
+    out = expm_krylov(lambda v: hermitian @ v, psi, 0.1, krylov_dim=15)
+    assert np.linalg.norm(out) == pytest.approx(np.linalg.norm(psi), rel=1e-8)
+
+
+def test_small_dt_accuracy_with_small_krylov(hermitian):
+    """dt ~ 0.01 needs only a handful of Krylov vectors."""
+    rng = default_rng(3)
+    psi = rng.standard_normal(60) + 1j * rng.standard_normal(60)
+    dt = 0.01
+    exact = sla.expm(-1j * dt * hermitian) @ psi
+    approx = expm_krylov(lambda v: hermitian @ v, psi, dt, krylov_dim=8)
+    np.testing.assert_allclose(approx, exact, atol=1e-8)
+
+
+def test_eigenvector_gets_pure_phase(hermitian):
+    evals, evecs = np.linalg.eigh(hermitian)
+    psi = evecs[:, 3].astype(complex)
+    dt = 0.3
+    out = expm_krylov(lambda v: hermitian @ v, psi, dt, krylov_dim=5)
+    np.testing.assert_allclose(out, np.exp(-1j * dt * evals[3]) * psi, atol=1e-10)
+
+
+def test_zero_state_passthrough(hermitian):
+    psi = np.zeros(60, dtype=complex)
+    out = expm_krylov(lambda v: hermitian @ v, psi, 0.1)
+    np.testing.assert_array_equal(out, psi)
+
+
+def test_krylov_breakdown_is_exact():
+    """If the state lives in a tiny invariant subspace, Lanczos terminates
+    early and the result is exact."""
+    h = np.diag(np.array([1.0, 2.0, 3.0, 4.0]))
+    psi = np.array([1.0, 0, 0, 0], dtype=complex)
+    out = expm_krylov(lambda v: h @ v, psi, 0.7, krylov_dim=10)
+    np.testing.assert_allclose(out[0], np.exp(-1j * 0.7 * 1.0), atol=1e-12)
+    np.testing.assert_allclose(out[1:], 0.0, atol=1e-12)
+
+
+def test_composition_property(hermitian):
+    """Two half steps equal one full step (exact propagator is a group)."""
+    rng = default_rng(4)
+    psi = rng.standard_normal(60) + 1j * rng.standard_normal(60)
+    apply_h = lambda v: hermitian @ v  # noqa: E731
+    full = expm_krylov(apply_h, psi, 0.08, krylov_dim=20)
+    half = expm_krylov(apply_h, psi, 0.04, krylov_dim=20)
+    half2 = expm_krylov(apply_h, half, 0.04, krylov_dim=20)
+    np.testing.assert_allclose(half2, full, atol=1e-9)
+
+
+def test_block_propagation_matches_loop(hermitian):
+    rng = default_rng(5)
+    block = rng.standard_normal((3, 60)) + 1j * rng.standard_normal((3, 60))
+    out = expm_krylov_block(lambda b: b @ hermitian.T, block, 0.05, krylov_dim=15)
+    for i in range(3):
+        single = expm_krylov(lambda v: hermitian @ v, block[i], 0.05, krylov_dim=15)
+        np.testing.assert_allclose(out[i], single, atol=1e-10)
+
+
+def test_invalid_krylov_dim(hermitian):
+    with pytest.raises(ValueError):
+        expm_krylov(lambda v: hermitian @ v, np.ones(60, dtype=complex), 0.1, krylov_dim=0)

@@ -1,0 +1,72 @@
+"""Tests for the dipole-spectrum analysis."""
+
+import numpy as np
+import pytest
+
+from repro.rt import dipole_spectrum, find_peaks
+
+
+def _synthetic_signal(frequencies, amplitudes, t_max=400.0, dt=0.1):
+    t = np.arange(0.0, t_max, dt)
+    d = np.zeros_like(t)
+    for w, a in zip(frequencies, amplitudes):
+        d += a * np.sin(w * t)
+    return t, d + 0.3  # constant offset = static dipole
+
+
+class TestDipoleSpectrum:
+    def test_single_mode_peak_position(self):
+        t, d = _synthetic_signal([0.25], [1.0])
+        omega, s = dipole_spectrum(t, d, kick_strength=1e-3, damping=0.01)
+        peaks = find_peaks(omega, s, threshold=0.5)
+        assert len(peaks) == 1
+        assert peaks[0] == pytest.approx(0.25, abs=0.005)
+
+    def test_two_modes_resolved(self):
+        t, d = _synthetic_signal([0.2, 0.5], [1.0, 0.7])
+        omega, s = dipole_spectrum(t, d, kick_strength=1e-3, damping=0.008)
+        peaks = find_peaks(omega, s, threshold=0.2)
+        assert len(peaks) == 2
+        np.testing.assert_allclose(peaks, [0.2, 0.5], atol=0.01)
+
+    def test_static_offset_does_not_leak(self):
+        """The constant dipole must not create a spurious DC peak."""
+        t = np.arange(0.0, 200.0, 0.1)
+        d = np.full_like(t, 5.0)
+        omega, s = dipole_spectrum(t, d, kick_strength=1e-3)
+        assert np.abs(s).max() < 1e-10
+
+    def test_kick_normalization(self):
+        t, d = _synthetic_signal([0.3], [1.0])
+        _, s1 = dipole_spectrum(t, d, kick_strength=1e-3)
+        _, s2 = dipole_spectrum(t, d, kick_strength=2e-3)
+        np.testing.assert_allclose(s1, 2.0 * s2, atol=1e-12)
+
+    def test_uneven_sampling_rejected(self):
+        t = np.array([0.0, 0.1, 0.3, 0.4])
+        with pytest.raises(ValueError, match="equally spaced"):
+            dipole_spectrum(t, np.zeros(4), 1e-3)
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            dipole_spectrum(np.arange(5.0), np.zeros(4), 1e-3)
+
+    def test_damping_broadens_not_shifts(self):
+        t, d = _synthetic_signal([0.4], [1.0])
+        omega, narrow = dipole_spectrum(t, d, 1e-3, damping=0.005)
+        _, wide = dipole_spectrum(t, d, 1e-3, damping=0.03)
+        p_narrow = omega[np.argmax(narrow)]
+        p_wide = omega[np.argmax(wide)]
+        assert p_narrow == pytest.approx(p_wide, abs=0.01)
+        assert narrow.max() > wide.max()
+
+
+class TestFindPeaks:
+    def test_empty_below_threshold(self):
+        omega = np.linspace(0, 1, 100)
+        s = 0.01 * np.ones(100)
+        s[50] = 0.011
+        assert len(find_peaks(omega, s, threshold=0.99)) <= 1
+
+    def test_tiny_input(self):
+        assert find_peaks(np.array([0.0]), np.array([1.0])).size == 0

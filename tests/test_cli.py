@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])
+
+    def test_tddft_defaults(self):
+        args = build_parser().parse_args(["tddft"])
+        assert args.system == "si2"
+        assert args.method == "implicit-kmeans-isdf-lobpcg"
+        assert not args.full_casida
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scf", "--system", "uranium"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "implicit-kmeans-isdf-lobpcg" in out
+        assert "si2" in out
+
+    def test_scf_si2(self, capsys):
+        assert main(["scf", "--system", "si2", "--ecut", "8", "--bands", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "converged: True" in out
+        assert "gap:" in out
+
+    def test_tddft_si2(self, capsys):
+        assert main([
+            "tddft", "--system", "si2", "--ecut", "8", "--bands", "8",
+            "-k", "2", "--method", "naive",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "singlet excitations (TDA" in out
+
+    def test_tddft_triplet_full(self, capsys):
+        assert main([
+            "tddft", "--system", "si2", "--ecut", "8", "--bands", "8",
+            "-k", "2", "--triplet", "--full-casida", "--method", "naive",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "triplet excitations (full Casida" in out
+
+    @pytest.mark.parametrize("figure", ["fig7", "fig8", "weak", "table6"])
+    def test_scaling_tables(self, capsys, figure):
+        assert main(["scaling", "--figure", figure]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_rt_short_run(self, capsys):
+        assert main([
+            "rt", "--system", "h2", "--ecut", "6", "--bands", "3",
+            "--steps", "30", "--dt", "0.2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "norm drift" in out
+
+
+class TestXYZInput:
+    def test_scf_from_xyz_file(self, capsys, tmp_path):
+        from repro.atoms import silicon_primitive_cell, write_xyz
+
+        path = write_xyz(silicon_primitive_cell(), tmp_path / "si.xyz")
+        assert main([
+            "scf", "--xyz", str(path), "--ecut", "6", "--bands", "6",
+        ]) == 0
+        assert "converged: True" in capsys.readouterr().out

@@ -1,0 +1,45 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least byte-compile; the quickstart (the one a new
+user runs first) is executed end-to-end.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def test_examples_directory_has_at_least_three_scripts():
+    scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+    assert len(scripts) >= 3
+    assert (EXAMPLES_DIR / "quickstart.py").exists()
+
+
+@pytest.mark.parametrize(
+    "script", sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+)
+def test_example_compiles(script):
+    py_compile.compile(str(EXAMPLES_DIR / script), doraise=True)
+
+
+def test_quickstart_runs_end_to_end():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "implicit-kmeans-isdf-lobpcg" in result.stdout
+    assert "SCF converged: True" in result.stdout
+
+
+def test_every_example_has_module_docstring():
+    for script in EXAMPLES_DIR.glob("*.py"):
+        first = script.read_text().lstrip()
+        assert first.startswith(('"""', '#!')), script.name

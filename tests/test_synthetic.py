@@ -1,0 +1,71 @@
+"""Tests for the synthetic ground-state generator."""
+
+import numpy as np
+import pytest
+
+from repro.atoms import bulk_silicon, silicon_primitive_cell
+from repro.synthetic import synthetic_ground_state
+
+
+class TestSyntheticGroundState:
+    def test_orbitals_orthonormal(self, si8_synthetic):
+        gs = si8_synthetic
+        overlap = gs.orbitals_real @ gs.orbitals_real.T * gs.basis.grid.dv
+        np.testing.assert_allclose(overlap, np.eye(gs.n_bands), atol=1e-10)
+
+    def test_energies_ascending_with_gap(self):
+        gs = synthetic_ground_state(
+            silicon_primitive_cell(), ecut=5.0, n_valence=4, n_conduction=4,
+            gap=0.2, seed=3,
+        )
+        assert (np.diff(gs.energies) >= -1e-12).all()
+        assert gs.homo_lumo_gap() >= 0.2 - 1e-9
+
+    def test_occupations(self, si8_synthetic):
+        assert si8_synthetic.n_occupied == 16
+        assert si8_synthetic.n_electrons == 32.0
+
+    def test_density_consistent_with_orbitals(self, si8_synthetic):
+        gs = si8_synthetic
+        expect = np.einsum("b,br->r", gs.occupations, gs.orbitals_real**2)
+        np.testing.assert_allclose(gs.density, expect)
+
+    def test_deterministic_given_seed(self):
+        cell = silicon_primitive_cell()
+        a = synthetic_ground_state(cell, ecut=5.0, seed=9)
+        b = synthetic_ground_state(cell, ecut=5.0, seed=9)
+        np.testing.assert_array_equal(a.orbitals_real, b.orbitals_real)
+
+    def test_different_seeds_differ(self):
+        cell = silicon_primitive_cell()
+        a = synthetic_ground_state(cell, ecut=5.0, seed=1)
+        b = synthetic_ground_state(cell, ecut=5.0, seed=2)
+        assert not np.array_equal(a.orbitals_real, b.orbitals_real)
+
+    def test_localized_orbitals_have_structured_weights(self):
+        """With localization on, pair weights concentrate: the max/mean
+        ratio must clearly exceed the delocalized case."""
+        from repro.core import pair_weights
+
+        cell = bulk_silicon(8)
+        loc = synthetic_ground_state(cell, ecut=5.0, localized=True, seed=4)
+        deloc = synthetic_ground_state(cell, ecut=5.0, localized=False, seed=4)
+
+        def concentration(gs):
+            psi_v, _, psi_c, _ = gs.select_transition_space()
+            w = pair_weights(psi_v, psi_c)
+            return w.max() / w.mean()
+
+        assert concentration(loc) > concentration(deloc)
+
+    def test_too_many_bands_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_ground_state(
+                silicon_primitive_cell(), ecut=3.0, n_valence=500, n_conduction=500
+            )
+
+    def test_select_transition_space_works(self, si8_synthetic):
+        psi_v, eps_v, psi_c, eps_c = si8_synthetic.select_transition_space(8, 4)
+        assert psi_v.shape[0] == 8
+        assert psi_c.shape[0] == 4
+        assert eps_c.min() > eps_v.max()

@@ -1,0 +1,43 @@
+"""Tests for reproducible RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import DEFAULT_SEED, default_rng, spawn_rng
+
+
+def test_default_seed_is_reproducible():
+    a = default_rng().standard_normal(8)
+    b = default_rng().standard_normal(8)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_explicit_seed_changes_stream():
+    a = default_rng(1).standard_normal(8)
+    b = default_rng(2).standard_normal(8)
+    assert not np.array_equal(a, b)
+
+
+def test_none_means_library_seed():
+    a = default_rng(None).standard_normal(4)
+    b = default_rng(DEFAULT_SEED).standard_normal(4)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_spawn_produces_independent_streams():
+    children = spawn_rng(default_rng(5), 4)
+    draws = [c.standard_normal(16) for c in children]
+    for i in range(4):
+        for j in range(i + 1, 4):
+            assert not np.array_equal(draws[i], draws[j])
+
+
+def test_spawn_is_reproducible():
+    a = spawn_rng(default_rng(5), 3)[1].standard_normal(4)
+    b = spawn_rng(default_rng(5), 3)[1].standard_normal(4)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_spawn_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        spawn_rng(default_rng(), 0)

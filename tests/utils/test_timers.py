@@ -1,0 +1,88 @@
+"""Tests for the hierarchical timers."""
+
+import time
+
+import pytest
+
+from repro.utils.timers import Timer, TimerRegistry, timed
+
+
+class TestTimer:
+    def test_accumulates_time(self):
+        t = Timer("x")
+        t.start()
+        time.sleep(0.01)
+        elapsed = t.stop()
+        assert elapsed >= 0.009
+        assert t.total == pytest.approx(elapsed)
+        assert t.count == 1
+
+    def test_multiple_intervals_accumulate(self):
+        t = Timer("x")
+        for _ in range(3):
+            t.start()
+            t.stop()
+        assert t.count == 3
+        assert t.mean == pytest.approx(t.total / 3)
+
+    def test_double_start_raises(self):
+        t = Timer("x")
+        t.start()
+        with pytest.raises(RuntimeError, match="already running"):
+            t.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError, match="not running"):
+            Timer("x").stop()
+
+    def test_mean_of_unused_timer_is_zero(self):
+        assert Timer("x").mean == 0.0
+
+
+class TestTimerRegistry:
+    def test_nested_scopes_compose_paths(self):
+        reg = TimerRegistry()
+        with reg.scope("outer"):
+            with reg.scope("inner"):
+                pass
+        assert "outer" in reg.as_dict()
+        assert "outer/inner" in reg.as_dict()
+
+    def test_total_of_unknown_scope_is_zero(self):
+        assert TimerRegistry().total("nope") == 0.0
+
+    def test_scope_reentry_accumulates(self):
+        reg = TimerRegistry()
+        for _ in range(4):
+            with reg.scope("phase"):
+                pass
+        assert reg.timer("phase").count == 4
+
+    def test_reset_clears_everything(self):
+        reg = TimerRegistry()
+        with reg.scope("a"):
+            pass
+        reg.reset()
+        assert reg.as_dict() == {}
+
+    def test_report_contains_scope_names(self):
+        reg = TimerRegistry()
+        with reg.scope("hamiltonian"):
+            with reg.scope("fft"):
+                pass
+        report = reg.report()
+        assert "hamiltonian" in report
+        assert "fft" in report
+
+    def test_nested_total_leq_outer(self):
+        reg = TimerRegistry()
+        with reg.scope("outer"):
+            with reg.scope("inner"):
+                time.sleep(0.005)
+        assert reg.total("outer/inner") <= reg.total("outer")
+
+
+def test_timed_contextmanager():
+    with timed() as t:
+        time.sleep(0.005)
+    assert t.total >= 0.004

@@ -1,0 +1,54 @@
+"""Tests for argument validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import check_positive, check_shape, check_square, require
+
+
+def test_require_passes_on_true():
+    require(True, "never raised")
+
+
+def test_require_raises_with_message():
+    with pytest.raises(ValueError, match="broken thing"):
+        require(False, "broken thing")
+
+
+@pytest.mark.parametrize("value", [1, 0.5, 1e-300])
+def test_check_positive_accepts(value):
+    check_positive(value, "x")
+
+
+@pytest.mark.parametrize("value", [0, -1, -0.5])
+def test_check_positive_rejects(value):
+    with pytest.raises(ValueError, match="x must be positive"):
+        check_positive(value, "x")
+
+
+def test_check_shape_exact_match():
+    check_shape(np.zeros((3, 4)), (3, 4), "a")
+
+
+def test_check_shape_wildcard():
+    check_shape(np.zeros((7, 4)), (-1, 4), "a")
+
+
+def test_check_shape_wrong_ndim():
+    with pytest.raises(ValueError, match="dimensions"):
+        check_shape(np.zeros(3), (3, 1), "a")
+
+
+def test_check_shape_wrong_extent():
+    with pytest.raises(ValueError, match="shape"):
+        check_shape(np.zeros((3, 5)), (3, 4), "a")
+
+
+def test_check_square_accepts_square():
+    check_square(np.eye(3), "m")
+
+
+@pytest.mark.parametrize("shape", [(3, 4), (3,), (2, 2, 2)])
+def test_check_square_rejects(shape):
+    with pytest.raises(ValueError, match="square"):
+        check_square(np.zeros(shape), "m")

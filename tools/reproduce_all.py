@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""One-shot reproduction driver.
+
+Runs the full test-suite, then the complete benchmark harness (every paper
+table/figure), and assembles the rendered comparison tables into a single
+``benchmarks/results/SUMMARY.md`` next to the raw pytest outputs.
+
+    python tools/reproduce_all.py [--skip-tests]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import subprocess
+import sys
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+RESULTS = REPO / "benchmarks" / "results"
+
+#: Order in which the result tables appear in the summary (paper order).
+TABLE_ORDER = (
+    "table1_survey",
+    "table2_table4_complexity",
+    "table3_interpolation",
+    "table5_h2o",
+    "table5_si",
+    "table6_measured",
+    "table6_modeled",
+    "fig2_points",
+    "fig7_strong_scaling",
+    "fig7_real_spmd",
+    "fig8_breakdown",
+    "weak_scaling",
+    "fig9a_dos",
+    "fig9b_excitation_dos",
+    "memory_model",
+    "memory_measured",
+    "rt_vs_lr",
+    "phase_profile",
+    "eigensolver_agreement",
+    "ablation_prune",
+    "ablation_rank",
+    "ablation_preconditioner",
+    "ablation_pipeline",
+    "ablation_hybrid",
+    "ablation_kmeans_init",
+)
+
+
+def run(cmd: list[str], log_name: str) -> int:
+    print(f"\n$ {' '.join(cmd)}")
+    t0 = time.perf_counter()
+    result = subprocess.run(cmd, cwd=REPO, capture_output=True, text=True)
+    elapsed = time.perf_counter() - t0
+    log_path = REPO / log_name
+    log_path.write_text(result.stdout + result.stderr)
+    tail = "\n".join(result.stdout.splitlines()[-3:])
+    print(f"  -> exit {result.returncode} in {elapsed:.0f}s; log: {log_name}")
+    print("  " + tail.replace("\n", "\n  "))
+    return result.returncode
+
+
+def assemble_summary() -> pathlib.Path:
+    lines = [
+        "# Reproduction summary",
+        "",
+        "Assembled by tools/reproduce_all.py from benchmarks/results/.",
+        "See EXPERIMENTS.md for the paper-vs-reproduction discussion.",
+    ]
+    seen = set()
+    for name in TABLE_ORDER:
+        path = RESULTS / f"{name}.txt"
+        if path.exists():
+            seen.add(name)
+            lines += ["", "---", "", "```", path.read_text().rstrip(), "```"]
+    for path in sorted(RESULTS.glob("*.txt")):
+        if path.stem not in seen:
+            lines += ["", "---", "", "```", path.read_text().rstrip(), "```"]
+    out = RESULTS / "SUMMARY.md"
+    out.write_text("\n".join(lines) + "\n")
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--skip-tests", action="store_true")
+    args = parser.parse_args()
+
+    status = 0
+    if not args.skip_tests:
+        status |= run(
+            [sys.executable, "-m", "pytest", "tests/"], "test_output.txt"
+        )
+    status |= run(
+        [sys.executable, "-m", "pytest", "benchmarks/", "--benchmark-only"],
+        "bench_output.txt",
+    )
+    summary = assemble_summary()
+    print(f"\nsummary written to {summary}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
