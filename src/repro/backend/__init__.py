@@ -1,0 +1,23 @@
+"""Pluggable compute backends for the hot paths (FFT engines)."""
+
+from repro.backend.fft_engine import (
+    FFTEngine,
+    NumpyFFTEngine,
+    ScipyFFTEngine,
+    available_backends,
+    default_fft_engine,
+    get_fft_engine,
+    reset_default_fft_backend,
+    set_default_fft_backend,
+)
+
+__all__ = [
+    "FFTEngine",
+    "NumpyFFTEngine",
+    "ScipyFFTEngine",
+    "available_backends",
+    "default_fft_engine",
+    "get_fft_engine",
+    "reset_default_fft_backend",
+    "set_default_fft_backend",
+]

@@ -1,0 +1,244 @@
+"""Pluggable FFT engines for the hot batch-transform paths.
+
+The paper's Algorithm 1 spends most of its construction time in batched
+FFTs (Figure 8), so the transform backend is abstracted behind
+:class:`FFTEngine` with two implementations:
+
+* :class:`NumpyFFTEngine` — ``np.fft`` pocketfft, single threaded, complex
+  transforms only.  This is the *reference* engine: it reproduces the seed
+  implementation's numerics bit-for-bit and is the automatic fallback.
+* :class:`ScipyFFTEngine` — ``scipy.fft`` pocketfft with ``workers=N``
+  multi-threaded batch transforms and a real-to-complex (``rfftn``) fast
+  path for the real Γ-point fields of the Coulomb apply, which halves both
+  the transform work and the spectrum memory traffic.
+
+Selection is explicit (pass an engine to :class:`repro.pw.fft.FourierGrid`),
+via :func:`set_default_fft_backend`, or via environment variables:
+
+* ``REPRO_FFT_BACKEND`` — ``numpy`` | ``scipy`` | ``auto`` (default:
+  ``auto`` = scipy when importable, else numpy),
+* ``REPRO_FFT_WORKERS`` — worker threads for the scipy engine (default:
+  all cores).
+
+Engines also own a small scratch-buffer pool so repeated batch transforms
+of the same shape reuse staging storage instead of reallocating — the
+numpy analogue of caching FFTW plans with embedded buffers.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = [
+    "FFTEngine",
+    "NumpyFFTEngine",
+    "ScipyFFTEngine",
+    "available_backends",
+    "default_fft_engine",
+    "get_fft_engine",
+    "reset_default_fft_backend",
+    "set_default_fft_backend",
+]
+
+_ENV_BACKEND = "REPRO_FFT_BACKEND"
+_ENV_WORKERS = "REPRO_FFT_WORKERS"
+_SCRATCH_SLOTS = 8
+
+
+class FFTEngine:
+    """Abstract FFT backend: n-dimensional transforms over trailing axes.
+
+    Subclasses implement :meth:`fftn` / :meth:`ifftn` and, when
+    :attr:`supports_real` is true, the real-to-complex pair
+    :meth:`rfftn` / :meth:`irfftn` used by the Coulomb-apply fast path.
+    """
+
+    name: str = "abstract"
+    #: Whether callers may route real fields through rfftn/irfftn.
+    supports_real: bool = False
+    #: Worker threads the engine uses for batch transforms.
+    workers: int = 1
+
+    def __init__(self) -> None:
+        # Tiny per-thread LRU of reusable scratch arrays keyed by
+        # (shape, dtype).  Thread-local because the SPMD runtime drives
+        # ranks as threads sharing one engine.
+        self._local = threading.local()
+
+    # -- transforms (must be overridden) -----------------------------------
+
+    def fftn(self, a: np.ndarray, axes: tuple[int, ...]) -> np.ndarray:
+        raise NotImplementedError
+
+    def ifftn(self, a: np.ndarray, axes: tuple[int, ...]) -> np.ndarray:
+        raise NotImplementedError
+
+    def rfftn(self, a: np.ndarray, axes: tuple[int, ...]) -> np.ndarray:
+        raise NotImplementedError
+
+    def irfftn(
+        self, a: np.ndarray, s: tuple[int, ...], axes: tuple[int, ...]
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- scratch buffers ----------------------------------------------------
+
+    def scratch(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """A reusable buffer of the requested shape/dtype (contents stale).
+
+        Callers must finish with the buffer before requesting another of
+        the same key — the pool hands out the *same* array again.  Intended
+        for staging copies inside a single transform call.
+        """
+        pool: OrderedDict[tuple, np.ndarray] | None = getattr(
+            self._local, "pool", None
+        )
+        if pool is None:
+            pool = self._local.pool = OrderedDict()
+        key = (tuple(shape), np.dtype(dtype).str)
+        buf = pool.get(key)
+        if buf is None:
+            buf = np.empty(shape, dtype=dtype)
+            pool[key] = buf
+            while len(pool) > _SCRATCH_SLOTS:
+                pool.popitem(last=False)
+        else:
+            pool.move_to_end(key)
+        return buf
+
+    def describe(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, workers={self.workers}, "
+            f"real_fast_path={self.supports_real})"
+        )
+
+
+class NumpyFFTEngine(FFTEngine):
+    """``np.fft`` backend — seed-faithful reference numerics.
+
+    ``use_rfft=True`` opts into the real fast path (numpy's rfftn is exact
+    to machine precision but differs from the seed's complex path in the
+    last ulp, so it is off by default for this engine).
+    """
+
+    name = "numpy"
+
+    def __init__(self, *, use_rfft: bool = False) -> None:
+        super().__init__()
+        self.supports_real = bool(use_rfft)
+
+    def fftn(self, a, axes):
+        return np.fft.fftn(a, axes=axes)
+
+    def ifftn(self, a, axes):
+        return np.fft.ifftn(a, axes=axes)
+
+    def rfftn(self, a, axes):
+        return np.fft.rfftn(a, axes=axes)
+
+    def irfftn(self, a, s, axes):
+        return np.fft.irfftn(a, s=s, axes=axes)
+
+
+class ScipyFFTEngine(FFTEngine):
+    """``scipy.fft`` backend: multi-worker pocketfft + rfftn fast path."""
+
+    name = "scipy"
+
+    def __init__(self, *, workers: int | None = None, use_rfft: bool = True) -> None:
+        super().__init__()
+        import scipy.fft as _sfft  # deferred so import errors surface here
+
+        self._fft = _sfft
+        self.workers = _resolve_workers(workers)
+        self.supports_real = bool(use_rfft)
+
+    def fftn(self, a, axes):
+        return self._fft.fftn(a, axes=axes, workers=self.workers)
+
+    def ifftn(self, a, axes):
+        return self._fft.ifftn(a, axes=axes, workers=self.workers)
+
+    def rfftn(self, a, axes):
+        return self._fft.rfftn(a, axes=axes, workers=self.workers)
+
+    def irfftn(self, a, s, axes):
+        return self._fft.irfftn(a, s=s, axes=axes, workers=self.workers)
+
+
+def _resolve_workers(workers: int | None) -> int:
+    if workers is None:
+        env = os.environ.get(_ENV_WORKERS, "").strip()
+        if env:
+            workers = int(env)
+        else:
+            workers = os.cpu_count() or 1
+    return max(1, int(workers))
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backend names instantiable in this environment."""
+    names = ["numpy"]
+    try:  # pragma: no cover - exercised indirectly
+        import scipy.fft  # noqa: F401
+
+        names.append("scipy")
+    except ImportError:
+        pass
+    return tuple(names)
+
+
+def get_fft_engine(
+    name: str | None = None, *, workers: int | None = None
+) -> FFTEngine:
+    """Build an engine by name with automatic fallback.
+
+    ``name=None`` reads ``REPRO_FFT_BACKEND`` (default ``auto``).  Asking
+    for ``scipy`` in an environment without scipy silently falls back to
+    the numpy reference engine — callers never have to guard the import.
+    """
+    if name is None:
+        name = os.environ.get(_ENV_BACKEND, "auto").strip().lower() or "auto"
+    name = name.lower()
+    if name == "auto":
+        name = "scipy" if "scipy" in available_backends() else "numpy"
+    if name == "scipy":
+        try:
+            return ScipyFFTEngine(workers=workers)
+        except ImportError:
+            return NumpyFFTEngine()
+    if name == "numpy":
+        return NumpyFFTEngine()
+    raise ValueError(
+        f"unknown FFT backend {name!r}; available: {available_backends()} + 'auto'"
+    )
+
+
+_default_engine: FFTEngine | None = None
+
+
+def default_fft_engine() -> FFTEngine:
+    """The process-wide default engine (built lazily from the environment)."""
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = get_fft_engine()
+    return _default_engine
+
+
+def set_default_fft_backend(
+    name: str | None, *, workers: int | None = None
+) -> FFTEngine:
+    """Set (and return) the process-wide default engine."""
+    global _default_engine
+    _default_engine = get_fft_engine(name, workers=workers)
+    return _default_engine
+
+
+def reset_default_fft_backend() -> None:
+    """Forget the cached default so the environment is re-read."""
+    global _default_engine
+    _default_engine = None

@@ -12,6 +12,9 @@ Commands
     Print a cost-model scaling table (fig7 / fig8 / weak / table6).
 ``rt``
     Real-time TDDFT kick-and-propagate run; prints spectrum peaks.
+``bench-backend``
+    Measured A/B benchmark of the FFT backends and the pruned K-Means;
+    writes machine-readable ``BENCH_backend.json``.
 """
 
 from __future__ import annotations
@@ -187,6 +190,21 @@ def cmd_rt(args) -> int:
     return 0
 
 
+def cmd_bench_backend(args) -> int:
+    from repro.perf.backend_bench import (
+        format_summary,
+        run_backend_bench,
+        write_report,
+    )
+
+    report = run_backend_bench(smoke=args.smoke)
+    print(format_summary(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -228,6 +246,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_rt.add_argument("--dt", type=float, default=0.2)
     p_rt.add_argument("--kick", type=float, default=1e-3)
     p_rt.add_argument("--damping", type=float, default=0.01)
+
+    p_bb = sub.add_parser("bench-backend",
+                          help="benchmark FFT backends and pruned K-Means")
+    p_bb.add_argument("--smoke", action="store_true",
+                      help="tiny workload for CI (seconds, not minutes)")
+    p_bb.add_argument("--out", default=None,
+                      help="write the JSON report here (e.g. BENCH_backend.json)")
     return parser
 
 
@@ -239,6 +264,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "tddft": cmd_tddft,
         "scaling": cmd_scaling,
         "rt": cmd_rt,
+        "bench-backend": cmd_bench_backend,
     }
     return handlers[args.command](args)
 

@@ -64,19 +64,22 @@ def fit_interpolation_vectors(
     v_pts = psi_v[:, indices]  # (N_v, N_mu)
     c_pts = psi_c[:, indices]  # (N_c, N_mu)
 
-    # Z C^T via the separable Hadamard identity.
-    p_v = psi_v.T @ v_pts  # (N_r, N_mu)
+    # Z C^T via the separable Hadamard identity.  The two tall-skinny GEMM
+    # outputs are the only O(N_r N_mu) temporaries; the Hadamard products
+    # fold in place so no third matrix of that size ever exists.
+    zct = psi_v.T @ v_pts  # (N_r, N_mu)
     p_c = psi_c.T @ c_pts  # (N_r, N_mu)
-    zct = p_v * p_c
+    zct *= p_c
 
-    # C C^T likewise.
-    g_v = v_pts.T @ v_pts  # (N_mu, N_mu)
+    # C C^T likewise, folded in place.
+    cct = v_pts.T @ v_pts  # (N_mu, N_mu)
     g_c = c_pts.T @ c_pts
-    cct = g_v * g_c
+    cct *= g_c
 
     scale = float(np.trace(cct)) / max(cct.shape[0], 1)
     ridge = regularization * max(scale, 1e-300)
-    cct_reg = cct + ridge * np.eye(cct.shape[0])
+    cct_reg = cct
+    cct_reg[np.diag_indices_from(cct_reg)] += ridge
     try:
         chol = sla.cho_factor(cct_reg, lower=False)
         theta = sla.cho_solve(chol, zct.T).T

@@ -63,6 +63,12 @@ class ImplicitCasidaOperator:
             )
         self.vtilde = vtilde
         self.n_apply = 0  #: number of block applications (cost accounting)
+        self.timers = timers
+        # Per-block-width workspaces for the factored contraction chain so
+        # the LOBPCG inner loop allocates only its output block, never the
+        # (N_v, N_mu, k) / (N_mu, k) temporaries.
+        self._workspace_k = -1
+        self._ws: dict[str, np.ndarray] = {}
 
     @property
     def n_pairs(self) -> int:
@@ -72,15 +78,65 @@ class ImplicitCasidaOperator:
     def shape(self) -> tuple[int, int]:
         return (self.n_pairs, self.n_pairs)
 
+    def _workspaces(self, k: int) -> dict[str, np.ndarray]:
+        """Reusable contraction buffers for block width ``k``."""
+        if k != self._workspace_k:
+            n_v = self.isdf.psi_v_mu.shape[0]
+            n_c = self.isdf.psi_c_mu.shape[0]
+            n_mu = self.isdf.n_mu
+            self._ws = {
+                "vmk": np.empty((n_v, n_mu, k)),
+                "cx": np.empty((n_mu, k)),
+                "vcx": np.empty((n_mu, k)),
+                "ct": np.empty((n_v, n_c, k)),
+            }
+            self._workspace_k = k
+        return self._ws
+
     def apply(self, x: np.ndarray) -> np.ndarray:
-        """``H @ X`` for column blocks ``(N_cv, k)`` (also accepts 1-D)."""
+        """``H @ X`` for column blocks ``(N_cv, k)`` (also accepts 1-D).
+
+        All intermediates of ``D ∘ X + 2 C^T (Vtilde (C X))`` land in
+        preallocated workspaces (``out=`` contractions); only the returned
+        output block is a fresh allocation.
+        """
         squeeze = x.ndim == 1
         if squeeze:
             x = x[:, None]
         require(x.shape[0] == self.n_pairs, "block/pair dimension mismatch")
-        cx = self.isdf.apply_c(x)  # (N_mu, k)
-        out = self.diagonal_d[:, None] * x + 2.0 * self.isdf.apply_ct(self.vtilde @ cx)
+        if np.iscomplexobj(x):
+            # Rare path (the TDA problem is real): skip the real-typed
+            # workspaces rather than duplicating them per dtype.
+            cx = self.isdf.apply_c(x)
+            out = self.diagonal_d[:, None] * x
+            out += 2.0 * self.isdf.apply_ct(self.vtilde @ cx)
+            self.n_apply += 1
+            return out[:, 0] if squeeze else out
+        k = x.shape[1]
+        ws = self._workspaces(k)
+        psi_v_mu = self.isdf.psi_v_mu
+        psi_c_mu = self.isdf.psi_c_mu
+        n_v = psi_v_mu.shape[0]
+        n_c = psi_c_mu.shape[0]
+        x3 = x.reshape(n_v, n_c, k)
+        # C @ X in factored form (conduction first, then valence).
+        np.einsum("cm,vck->vmk", psi_c_mu, x3, out=ws["vmk"], optimize=True)
+        np.einsum("vm,vmk->mk", psi_v_mu, ws["vmk"], out=ws["cx"], optimize=True)
+        np.matmul(self.vtilde, ws["cx"], out=ws["vcx"])
+        # C^T @ (Vtilde C X), reusing the (N_v, N_mu, k) buffer.
+        np.einsum("vm,mk->vmk", psi_v_mu, ws["vcx"], out=ws["vmk"], optimize=True)
+        np.einsum("cm,vmk->vck", psi_c_mu, ws["vmk"], out=ws["ct"], optimize=True)
+        out = np.multiply(x, self.diagonal_d[:, None])
+        correction = ws["ct"].reshape(self.n_pairs, k)
+        correction *= 2.0
+        out += correction
         self.n_apply += 1
+        if self.timers is not None:
+            n_mu = self.isdf.n_mu
+            self.timers.add_flops(
+                2 * k * (n_v * n_c * n_mu * 2 + n_mu * n_mu) + 4 * self.n_pairs * k,
+                name="implicit/apply",
+            )
         return out[:, 0] if squeeze else out
 
     __call__ = apply

@@ -17,6 +17,25 @@ representative point per cluster.  Three ingredients the paper calls out:
 Cost per iteration is ``O(N_mu N_r')`` and the loop is embarrassingly
 data-parallel (see :mod:`repro.parallel.parallel_kmeans` for the
 distributed version).
+
+Two execution strategies share one code path (``algorithm=``):
+
+* ``"lloyd"`` — the naive full-classification loop: every iteration
+  evaluates all ``N_r' x N_mu`` distances (in memory-bounded tiles).
+* ``"hamerly"`` (default) — bound-pruned Lloyd: each point carries an
+  upper bound on its distance to its assigned centroid and a lower bound
+  on the distance to every other centroid, maintained with per-iteration
+  centroid drifts.  Points whose bounds prove the assignment cannot change
+  skip the ``N_mu``-way classification entirely, collapsing the per-
+  iteration cost to ``O(N_active N_mu)`` with ``N_active -> 0`` as the
+  clustering converges.  Labels, centroids and inertia are bit-identical
+  to ``"lloyd"`` (the bounds only ever *skip provably unchanged* work, and
+  the committed distances are evaluated by the same expressions in the
+  same order).
+
+Either way the distance matrix is materialized at most one tile at a time
+(``tile_bytes``), so the peak working set is bounded regardless of the
+candidate count.
 """
 
 from __future__ import annotations
@@ -145,6 +164,74 @@ def _init_plusplus(
     return chosen
 
 
+#: Default cap on the materialized distance-tile size (bytes of float64).
+DEFAULT_TILE_BYTES = 1 << 26  # 64 MiB
+
+#: Relative slack applied to the Hamerly bound test so floating-point
+#: rounding in the bound bookkeeping can never unsafely prune a point.
+_BOUND_RTOL = 1e-12
+
+
+def _assigned_sq_dists(
+    points: np.ndarray,
+    points_sq: np.ndarray,
+    centroids_sq: np.ndarray,
+    centroids: np.ndarray,
+    labels: np.ndarray,
+) -> np.ndarray:
+    """Clamped squared distance of every point to its assigned centroid.
+
+    Uses the same expanded form as :func:`_pairwise_sq_dists` so the
+    committed per-point distances (and hence the inertia) are evaluated
+    identically regardless of which points the bound pruning skipped.
+    """
+    cross = np.einsum("ij,ij->i", points, centroids[labels])
+    d2 = points_sq + centroids_sq[labels] - 2.0 * cross
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
+def _classify_tiled(
+    points: np.ndarray,
+    points_sq: np.ndarray,
+    centroids: np.ndarray,
+    active: np.ndarray | None,
+    tile_bytes: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Nearest/second-nearest classification, one distance tile at a time.
+
+    ``active=None`` classifies every point (the Lloyd path).  Returns
+    ``(labels, d2_nearest, d2_second)`` for the classified rows only; the
+    ``N x N_mu`` matrix never exists beyond one ``tile_bytes`` tile.
+    """
+    n_clusters = centroids.shape[0]
+    n_rows = points.shape[0] if active is None else active.shape[0]
+    labels = np.empty(n_rows, dtype=np.int64)
+    d2_near = np.empty(n_rows)
+    d2_second = np.empty(n_rows)
+    tile_rows = max(1, int(tile_bytes) // (8 * max(n_clusters, 1)))
+    for start in range(0, n_rows, tile_rows):
+        stop = min(start + tile_rows, n_rows)
+        if active is None:
+            rows_pts = points[start:stop]
+            rows_sq = points_sq[start:stop]
+        else:
+            idx = active[start:stop]
+            rows_pts = points[idx]
+            rows_sq = points_sq[idx]
+        d2 = _pairwise_sq_dists(rows_pts, centroids, rows_sq)
+        lab = np.argmin(d2, axis=1)
+        rows = np.arange(stop - start)
+        labels[start:stop] = lab
+        d2_near[start:stop] = d2[rows, lab]
+        if n_clusters > 1:
+            d2[rows, lab] = np.inf
+            d2_second[start:stop] = d2.min(axis=1)
+        else:
+            d2_second[start:stop] = np.inf
+    return labels, d2_near, d2_second
+
+
 def weighted_kmeans(
     points: np.ndarray,
     weights: np.ndarray,
@@ -154,12 +241,25 @@ def weighted_kmeans(
     max_iter: int = 100,
     tol: float = 0.0,
     rng: np.random.Generator | None = None,
+    algorithm: str = "hamerly",
+    tile_bytes: int = DEFAULT_TILE_BYTES,
 ) -> tuple[np.ndarray, np.ndarray, float, int, bool]:
-    """Weighted Lloyd iterations (Eqs. 11-13).
+    """Weighted Lloyd iterations (Eqs. 11-13), optionally bound-pruned.
 
     Returns ``(centroids, labels, inertia, n_iter, converged)``.
     Empty clusters are reseeded at the point with the largest weighted
     distance to its current centroid.
+
+    Parameters
+    ----------
+    algorithm:
+        ``"hamerly"`` (default) skips the ``N_mu``-way classification for
+        points whose distance bounds prove the assignment is unchanged;
+        ``"lloyd"`` classifies every point every iteration.  Results are
+        bit-identical (see the module docstring).
+    tile_bytes:
+        Upper bound on the materialized distance-tile size; the full
+        ``N x N_mu`` matrix is never allocated at once.
     """
     require(points.ndim == 2, "points must be (n, d)")
     n = points.shape[0]
@@ -167,6 +267,8 @@ def weighted_kmeans(
     weights = np.asarray(weights, dtype=float)
     require(weights.shape == (n,), "weights/points mismatch")
     require((weights >= 0).all(), "weights must be non-negative")
+    require(algorithm in ("hamerly", "lloyd"), f"unknown algorithm {algorithm!r}")
+    require(tile_bytes > 0, "tile_bytes must be positive")
 
     rng = rng or default_rng()
     if init == "greedy-weight":
@@ -182,20 +284,63 @@ def weighted_kmeans(
     converged = False
     iteration = 0
     points_sq = np.einsum("ij,ij->i", points, points)
+    # Hamerly state: upper[i] bounds dist(point_i, assigned centroid) from
+    # above, lower[i] bounds the distance to every *other* centroid from
+    # below.  upper <= lower proves the assignment cannot change.
+    upper = np.full(n, np.inf)
+    lower = np.zeros(n)
+    slack = _BOUND_RTOL * (float(np.sqrt(points_sq.max(initial=0.0))) + 1.0)
+
     for iteration in range(1, max_iter + 1):
-        d2 = _pairwise_sq_dists(points, centroids, points_sq)
-        new_labels = np.argmin(d2, axis=1)
-        min_d2 = d2[np.arange(n), new_labels]
+        centroids_sq = np.einsum("ij,ij->i", centroids, centroids)
+        new_labels = labels.copy()
+        if algorithm == "lloyd" or iteration == 1:
+            active = None  # classify everything
+        else:
+            # First filter on the stale bounds, then tighten the surviving
+            # upper bounds with one exact distance and filter again — the
+            # standard two-stage Hamerly test.
+            maybe = np.flatnonzero(upper + slack >= lower)
+            if maybe.size:
+                d2a = _assigned_sq_dists(
+                    points[maybe], points_sq[maybe], centroids_sq,
+                    centroids, labels[maybe],
+                )
+                upper[maybe] = np.sqrt(d2a)
+                active = maybe[upper[maybe] + slack >= lower[maybe]]
+            else:
+                active = maybe
+
+        if active is None:
+            lab, d2n, d2s = _classify_tiled(
+                points, points_sq, centroids, None, tile_bytes
+            )
+            new_labels = lab
+            np.sqrt(d2n, out=upper)
+            np.sqrt(d2s, out=lower)
+        elif active.size:
+            lab, d2n, d2s = _classify_tiled(
+                points, points_sq, centroids, active, tile_bytes
+            )
+            new_labels[active] = lab
+            upper[active] = np.sqrt(d2n)
+            lower[active] = np.sqrt(d2s)
+
+        # Committed per-point distances (same expression in both modes, for
+        # all points): the weighted objective of Eq. 11.
+        min_d2 = _assigned_sq_dists(
+            points, points_sq, centroids_sq, centroids, new_labels
+        )
         new_inertia = float((weights * min_d2).sum())
 
-        # Weighted centroid update (Eq. 13) via bincount accumulations.
+        # Weighted centroid update (Eq. 13): one vectorized scatter-add of
+        # the (n, dim) weighted coordinates into a (n_clusters, dim) buffer.
         w_sum = np.bincount(new_labels, weights=weights, minlength=n_clusters)
-        for dim in range(points.shape[1]):
-            num = np.bincount(
-                new_labels, weights=weights * points[:, dim], minlength=n_clusters
-            )
-            nonzero = w_sum > 0
-            centroids[nonzero, dim] = num[nonzero] / w_sum[nonzero]
+        accum = np.zeros((n_clusters, points.shape[1]))
+        np.add.at(accum, new_labels, weights[:, None] * points)
+        nonzero = w_sum > 0
+        old_centroids = centroids.copy()
+        centroids[nonzero] = accum[nonzero] / w_sum[nonzero, None]
 
         # Reseed empty clusters at the worst-served heavy point.
         empty = np.flatnonzero(w_sum == 0)
@@ -204,6 +349,11 @@ def weighted_kmeans(
             worst = np.argsort(penalty)[::-1]
             for slot, point_idx in zip(empty, worst[: empty.size]):
                 centroids[slot] = points[point_idx]
+
+        # Drift update keeps the bounds valid across the centroid motion.
+        drift = np.linalg.norm(centroids - old_centroids, axis=1)
+        upper += drift[new_labels]
+        lower -= drift.max(initial=0.0)
 
         if np.array_equal(new_labels, labels) or (
             tol > 0.0 and abs(inertia - new_inertia) <= tol * max(inertia, 1e-300)
@@ -228,6 +378,8 @@ def select_points_kmeans(
     init: str = "greedy-weight",
     max_iter: int = 100,
     rng: np.random.Generator | None = None,
+    algorithm: str = "hamerly",
+    tile_bytes: int = DEFAULT_TILE_BYTES,
 ) -> KMeansResult:
     """Full paper recipe: weights -> prune -> weighted K-Means -> points.
 
@@ -256,7 +408,8 @@ def select_points_kmeans(
     weights = weights_full[keep]
 
     centroids, labels, inertia, n_iter, converged = weighted_kmeans(
-        candidates, weights, n_mu, init=init, max_iter=max_iter, rng=rng
+        candidates, weights, n_mu, init=init, max_iter=max_iter, rng=rng,
+        algorithm=algorithm, tile_bytes=tile_bytes,
     )
 
     # Representative grid point per cluster: the member closest to the

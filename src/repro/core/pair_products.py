@@ -46,8 +46,12 @@ def pair_products(psi_v: np.ndarray, psi_c: np.ndarray) -> np.ndarray:
     )
     n_v, n_r = psi_v.shape
     n_c = psi_c.shape[0]
-    z = psi_v[:, None, :] * psi_c[None, :, :]  # (N_v, N_c, N_r)
-    return np.ascontiguousarray(z.reshape(n_v * n_c, n_r).T)
+    # Write the (N_r, N_v * N_c) layout directly: one einsum into a
+    # preallocated C-contiguous array instead of the broadcast-product +
+    # reshape + transpose-copy round trip, which peaked at 2x the matrix.
+    z = np.empty((n_r, n_v * n_c), dtype=np.result_type(psi_v, psi_c))
+    np.einsum("vr,cr->rvc", psi_v, psi_c, out=z.reshape(n_r, n_v, n_c))
+    return z
 
 
 def pair_weights(psi_v: np.ndarray, psi_c: np.ndarray) -> np.ndarray:

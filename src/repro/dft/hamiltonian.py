@@ -74,11 +74,18 @@ class KohnShamHamiltonian:
     # -- operator application ------------------------------------------------
 
     def apply(self, coeffs: np.ndarray) -> np.ndarray:
-        """``H @ psi`` for coefficient blocks of shape ``(..., N_pw)``."""
+        """``H @ psi`` for coefficient blocks of shape ``(..., N_pw)``.
+
+        The dual-space split rides the pluggable FFT engine through
+        ``basis.to_real`` / ``to_recip``; the potential multiply is done
+        in place on the freshly transformed block to avoid a second
+        ``(..., N_r)`` temporary per application.
+        """
         basis = self.basis
         out = coeffs * basis.kinetic_diagonal
         psi_real = basis.to_real(coeffs)
-        out += basis.to_recip(psi_real * self._v_eff)
+        psi_real *= self._v_eff
+        out += basis.to_recip(psi_real)
         out += self.projectors.apply(coeffs)
         return out
 

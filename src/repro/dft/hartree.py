@@ -53,10 +53,13 @@ def truncated_coulomb_kernel(
 
 
 def hartree_potential(density: np.ndarray, basis: PlaneWaveBasis) -> np.ndarray:
-    """Real-space Hartree potential of a real density field ``(..., N_r)``."""
-    n_g = basis.fft.forward(density.astype(complex))
-    v_g = n_g * coulomb_kernel(basis)
-    return basis.fft.backward_real(v_g)
+    """Real-space Hartree potential of a real density field ``(..., N_r)``.
+
+    Routed through the FFT engine's real-field convolution fast path
+    (``4 pi / G^2`` is inversion symmetric, so the half-spectrum product is
+    exact).
+    """
+    return basis.fft.convolve_real(density, coulomb_kernel(basis))
 
 
 def hartree_energy(density: np.ndarray, basis: PlaneWaveBasis) -> float:

@@ -53,15 +53,28 @@ def pipelined_vhxc_rows(
     require(out_dist.n_global == n_pairs, "output distribution mismatch")
 
     my_rows: np.ndarray | None = None
+    partial: np.ndarray | None = None
     for owner in range(comm.size):
         rows = out_dist.local_slice(owner)
-        # Partial GEMM for this block only (Figure 5's per-block compute)...
-        partial = (z_local[:, rows].T @ k_local) * dv
+        n_block = rows.stop - rows.start
+        # Partial GEMM for this block only (Figure 5's per-block compute),
+        # written into a buffer reused across blocks of equal height so the
+        # pipeline allocates O(1) blocks regardless of the rank count...
+        if partial is None or partial.shape[0] != n_block:
+            partial = np.empty((n_block, n_pairs))
+        np.matmul(z_local[:, rows].T, k_local, out=partial)
+        partial *= dv
         # ...immediately reduced to the owning rank (MPI_Reduce, not
         # Allreduce: nobody else needs these rows — Figure 4).
         reduced = comm.reduce(partial, root=owner)
+        # The in-process reduce combines by reference after the slot
+        # exchange: hold every rank here until the owner is done reading
+        # before the shared buffer is overwritten for the next block.
+        comm.barrier()
         if comm.rank == owner:
-            my_rows = reduced
+            # Detach from the reused buffer (size-1 communicators hand the
+            # input straight back).
+            my_rows = reduced.copy() if reduced is partial else reduced
     assert my_rows is not None or out_dist.count(comm.rank) == 0
     if my_rows is None:
         my_rows = np.zeros((0, n_pairs))

@@ -65,11 +65,21 @@ class PlaneWaveBasis:
     # -- transforms -------------------------------------------------------
 
     def to_real(self, coeffs: np.ndarray) -> np.ndarray:
-        """Sphere coefficients ``(..., N_pw)`` -> real-space ``(..., N_r)``."""
+        """Sphere coefficients ``(..., N_pw)`` -> real-space ``(..., N_r)``.
+
+        The zero-padded full-spectrum staging block is drawn from the FFT
+        engine's scratch pool, so the SCF/propagator inner loops reuse one
+        buffer instead of allocating ``O(n_bands N_r)`` per application.
+        """
         coeffs = np.asarray(coeffs)
-        full = np.zeros(coeffs.shape[:-1] + (self.n_r,), dtype=complex)
+        full = self.fft.fft_engine.scratch(
+            coeffs.shape[:-1] + (self.n_r,), complex
+        )
+        full.fill(0)
         full[..., self.gvectors.sphere] = coeffs
-        return self.fft.backward(full) / np.sqrt(self.volume)
+        out = self.fft.backward(full)
+        out /= np.sqrt(self.volume)
+        return out
 
     def to_recip(self, psi_real: np.ndarray) -> np.ndarray:
         """Real-space ``(..., N_r)`` -> sphere coefficients ``(..., N_pw)``.

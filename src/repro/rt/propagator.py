@@ -59,21 +59,28 @@ def expm_krylov(
     basis[0] = psi / norm0
     w = apply_h(basis[0])
     alphas[0] = np.real(np.vdot(basis[0], w))
-    w = w - alphas[0] * basis[0]
+    w -= alphas[0] * basis[0]
+    # One scratch vector serves every axpy/projection of the recurrence so
+    # the inner loop allocates nothing beyond the operator applications.
+    scratch = np.empty(n, dtype=complex)
     used = 1
     for j in range(1, m):
         beta = np.linalg.norm(w)
         if beta < breakdown_tol:
             break
         betas[j - 1] = beta
-        basis[j] = w / beta
+        np.divide(w, beta, out=basis[j])
         # Full reorthogonalization: cheap at these m, removes Lanczos drift.
         overlaps = basis[:j] @ basis[j].conj()
-        basis[j] -= overlaps.conj() @ basis[:j]
+        np.matmul(overlaps.conj(), basis[:j], out=scratch)
+        basis[j] -= scratch
         basis[j] /= np.linalg.norm(basis[j])
         w = apply_h(basis[j])
         alphas[j] = np.real(np.vdot(basis[j], w))
-        w = w - alphas[j] * basis[j] - beta * basis[j - 1]
+        np.multiply(basis[j], alphas[j], out=scratch)
+        w -= scratch
+        np.multiply(basis[j - 1], beta, out=scratch)
+        w -= scratch
         used = j + 1
 
     t_mat = (

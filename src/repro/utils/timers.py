@@ -1,16 +1,28 @@
-"""Hierarchical wall-clock timers.
+"""Hierarchical wall-clock timers with byte/FLOP counters.
 
 The paper reports per-phase timings (K-Means / FFT / MPI / GEMM+Allreduce in
 Figure 8); :class:`TimerRegistry` collects those phases with nested scopes so
-the benchmark harness can print the same breakdown.
+the benchmark harness can print the same breakdown.  On top of wall time,
+each timer can accumulate *data-movement* (bytes) and *work* (FLOP)
+counters, and a registry created with ``track_allocations=True`` records
+per-scope heap allocation (net and peak, via :mod:`tracemalloc`) so the
+benchmark harness can prove a kernel stopped allocating per-iteration
+temporaries.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
+
+
+def fft_flops(n: int) -> int:
+    """Standard ``5 n log2 n`` FLOP estimate for one length-``n`` FFT."""
+    n = max(int(n), 1)
+    return int(5 * n * math.log2(n)) if n > 1 else 0
 
 
 @dataclass
@@ -20,6 +32,10 @@ class Timer:
     name: str
     total: float = 0.0
     count: int = 0
+    bytes: int = 0
+    flops: int = 0
+    alloc_net: int = 0
+    alloc_peak: int = 0
     _started: float | None = None
 
     def start(self) -> None:
@@ -36,6 +52,14 @@ class Timer:
         self.count += 1
         return elapsed
 
+    def add_bytes(self, n: int) -> None:
+        """Record ``n`` bytes of data movement attributed to this phase."""
+        self.bytes += int(n)
+
+    def add_flops(self, n: int) -> None:
+        """Record ``n`` floating-point operations attributed to this phase."""
+        self.flops += int(n)
+
     @property
     def running(self) -> bool:
         return self._started is not None
@@ -43,6 +67,11 @@ class Timer:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    @property
+    def gflops_per_s(self) -> float:
+        """Attained compute rate (0 when either counter is empty)."""
+        return self.flops / self.total / 1e9 if self.total > 0 and self.flops else 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Timer({self.name!r}, total={self.total:.6f}s, count={self.count})"
@@ -53,11 +82,23 @@ class TimerRegistry:
 
     Scope names compose with ``/``:  ``with reg.scope("hamiltonian"):`` then
     ``with reg.scope("fft"):`` accumulates under ``hamiltonian/fft``.
+
+    Parameters
+    ----------
+    track_allocations:
+        When true, every scope also records heap allocation via
+        :mod:`tracemalloc` (started lazily): ``alloc_net`` is the surviving
+        allocation delta across the scope, ``alloc_peak`` the peak excess
+        over the entry footprint.  Nested scopes share one peak watermark,
+        so inner peaks are attributed to every enclosing scope — fine for
+        the flat phase breakdowns the harness prints.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, track_allocations: bool = False) -> None:
         self._timers: dict[str, Timer] = {}
         self._stack: list[str] = []
+        self.track_allocations = bool(track_allocations)
+        self._started_tracemalloc = False
 
     def timer(self, name: str) -> Timer:
         """Return (creating if needed) the timer registered under ``name``."""
@@ -65,17 +106,54 @@ class TimerRegistry:
             self._timers[name] = Timer(name)
         return self._timers[name]
 
+    def current(self) -> Timer | None:
+        """The timer of the innermost active scope (None outside scopes)."""
+        if not self._stack:
+            return None
+        return self.timer("/".join(self._stack))
+
+    def add_bytes(self, n: int, name: str | None = None) -> None:
+        """Attribute bytes to ``name`` or to the innermost active scope."""
+        t = self.timer(name) if name is not None else self.current()
+        if t is None:
+            raise RuntimeError("add_bytes outside any scope requires a name")
+        t.add_bytes(n)
+
+    def add_flops(self, n: int, name: str | None = None) -> None:
+        """Attribute FLOPs to ``name`` or to the innermost active scope."""
+        t = self.timer(name) if name is not None else self.current()
+        if t is None:
+            raise RuntimeError("add_flops outside any scope requires a name")
+        t.add_flops(n)
+
+    def _alloc_snapshot(self) -> int:
+        import tracemalloc
+
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+        current, _ = tracemalloc.get_traced_memory()
+        tracemalloc.reset_peak()
+        return current
+
     @contextmanager
     def scope(self, name: str) -> Iterator[Timer]:
         """Time a nested scope; the full path is joined with ``/``."""
         path = "/".join(self._stack + [name])
         t = self.timer(path)
         self._stack.append(name)
+        before = self._alloc_snapshot() if self.track_allocations else 0
         t.start()
         try:
             yield t
         finally:
             t.stop()
+            if self.track_allocations:
+                import tracemalloc
+
+                current, peak = tracemalloc.get_traced_memory()
+                t.alloc_net += current - before
+                t.alloc_peak = max(t.alloc_peak, peak - before)
             self._stack.pop()
 
     def total(self, name: str) -> float:
@@ -86,6 +164,20 @@ class TimerRegistry:
     def as_dict(self) -> dict[str, float]:
         """Snapshot of all totals, keyed by scope path."""
         return {name: t.total for name, t in self._timers.items()}
+
+    def metrics(self) -> dict[str, dict[str, float]]:
+        """Full per-phase metrics: seconds, counts, bytes, FLOPs, allocs."""
+        return {
+            name: {
+                "seconds": t.total,
+                "count": t.count,
+                "bytes": t.bytes,
+                "flops": t.flops,
+                "alloc_net": t.alloc_net,
+                "alloc_peak": t.alloc_peak,
+            }
+            for name, t in self._timers.items()
+        }
 
     def reset(self) -> None:
         self._timers.clear()
@@ -98,9 +190,17 @@ class TimerRegistry:
             t = self._timers[name]
             depth = name.count("/")
             label = name.rsplit("/", 1)[-1]
-            lines.append(
-                f"{' ' * (indent * depth)}{label:<30s} {t.total:10.4f} s  (x{t.count})"
-            )
+            line = f"{' ' * (indent * depth)}{label:<30s} {t.total:10.4f} s  (x{t.count})"
+            extras = []
+            if t.flops:
+                extras.append(f"{t.flops / 1e9:.3f} GF @ {t.gflops_per_s:.2f} GF/s")
+            if t.bytes:
+                extras.append(f"{t.bytes / 1e6:.1f} MB moved")
+            if t.alloc_peak:
+                extras.append(f"peak alloc {t.alloc_peak / 1e6:.1f} MB")
+            if extras:
+                line += "  [" + ", ".join(extras) + "]"
+            lines.append(line)
         return "\n".join(lines)
 
 

@@ -1,0 +1,166 @@
+"""Backend equivalence: every FFT engine computes the same transforms.
+
+The numpy engine is the seed-faithful reference; the scipy engine (with
+its multi-worker pocketfft and rfftn real fast path) must agree to well
+below the 1e-10 acceptance tolerance on the forward, inverse, batched and
+real-field-convolution paths, or it is not a drop-in backend.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    NumpyFFTEngine,
+    ScipyFFTEngine,
+    available_backends,
+    get_fft_engine,
+    reset_default_fft_backend,
+    set_default_fft_backend,
+)
+from repro.pw import FourierGrid, RealSpaceGrid, UnitCell
+
+scipy_available = "scipy" in available_backends()
+needs_scipy = pytest.mark.skipif(not scipy_available, reason="scipy not installed")
+
+
+@pytest.fixture()
+def grid():
+    return RealSpaceGrid(UnitCell.cubic(6.0), (9, 8, 7))
+
+
+@pytest.fixture(autouse=True)
+def _isolate_default_backend():
+    """Tests below mutate the process default; always restore it."""
+    yield
+    reset_default_fft_backend()
+
+
+def _engines():
+    engines = [NumpyFFTEngine()]
+    if scipy_available:
+        engines.append(ScipyFFTEngine())
+    return engines
+
+
+class TestEngineAgreement:
+    @needs_scipy
+    def test_forward_matches_reference(self, grid, rng):
+        f = rng.standard_normal(grid.n_points) + 1j * rng.standard_normal(grid.n_points)
+        ref = FourierGrid(grid, engine=NumpyFFTEngine()).forward(f)
+        opt = FourierGrid(grid, engine=ScipyFFTEngine()).forward(f)
+        np.testing.assert_allclose(opt, ref, rtol=0, atol=1e-12 * np.abs(ref).max())
+
+    @needs_scipy
+    def test_inverse_matches_reference(self, grid, rng):
+        f_g = rng.standard_normal(grid.n_points) + 1j * rng.standard_normal(grid.n_points)
+        ref = FourierGrid(grid, engine=NumpyFFTEngine()).backward(f_g)
+        opt = FourierGrid(grid, engine=ScipyFFTEngine()).backward(f_g)
+        np.testing.assert_allclose(opt, ref, rtol=0, atol=1e-12 * np.abs(ref).max())
+
+    @needs_scipy
+    def test_batched_matches_reference(self, grid, rng):
+        fields = (rng.standard_normal((5, grid.n_points))
+                  + 1j * rng.standard_normal((5, grid.n_points)))
+        ref = FourierGrid(grid, engine=NumpyFFTEngine()).forward(fields)
+        opt = FourierGrid(grid, engine=ScipyFFTEngine()).forward(fields)
+        np.testing.assert_allclose(opt, ref, rtol=0, atol=1e-12 * np.abs(ref).max())
+
+    def test_roundtrip_every_engine(self, grid, rng):
+        f = rng.standard_normal(grid.n_points).astype(complex)
+        for engine in _engines():
+            fourier = FourierGrid(grid, engine=engine)
+            back = fourier.backward(fourier.forward(f))
+            np.testing.assert_allclose(back, f, atol=1e-12)
+
+
+class TestConvolveReal:
+    def _kernel(self, grid, rng):
+        # Real, inversion-symmetric G-diagonal kernel (like 4*pi/|G|^2):
+        # build from |G|^2 so K(-G) = K(G) holds by construction.
+        from repro.pw import GVectors
+
+        g2 = GVectors(grid, ecut=1.0).g2  # full-grid |G|^2, (N_r,)
+        return 1.0 / (1.0 + g2)
+
+    def test_real_fast_path_matches_complex_path(self, grid, rng):
+        kernel = self._kernel(grid, rng)
+        fields = rng.standard_normal((4, grid.n_points))
+        ref = FourierGrid(grid, engine=NumpyFFTEngine(use_rfft=False))
+        expect = ref.convolve_real(fields, kernel)
+        for engine in _engines() + [NumpyFFTEngine(use_rfft=True)]:
+            got = FourierGrid(grid, engine=engine).convolve_real(fields, kernel)
+            assert got.dtype.kind == "f"
+            np.testing.assert_allclose(
+                got, expect, rtol=0, atol=1e-12 * np.abs(expect).max()
+            )
+
+    def test_precomputed_half_kernel(self, grid, rng):
+        kernel = self._kernel(grid, rng)
+        fields = rng.standard_normal(grid.n_points)
+        for engine in _engines():
+            fourier = FourierGrid(grid, engine=engine)
+            half = fourier.half_kernel(kernel)
+            np.testing.assert_array_equal(
+                fourier.convolve_real(fields, kernel, kernel_half=half),
+                fourier.convolve_real(fields, kernel),
+            )
+
+    def test_complex_fields_use_reference_path(self, grid, rng):
+        kernel = self._kernel(grid, rng)
+        f = rng.standard_normal(grid.n_points).astype(complex)
+        for engine in _engines():
+            fourier = FourierGrid(grid, engine=engine)
+            expect = fourier.backward(fourier.forward(f) * kernel).real
+            np.testing.assert_allclose(
+                fourier.convolve_real(f, kernel), expect, atol=1e-13
+            )
+
+
+class TestSelection:
+    def test_get_by_name(self):
+        assert get_fft_engine("numpy").name == "numpy"
+        if scipy_available:
+            assert get_fft_engine("scipy").name == "scipy"
+
+    def test_auto_prefers_scipy(self):
+        expected = "scipy" if scipy_available else "numpy"
+        assert get_fft_engine("auto").name == expected
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown FFT backend"):
+            get_fft_engine("fftw3")
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FFT_BACKEND", "numpy")
+        assert get_fft_engine().name == "numpy"
+
+    def test_env_var_workers(self, monkeypatch):
+        if not scipy_available:
+            pytest.skip("scipy not installed")
+        monkeypatch.setenv("REPRO_FFT_WORKERS", "3")
+        assert ScipyFFTEngine().workers == 3
+        assert ScipyFFTEngine(workers=2).workers == 2
+
+    def test_set_default_applies_to_existing_grids(self, grid):
+        fourier = FourierGrid(grid)  # engine=None -> resolves default lazily
+        set_default_fft_backend("numpy")
+        assert fourier.fft_engine.name == "numpy"
+        if scipy_available:
+            set_default_fft_backend("scipy")
+            assert fourier.fft_engine.name == "scipy"
+
+
+class TestScratchPool:
+    def test_same_key_reuses_buffer(self):
+        eng = NumpyFFTEngine()
+        a = eng.scratch((4, 5), np.complex128)
+        b = eng.scratch((4, 5), np.complex128)
+        assert a is b
+        assert eng.scratch((4, 5), np.float64) is not a
+
+    def test_pool_is_bounded(self):
+        eng = NumpyFFTEngine()
+        first = eng.scratch((1, 1), float)
+        for n in range(2, 12):  # evict well past the slot budget
+            eng.scratch((n, 1), float)
+        assert eng.scratch((1, 1), float) is not first

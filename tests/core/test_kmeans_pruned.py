@@ -1,0 +1,120 @@
+"""Bit-identity of the bound-pruned (Hamerly) weighted K-Means.
+
+The pruned loop exists purely for speed: ``algorithm="hamerly"`` must
+produce *bit-for-bit* the same labels, centroids and inertia as the naive
+``algorithm="lloyd"`` classification at every tested workload — including
+the real-orbital pair weights the paper's Eq. 14 selection runs on — or
+interpolation-point selection would silently depend on the algorithm flag.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import pair_weights, select_points_kmeans
+from repro.core.kmeans import DEFAULT_TILE_BYTES, weighted_kmeans
+from repro.utils.rng import default_rng
+
+
+def _run_both(points, weights, k, *, seed=None, **kwargs):
+    out = {}
+    for algorithm in ("lloyd", "hamerly"):
+        # Fresh rng per run: stochastic inits must start identically.
+        rng = default_rng(seed) if seed is not None else None
+        out[algorithm] = weighted_kmeans(
+            points, weights, k, algorithm=algorithm, rng=rng, **kwargs
+        )
+    return out["lloyd"], out["hamerly"]
+
+
+def _assert_bit_identical(lloyd, hamerly):
+    c_l, labels_l, inertia_l, n_iter_l, conv_l = lloyd
+    c_h, labels_h, inertia_h, n_iter_h, conv_h = hamerly
+    np.testing.assert_array_equal(labels_h, labels_l)
+    np.testing.assert_array_equal(c_h, c_l)
+    assert inertia_h == inertia_l  # bitwise, not approx
+    assert (n_iter_h, conv_h) == (n_iter_l, conv_l)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("k", [3, 17, 64])
+    def test_seeded_random_points(self, k):
+        rng = default_rng(42)
+        points = rng.standard_normal((600, 3))
+        weights = rng.random(600) + 1e-3
+        _assert_bit_identical(
+            *_run_both(points, weights, k, seed=7, init="plusplus")
+        )
+
+    def test_greedy_weight_init(self):
+        rng = default_rng(5)
+        points = rng.standard_normal((400, 3)) * 3.0
+        weights = rng.random(400) ** 4  # strongly non-uniform, like Eq. 14
+        _assert_bit_identical(
+            *_run_both(points, weights, 24, init="greedy-weight")
+        )
+
+    def test_clustered_data_with_empty_cluster_reseeds(self):
+        # Far more centroids than natural clusters forces the empty-cluster
+        # reseed path, which must also stay in lockstep.
+        rng = default_rng(3)
+        centres = np.array([[0.0, 0, 0], [20.0, 0, 0]])
+        points = np.vstack(
+            [c + 0.1 * rng.standard_normal((50, 3)) for c in centres]
+        )
+        weights = np.ones(100)
+        _assert_bit_identical(
+            *_run_both(points, weights, 40, seed=9, init="plusplus")
+        )
+
+    def test_real_orbital_weights(self, si8_synthetic):
+        gs = si8_synthetic
+        psi_v, _, psi_c, _ = gs.select_transition_space()
+        w_full = pair_weights(psi_v, psi_c)
+        keep = np.flatnonzero(w_full >= 1e-6 * w_full.max())
+        points = gs.basis.grid.cartesian_points[keep]
+        _assert_bit_identical(
+            *_run_both(points, w_full[keep], 32, init="greedy-weight")
+        )
+
+    def test_selection_indices_algorithm_invariant(self, si8_synthetic):
+        gs = si8_synthetic
+        psi_v, _, psi_c, _ = gs.select_transition_space()
+        res = {
+            alg: select_points_kmeans(
+                psi_v, psi_c, 16,
+                grid_points=gs.basis.grid.cartesian_points, algorithm=alg,
+            )
+            for alg in ("lloyd", "hamerly")
+        }
+        np.testing.assert_array_equal(
+            res["hamerly"].indices, res["lloyd"].indices
+        )
+
+
+class TestTiling:
+    def test_tiny_tiles_change_nothing(self):
+        rng = default_rng(21)
+        points = rng.standard_normal((300, 3))
+        weights = rng.random(300) + 0.1
+        reference = weighted_kmeans(
+            points, weights, 12, init="greedy-weight",
+            tile_bytes=DEFAULT_TILE_BYTES,
+        )
+        for algorithm in ("lloyd", "hamerly"):
+            # 1 KiB tiles: a handful of rows per classification pass.
+            tiled = weighted_kmeans(
+                points, weights, 12, init="greedy-weight",
+                algorithm=algorithm, tile_bytes=1024,
+            )
+            _assert_bit_identical(reference, tiled)
+
+    def test_tile_floor_of_one_row(self):
+        rng = default_rng(22)
+        points = rng.standard_normal((50, 3))
+        weights = np.ones(50)
+        # Smaller than one row's worth of distances: must clamp, not crash.
+        _assert_bit_identical(
+            weighted_kmeans(points, weights, 5, init="greedy-weight"),
+            weighted_kmeans(points, weights, 5, init="greedy-weight",
+                            algorithm="hamerly", tile_bytes=1),
+        )

@@ -1,0 +1,71 @@
+"""Smoke coverage for the measured backend benchmark and repo hygiene.
+
+Runs ``benchmarks/bench_backend.py --smoke`` end-to-end (subprocess, like a
+user would) and checks the emitted JSON: structure, and — more importantly —
+the embedded equivalence flags, which turn the bench into a cross-backend
+numerics test.  Also invokes the ``tools/check_no_pyc.py`` guard so tracked
+bytecode can't creep back in.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _run(cmd, **kwargs):
+    env = dict(kwargs.pop("env", {}) or {})
+    return subprocess.run(
+        cmd, cwd=REPO_ROOT, capture_output=True, text=True,
+        env={**__import__("os").environ, "PYTHONPATH": str(REPO_ROOT / "src"), **env},
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def smoke_report(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_backend.json"
+    proc = _run([sys.executable, "benchmarks/bench_backend.py", "--smoke",
+                 "--out", str(out)])
+    assert proc.returncode == 0, proc.stderr
+    assert "backend bench (smoke mode)" in proc.stdout
+    return json.loads(out.read_text())
+
+
+class TestBenchSmoke:
+    def test_report_structure(self, smoke_report):
+        assert smoke_report["meta"]["mode"] == "smoke"
+        assert "numpy" in smoke_report["meta"]["fft_backends"]
+        fft = smoke_report["fft_coulomb_apply"]
+        for name in smoke_report["meta"]["fft_backends"]:
+            assert fft["backends"][name]["seconds_per_apply"] > 0
+        km = smoke_report["kmeans_selection"]
+        assert set(km["algorithms"]) == {"lloyd", "hamerly"}
+        assert smoke_report["phase_metrics"]  # counters were recorded
+
+    def test_backends_numerically_equivalent(self, smoke_report):
+        fft = smoke_report["fft_coulomb_apply"]
+        if "scipy" in fft["backends"]:
+            assert fft["within_1e-10"], fft["max_rel_diff"]
+
+    def test_kmeans_bit_identical(self, smoke_report):
+        km = smoke_report["kmeans_selection"]
+        assert km["labels_identical"]
+        assert km["inertia_identical"]
+        assert km["centroids_identical"]
+
+    def test_cli_subcommand(self, tmp_path):
+        out = tmp_path / "report.json"
+        proc = _run([sys.executable, "-m", "repro", "bench-backend",
+                     "--smoke", "--out", str(out)])
+        assert proc.returncode == 0, proc.stderr
+        assert json.loads(out.read_text())["meta"]["mode"] == "smoke"
+
+
+def test_no_tracked_bytecode():
+    proc = _run([sys.executable, "tools/check_no_pyc.py"])
+    assert proc.returncode == 0, proc.stderr

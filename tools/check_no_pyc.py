@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Guard: fail if any bytecode artifacts are tracked by git.
+
+Compiled ``*.pyc`` files and ``__pycache__`` directories are
+interpreter-version-specific build products; committing them bloats diffs
+and silently shadows source changes for anyone on a matching interpreter.
+Run from anywhere inside the repo; exits non-zero listing offenders.
+Invoked by the test suite (``tests/test_bench_smoke.py``) so a stray
+``git add -A`` can't reintroduce them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+
+def tracked_bytecode(repo_root: pathlib.Path) -> list[str]:
+    out = subprocess.run(
+        ["git", "ls-files", "--", "*.pyc", "*__pycache__*"],
+        cwd=repo_root, capture_output=True, text=True, check=True,
+    ).stdout
+    return [line for line in out.splitlines() if line]
+
+
+def main() -> int:
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    offenders = tracked_bytecode(repo_root)
+    if offenders:
+        print("ERROR: bytecode artifacts are tracked by git:", file=sys.stderr)
+        for path in offenders:
+            print(f"  {path}", file=sys.stderr)
+        print("fix: git rm --cached <files>  (.gitignore already covers them)",
+              file=sys.stderr)
+        return 1
+    print("ok: no tracked bytecode artifacts")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
