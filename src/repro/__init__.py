@@ -16,16 +16,16 @@ Layers (bottom up):
 * :mod:`repro.analysis`, :mod:`repro.data` — DOS/accuracy post-processing
   and the paper's reported numbers.
 
-Quick start::
+Quick start (the typed facade — see :mod:`repro.api` and ``docs/api.md``)::
 
-    from repro import run_scf, LRTDDFTSolver, silicon_primitive_cell
+    from repro import api, silicon_primitive_cell
 
-    gs = run_scf(silicon_primitive_cell(), ecut=10.0, n_bands=10)
-    solver = LRTDDFTSolver(gs)
-    result = solver.solve("implicit-kmeans-isdf-lobpcg", n_excitations=5)
+    gs = api.run_scf(silicon_primitive_cell(), api.SCFConfig(ecut=10.0, n_bands=10))
+    result = api.solve_tddft(gs, api.TDDFTConfig(n_excitations=5))
     print(result.energies)
 """
 
+from repro import api
 from repro.atoms import (
     bulk_silicon,
     graphene_bilayer,
@@ -42,6 +42,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "api",
     "UnitCell",
     "PlaneWaveBasis",
     "run_scf",

@@ -1,0 +1,43 @@
+"""``repro.api`` — the stable, typed facade over the calculation pipeline.
+
+Everything a downstream user needs lives here:
+
+* config objects: :class:`SCFConfig`, :class:`TDDFTConfig`,
+  :class:`ResilienceConfig` (frozen dataclasses with exact dict round-trip);
+* entry points: :func:`run_scf`, :func:`solve_tddft`, :func:`run_rt`;
+* result types: :class:`SCFResult` (= :class:`~repro.dft.GroundState`),
+  :class:`LRTDDFTResult`, :class:`RTResult` — all with ``save``/``load``;
+* :func:`load_result` — load any saved result by its embedded class tag.
+
+The exported surface is snapshot-tested against
+``tools/public_api_manifest.json`` (see ``tools/check_public_api.py``), so
+accidental breaking changes fail CI instead of downstream users.
+"""
+
+from repro.api.config import ResilienceConfig, SCFConfig, TDDFTConfig
+from repro.api.facade import (
+    SCFResult,
+    install_fft_fallback,
+    load_result,
+    reset_deprecation_warnings,
+    run_rt,
+    run_scf,
+    solve_tddft,
+)
+from repro.core.driver import LRTDDFTResult
+from repro.rt.tddft import RTResult
+
+__all__ = [
+    "LRTDDFTResult",
+    "ResilienceConfig",
+    "RTResult",
+    "SCFConfig",
+    "SCFResult",
+    "TDDFTConfig",
+    "install_fft_fallback",
+    "load_result",
+    "reset_deprecation_warnings",
+    "run_rt",
+    "run_scf",
+    "solve_tddft",
+]

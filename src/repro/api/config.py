@@ -1,0 +1,176 @@
+"""Typed, frozen configuration objects for the :mod:`repro.api` facade.
+
+Each config is an immutable dataclass with exact round-trip semantics:
+``Config.from_dict(cfg.to_dict()) == cfg``.  Unknown keys are rejected on
+construction from a dict, so config files fail loudly instead of silently
+dropping a typo.  ``replace`` derives a modified copy (the functional
+update pattern for frozen dataclasses).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.utils.validation import require
+
+__all__ = ["ResilienceConfig", "SCFConfig", "TDDFTConfig"]
+
+
+@dataclass(frozen=True)
+class _ConfigBase:
+    """Shared dict round-trip / functional-update machinery."""
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "_ConfigBase":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - fields)
+        require(
+            not unknown,
+            f"unknown {cls.__name__} keys {unknown}; valid keys: {sorted(fields)}",
+        )
+        return cls(**data)
+
+    def replace(self, **changes) -> "_ConfigBase":
+        """A copy with the given fields changed (frozen-safe update)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class SCFConfig(_ConfigBase):
+    """Ground-state SCF parameters (mirrors ``repro.dft.SCFOptions``)."""
+
+    ecut: float = 10.0
+    n_bands: int | None = None
+    tol: float = 1e-6
+    max_iter: int = 60
+    mixer: str = "anderson"
+    mixing_beta: float = 0.5
+    mixing_history: int = 5
+    smearing_width: float = 0.0
+    eig_tol_final: float = 1e-8
+    seed: int | None = None
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        require(self.ecut > 0, f"ecut must be positive, got {self.ecut}")
+        require(self.max_iter >= 1, f"max_iter must be >= 1, got {self.max_iter}")
+        require(
+            self.mixer in ("anderson", "linear"),
+            f"mixer must be 'anderson' or 'linear', got {self.mixer!r}",
+        )
+
+
+@dataclass(frozen=True)
+class TDDFTConfig(_ConfigBase):
+    """LR-TDDFT solve parameters (transition space + eigensolver)."""
+
+    method: str = "implicit-kmeans-isdf-lobpcg"
+    n_excitations: int | None = None
+    n_mu: int | None = None
+    rank_factor: float = 10.0
+    tol: float = 1e-8
+    max_iter: int = 400
+    tda: bool = True
+    spin: str = "singlet"
+    include_xc: bool = True
+    n_valence: int | None = None
+    n_conduction: int | None = None
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        from repro.core.driver import METHODS
+
+        require(
+            self.method in METHODS,
+            f"unknown method {self.method!r}; choose from {METHODS}",
+        )
+        require(
+            self.spin in ("singlet", "triplet"),
+            f"spin must be 'singlet' or 'triplet', got {self.spin!r}",
+        )
+        require(self.max_iter >= 1, f"max_iter must be >= 1, got {self.max_iter}")
+
+
+@dataclass(frozen=True)
+class ResilienceConfig(_ConfigBase):
+    """Checkpoint/restart and graceful-degradation policies.
+
+    Attributes
+    ----------
+    checkpoint_dir:
+        Directory for loop snapshots (``None`` disables checkpointing).
+    checkpoint_every:
+        Snapshot every N-th loop iteration.
+    restart:
+        Resume each checkpointed loop from its newest snapshot.
+    keep_last:
+        Retain only the newest N snapshots per loop (0 = keep all).
+    max_retries / backoff / backoff_factor:
+        Retry-with-exponential-backoff parameters for transient faults
+        (see :class:`repro.resilience.RetryPolicy`).
+    fft_fallback:
+        Degrade the process-wide FFT backend scipy -> numpy on the first
+        transform failure (:class:`repro.resilience.ResilientFFTEngine`).
+    selection_fallback:
+        ``"qrcp"`` re-selects ISDF points with randomized QRCP when the
+        K-Means clustering fails or does not converge; ``None`` fails fast.
+    dense_fallback_max_pairs:
+        When an iterative eigensolve does not converge and the pair space
+        is at most this large, re-solve with the dense eigensolver
+        (0 disables the fallback).
+    """
+
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 1
+    restart: bool = False
+    keep_last: int = 0
+    max_retries: int = 3
+    backoff: float = 0.01
+    backoff_factor: float = 2.0
+    fft_fallback: bool = True
+    selection_fallback: str | None = "qrcp"
+    dense_fallback_max_pairs: int = 512
+
+    def __post_init__(self) -> None:
+        require(
+            self.checkpoint_every >= 1,
+            f"checkpoint_every must be >= 1, got {self.checkpoint_every}",
+        )
+        require(self.keep_last >= 0, f"keep_last must be >= 0, got {self.keep_last}")
+        require(
+            self.max_retries >= 0,
+            f"max_retries must be >= 0, got {self.max_retries}",
+        )
+        require(
+            self.selection_fallback in (None, "qrcp"),
+            f"selection_fallback must be None or 'qrcp', "
+            f"got {self.selection_fallback!r}",
+        )
+
+    def retry_policy(self):
+        """The :class:`repro.resilience.RetryPolicy` these knobs describe."""
+        from repro.resilience.policies import RetryPolicy
+
+        return RetryPolicy(
+            max_retries=self.max_retries,
+            backoff=self.backoff,
+            backoff_factor=self.backoff_factor,
+        )
+
+    def checkpointer(self, tag: str):
+        """A :class:`~repro.resilience.checkpoint.LoopCheckpointer` for one
+        loop (``None`` when checkpointing is disabled)."""
+        if self.checkpoint_dir is None:
+            return None
+        from repro.resilience.checkpoint import CheckpointManager, LoopCheckpointer
+
+        return LoopCheckpointer(
+            CheckpointManager(self.checkpoint_dir, tag=tag),
+            every=self.checkpoint_every,
+            restart=self.restart,
+            keep_last=self.keep_last,
+        )

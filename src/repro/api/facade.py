@@ -1,0 +1,213 @@
+"""The unified typed entry points: ``run_scf`` / ``solve_tddft`` / ``run_rt``.
+
+Every pipeline stage is driven by a frozen config object
+(:class:`~repro.api.config.SCFConfig`, :class:`~repro.api.config.TDDFTConfig`)
+plus an optional :class:`~repro.api.config.ResilienceConfig` that switches on
+checkpoint/restart and the graceful-degradation policies (FFT backend
+fallback, K-Means -> QRCP selection fallback, iterative -> dense eigensolver
+fallback).  The old kwarg signatures keep working through deprecation shims
+that warn exactly once per process.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.api.config import ResilienceConfig, SCFConfig, TDDFTConfig
+from repro.core.driver import LRTDDFTResult, LRTDDFTSolver
+from repro.dft.groundstate import GroundState
+from repro.dft.scf import SCFOptions
+from repro.dft.scf import run_scf as _run_scf_core
+from repro.rt.tddft import RealTimeTDDFT, RTResult
+from repro.utils.deprecation import reset_deprecation_warnings, warn_once
+from repro.utils.serialization import SerializationError, load_payload
+from repro.utils.timers import TimerRegistry
+from repro.utils.validation import require
+
+__all__ = [
+    "SCFResult",
+    "install_fft_fallback",
+    "load_result",
+    "reset_deprecation_warnings",
+    "run_rt",
+    "run_scf",
+    "solve_tddft",
+]
+
+#: The facade's name for the ground-state result object.
+SCFResult = GroundState
+
+
+def install_fft_fallback():
+    """Wrap the process-wide FFT engine in the scipy -> numpy fallback.
+
+    Idempotent: an already-resilient default is returned unchanged.
+    """
+    from repro.backend.fft_engine import default_fft_engine, set_default_fft_engine
+    from repro.resilience.policies import ResilientFFTEngine
+
+    engine = default_fft_engine()
+    if isinstance(engine, ResilientFFTEngine):
+        return engine
+    return set_default_fft_engine(ResilientFFTEngine(engine))
+
+
+def _apply_resilience_process_policies(resilience: ResilienceConfig | None) -> None:
+    if resilience is not None and resilience.fft_fallback:
+        install_fft_fallback()
+
+
+def run_scf(
+    cell,
+    config: SCFConfig | None = None,
+    *,
+    resilience: ResilienceConfig | None = None,
+    timers: TimerRegistry | None = None,
+    **legacy,
+) -> GroundState:
+    """Ground-state SCF from an :class:`~repro.api.config.SCFConfig`.
+
+    ``run_scf(cell, ecut=8.0, ...)`` (bare keywords instead of a config)
+    is the legacy signature — still supported, but it emits a one-time
+    ``DeprecationWarning``.
+    """
+    if legacy:
+        if config is None:
+            warn_once(
+                "api.run_scf:kwargs",
+                "passing SCF options as keywords to repro.api.run_scf() is "
+                "deprecated; build a repro.api.SCFConfig instead",
+            )
+            config = SCFConfig.from_dict(legacy)
+        else:
+            require(
+                False,
+                "run_scf(cell, config) does not accept additional option "
+                f"keywords (got {sorted(legacy)}); use config.replace(...)",
+            )
+    config = config or SCFConfig()
+    _apply_resilience_process_policies(resilience)
+    checkpoint = resilience.checkpointer("scf") if resilience is not None else None
+    opts = SCFOptions(**config.to_dict())
+    return _run_scf_core(cell, opts, timers=timers, checkpoint=checkpoint)
+
+
+def _dense_equivalent(method: str) -> str:
+    """The dense-diagonalization twin of an iterative method string."""
+    m = method
+    if m.startswith("implicit-"):
+        m = m[len("implicit-"):]
+    for suffix in ("-lobpcg", "-davidson"):
+        if m.endswith(suffix):
+            m = m[: -len(suffix)]
+    return m
+
+
+def solve_tddft(
+    ground_state: GroundState,
+    config: TDDFTConfig | None = None,
+    *,
+    resilience: ResilienceConfig | None = None,
+    **legacy,
+) -> LRTDDFTResult:
+    """LR-TDDFT excitations from a :class:`~repro.api.config.TDDFTConfig`.
+
+    With a :class:`~repro.api.config.ResilienceConfig` the solve gains
+    checkpoint/restart (ISDF stages + LOBPCG iterations) and graceful
+    degradation; in particular, an iterative eigensolve that does *not*
+    converge within its budget is transparently re-run with the dense
+    eigensolver whenever the pair space is small enough
+    (``dense_fallback_max_pairs``).
+    """
+    if legacy:
+        if config is None:
+            warn_once(
+                "api.solve_tddft:kwargs",
+                "passing solver options as keywords to repro.api.solve_tddft() "
+                "is deprecated; build a repro.api.TDDFTConfig instead",
+            )
+            config = TDDFTConfig.from_dict(legacy)
+        else:
+            require(
+                False,
+                "solve_tddft(gs, config) does not accept additional option "
+                f"keywords (got {sorted(legacy)}); use config.replace(...)",
+            )
+    config = config or TDDFTConfig()
+    _apply_resilience_process_policies(resilience)
+
+    solver = LRTDDFTSolver(
+        ground_state,
+        n_valence=config.n_valence,
+        n_conduction=config.n_conduction,
+        include_xc=config.include_xc,
+        spin=config.spin,
+        seed=config.seed,
+    )
+    result = solver.solve(config, resilience=resilience)
+
+    if (
+        resilience is not None
+        and not result.converged
+        and 0 < solver.n_pairs <= resilience.dense_fallback_max_pairs
+    ):
+        dense_method = _dense_equivalent(config.method)
+        if dense_method != config.method:
+            # Fresh (non-restart) solve: the dense path must not consume the
+            # iterative run's checkpoints.
+            dense_resilience = resilience.replace(checkpoint_dir=None)
+            result = solver.solve(
+                config.replace(method=dense_method),
+                resilience=dense_resilience,
+            )
+    return result
+
+
+def run_rt(
+    ground_state: GroundState,
+    *,
+    dt: float = 0.2,
+    n_steps: int = 600,
+    kick_strength: float = 1e-3,
+    kick_direction=(0.0, 0.0, 1.0),
+    krylov_dim: int = 10,
+    etrs: bool = True,
+    record_every: int = 1,
+    self_consistent: bool = True,
+    resilience: ResilienceConfig | None = None,
+) -> RTResult:
+    """Kick-and-propagate real-time TDDFT run (checkpointable)."""
+    _apply_resilience_process_policies(resilience)
+    checkpoint = resilience.checkpointer("rt") if resilience is not None else None
+    rt = RealTimeTDDFT(ground_state, self_consistent=self_consistent)
+    if kick_strength:
+        rt.kick(kick_strength, kick_direction)
+    return rt.propagate(
+        dt,
+        n_steps,
+        krylov_dim=krylov_dim,
+        etrs=etrs,
+        record_every=record_every,
+        checkpoint=checkpoint,
+    )
+
+
+#: Result classes :func:`load_result` can dispatch to, by class tag.
+_RESULT_CLASSES = {
+    "GroundState": GroundState,
+    "LRTDDFTResult": LRTDDFTResult,
+    "RTResult": RTResult,
+}
+
+
+def load_result(path: str | os.PathLike):
+    """Load any saved result file, dispatching on its embedded class tag."""
+    payload = load_payload(path)
+    tag = payload.get("class")
+    cls = _RESULT_CLASSES.get(tag)
+    if cls is None:
+        raise SerializationError(
+            f"{path}: unknown result class {tag!r}; "
+            f"expected one of {sorted(_RESULT_CLASSES)}"
+        )
+    return cls.from_dict(payload["data"])

@@ -42,6 +42,7 @@ __all__ = [
     "get_fft_engine",
     "reset_default_fft_backend",
     "set_default_fft_backend",
+    "set_default_fft_engine",
 ]
 
 _ENV_BACKEND = "REPRO_FFT_BACKEND"
@@ -236,6 +237,17 @@ def set_default_fft_backend(
     global _default_engine
     _default_engine = get_fft_engine(name, workers=workers)
     return _default_engine
+
+
+def set_default_fft_engine(engine: FFTEngine) -> FFTEngine:
+    """Install a concrete engine instance as the process-wide default.
+
+    Used by the resilience layer to wrap the current default in a
+    fallback decorator (:class:`repro.resilience.ResilientFFTEngine`).
+    """
+    global _default_engine
+    _default_engine = engine
+    return engine
 
 
 def reset_default_fft_backend() -> None:

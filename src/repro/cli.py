@@ -55,8 +55,24 @@ def _builtin_systems() -> dict[str, Callable]:
     }
 
 
+def _resilience_from(args) -> "object | None":
+    """Build the ResilienceConfig the common CLI flags describe (or None)."""
+    from repro.api import ResilienceConfig
+
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    if checkpoint_dir is None:
+        if getattr(args, "restart", False):
+            raise SystemExit("--restart requires --checkpoint-dir")
+        return None
+    return ResilienceConfig(
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=getattr(args, "checkpoint_every", 1),
+        restart=getattr(args, "restart", False),
+    )
+
+
 def _run_scf_for(args) -> "object":
-    from repro.dft import run_scf
+    from repro.api import SCFConfig, run_scf
 
     if getattr(args, "xyz", None):
         from repro.atoms import read_xyz
@@ -65,14 +81,14 @@ def _run_scf_for(args) -> "object":
     else:
         cell = _builtin_systems()[args.system]()
     needs_smearing = args.system == "bilayer"
-    return run_scf(
-        cell,
+    config = SCFConfig(
         ecut=args.ecut,
         n_bands=args.bands,
         tol=args.tol,
         smearing_width=0.01 if needs_smearing else 0.0,
         seed=0,
     )
+    return run_scf(cell, config, resilience=_resilience_from(args))
 
 
 def cmd_info(args) -> int:
@@ -98,21 +114,22 @@ def cmd_scf(args) -> int:
 
 
 def cmd_tddft(args) -> int:
-    from repro.core import LRTDDFTSolver
+    from repro.api import TDDFTConfig, solve_tddft
 
     gs = _run_scf_for(args)
-    solver = LRTDDFTSolver(
-        gs, spin="triplet" if args.triplet else "singlet", seed=0
-    )
-    result = solver.solve(
-        args.method,
-        n_excitations=min(args.n_excitations, solver.n_pairs),
+    n_pairs = gs.n_occupied * (gs.n_bands - gs.n_occupied)
+    config = TDDFTConfig(
+        method=args.method,
+        n_excitations=min(args.n_excitations, n_pairs),
         tda=not args.full_casida,
+        spin="triplet" if args.triplet else "singlet",
+        seed=0,
     )
+    result = solve_tddft(gs, config, resilience=_resilience_from(args))
     kind = "triplet" if args.triplet else "singlet"
     form = "full Casida" if args.full_casida else "TDA"
     print(f"{kind} excitations ({form}, method={args.method}, "
-          f"N_cv={solver.n_pairs}, N_mu={result.n_mu}):")
+          f"N_cv={n_pairs}, N_mu={result.n_mu}):")
     print(f"{'#':>3s} {'E (Ha)':>10s} {'E (eV)':>10s}")
     for i, e in enumerate(result.energies, 1):
         print(f"{i:3d} {e:10.6f} {e * HARTREE_TO_EV:10.4f}")
@@ -172,12 +189,17 @@ def cmd_scaling(args) -> int:
 
 
 def cmd_rt(args) -> int:
-    from repro.rt import RealTimeTDDFT, dipole_spectrum, find_peaks
+    from repro.api import run_rt
+    from repro.rt import dipole_spectrum, find_peaks
 
     gs = _run_scf_for(args)
-    rt = RealTimeTDDFT(gs)
-    rt.kick(args.kick)
-    result = rt.propagate(dt=args.dt, n_steps=args.steps)
+    result = run_rt(
+        gs,
+        dt=args.dt,
+        n_steps=args.steps,
+        kick_strength=args.kick,
+        resilience=_resilience_from(args),
+    )
     omega, spectrum = dipole_spectrum(
         result.times, result.dipole_along_kick(), result.kick_strength,
         damping=args.damping,
@@ -224,11 +246,22 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--bands", type=int, default=default_bands)
         p.add_argument("--tol", type=float, default=1e-7)
 
+    def add_resilience_args(p):
+        p.add_argument("--checkpoint-dir", default=None,
+                       help="snapshot loop state into this directory")
+        p.add_argument("--checkpoint-every", type=int, default=1,
+                       help="snapshot every N-th loop iteration")
+        p.add_argument("--restart", action="store_true",
+                       help="resume from the newest snapshot in "
+                            "--checkpoint-dir")
+
     p_scf = sub.add_parser("scf", help="ground-state SCF")
     add_system_args(p_scf, default_bands=10)
+    add_resilience_args(p_scf)
 
     p_td = sub.add_parser("tddft", help="LR-TDDFT excitations")
     add_system_args(p_td, default_bands=10)
+    add_resilience_args(p_td)
     p_td.add_argument("--method", default="implicit-kmeans-isdf-lobpcg")
     p_td.add_argument("-k", "--n-excitations", type=int, default=5)
     p_td.add_argument("--full-casida", action="store_true",
@@ -242,6 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_rt = sub.add_parser("rt", help="real-time TDDFT run")
     add_system_args(p_rt, default_bands=5)
+    add_resilience_args(p_rt)
     p_rt.add_argument("--steps", type=int, default=600)
     p_rt.add_argument("--dt", type=float, default=0.2)
     p_rt.add_argument("--kick", type=float, default=1e-3)

@@ -35,7 +35,9 @@ from repro.core.pair_products import pair_energies
 from repro.dft.groundstate import GroundState
 from repro.eigen.davidson import davidson
 from repro.eigen.lobpcg import lobpcg
+from repro.utils.deprecation import warn_once
 from repro.utils.rng import default_rng
+from repro.utils.serialization import SerializableResult
 from repro.utils.timers import TimerRegistry
 from repro.utils.validation import require
 
@@ -52,9 +54,14 @@ METHODS: tuple[str, ...] = (
     "implicit-kmeans-isdf-davidson",
 )
 
+#: Sentinel distinguishing "keyword not passed" from an explicit value, so
+#: the legacy kwarg signature of :meth:`LRTDDFTSolver.solve` can be detected
+#: (and deprecation-warned) without changing its behavior.
+_UNSET = object()
+
 
 @dataclass
-class LRTDDFTResult:
+class LRTDDFTResult(SerializableResult):
     """Excitation energies and wavefunction coefficients.
 
     Attributes
@@ -73,6 +80,9 @@ class LRTDDFTResult:
         The ISDF decomposition (None for naive) for post-hoc diagnostics.
     eigensolver_iterations:
         LOBPCG iterations (0 for dense solves).
+    converged:
+        Eigensolver convergence flag (dense solves are always True) — the
+        facade's dense-fallback policy keys off this.
     """
 
     energies: np.ndarray
@@ -82,10 +92,37 @@ class LRTDDFTResult:
     timings: dict[str, float] = field(default_factory=dict)
     isdf: ISDFDecomposition | None = None
     eigensolver_iterations: int = 0
+    converged: bool = True
 
     @property
     def n_excitations(self) -> int:
         return self.energies.shape[0]
+
+    def to_dict(self) -> dict:
+        return {
+            "energies": self.energies,
+            "wavefunctions": self.wavefunctions,
+            "method": self.method,
+            "n_mu": None if self.n_mu is None else int(self.n_mu),
+            "timings": {k: float(v) for k, v in self.timings.items()},
+            "isdf": None if self.isdf is None else self.isdf.to_dict(),
+            "eigensolver_iterations": int(self.eigensolver_iterations),
+            "converged": bool(self.converged),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LRTDDFTResult":
+        isdf = data.get("isdf")
+        return cls(
+            energies=np.array(data["energies"]),
+            wavefunctions=np.array(data["wavefunctions"]),
+            method=str(data["method"]),
+            n_mu=None if data.get("n_mu") is None else int(data["n_mu"]),
+            timings=dict(data.get("timings") or {}),
+            isdf=None if isdf is None else ISDFDecomposition.from_dict(isdf),
+            eigensolver_iterations=int(data.get("eigensolver_iterations", 0)),
+            converged=bool(data.get("converged", True)),
+        )
 
 
 class LRTDDFTSolver:
@@ -125,6 +162,9 @@ class LRTDDFTSolver:
             self.basis, ground_state.density, include_xc=include_xc, spin=spin
         )
         self._seed = seed
+        self._selection_fallback: str | None = None
+        self._isdf_checkpoint = None
+        self._lobpcg_checkpoint = None
 
     # -- sizes --------------------------------------------------------------
 
@@ -147,20 +187,26 @@ class LRTDDFTSolver:
 
     def solve(
         self,
-        method: str = "implicit-kmeans-isdf-lobpcg",
+        method="implicit-kmeans-isdf-lobpcg",
         *,
-        n_excitations: int | None = None,
-        n_mu: int | None = None,
-        rank_factor: float = 10.0,
-        tol: float = 1e-8,
-        max_iter: int = 400,
-        tda: bool = True,
-        isdf_kwargs: dict | None = None,
+        n_excitations: int | None = _UNSET,
+        n_mu: int | None = _UNSET,
+        rank_factor: float = _UNSET,
+        tol: float = _UNSET,
+        max_iter: int = _UNSET,
+        tda: bool = _UNSET,
+        isdf_kwargs: dict | None = _UNSET,
+        resilience=None,
     ) -> LRTDDFTResult:
         """Solve for the lowest excitations with the chosen Table 4 version.
 
         Parameters
         ----------
+        method:
+            Either a :class:`repro.api.TDDFTConfig` (preferred) or a Table 4
+            method string.  Passing the individual solver keywords alongside
+            a method string is the legacy signature and emits a one-time
+            ``DeprecationWarning`` — build a ``TDDFTConfig`` instead.
         n_excitations:
             How many lowest pairs to return.  Iterative versions default to
             ``min(10, N_cv)``; dense versions return the full spectrum when
@@ -175,10 +221,60 @@ class LRTDDFTSolver:
             of Eq. 1 via the Hermitian reduction (see
             :mod:`repro.core.full_casida`) — including a matrix-free
             implicit variant.
+        resilience:
+            Optional :class:`repro.api.ResilienceConfig`.  Enables the
+            K-Means -> QRCP selection fallback and, when ``checkpoint_dir``
+            is set, stage checkpoints for the ISDF pipeline (tag ``isdf``)
+            and iteration snapshots for the LOBPCG solve (tag ``lobpcg``)
+            with ``restart`` resuming both.
         """
+        legacy = {
+            k: v
+            for k, v in {
+                "n_excitations": n_excitations,
+                "n_mu": n_mu,
+                "rank_factor": rank_factor,
+                "tol": tol,
+                "max_iter": max_iter,
+                "tda": tda,
+                "isdf_kwargs": isdf_kwargs,
+            }.items()
+            if v is not _UNSET
+        }
+        if isinstance(method, str):
+            if legacy:
+                warn_once(
+                    "LRTDDFTSolver.solve:kwargs",
+                    "passing solver keywords to LRTDDFTSolver.solve() is "
+                    "deprecated; build a repro.api.TDDFTConfig and call "
+                    "solve(config) (or use repro.api.solve_tddft)",
+                )
+            n_excitations = legacy.get("n_excitations")
+            n_mu = legacy.get("n_mu")
+            rank_factor = legacy.get("rank_factor", 10.0)
+            tol = legacy.get("tol", 1e-8)
+            max_iter = legacy.get("max_iter", 400)
+            tda = legacy.get("tda", True)
+            isdf_kwargs = legacy.get("isdf_kwargs")
+        else:
+            require(
+                not legacy,
+                "solve(config) does not accept additional solver keywords; "
+                f"set them on the config instead (got {sorted(legacy)})",
+            )
+            config = method
+            method = config.method
+            n_excitations = config.n_excitations
+            n_mu = config.n_mu
+            rank_factor = config.rank_factor
+            tol = config.tol
+            max_iter = config.max_iter
+            tda = config.tda
+            isdf_kwargs = None
         require(method in METHODS, f"unknown method {method!r}; choose from {METHODS}")
         timers = TimerRegistry()
         isdf_kwargs = dict(isdf_kwargs or {})
+        self._configure_resilience(resilience)
         # Fresh generator per solve: every method sees identical ISDF points
         # and starting blocks, so cross-version comparisons are exact.
         self._rng = default_rng(self._seed)
@@ -202,6 +298,32 @@ class LRTDDFTSolver:
         result.method = method
         result.timings = timers.as_dict()
         return result
+
+    def _configure_resilience(self, resilience) -> None:
+        """Translate a ResilienceConfig into the solver-side hooks."""
+        self._selection_fallback = None
+        self._isdf_checkpoint = None
+        self._lobpcg_checkpoint = None
+        if resilience is None:
+            return
+        self._selection_fallback = resilience.selection_fallback
+        if resilience.checkpoint_dir:
+            from repro.resilience.checkpoint import (
+                CheckpointManager,
+                LoopCheckpointer,
+            )
+
+            self._isdf_checkpoint = LoopCheckpointer(
+                CheckpointManager(resilience.checkpoint_dir, tag="isdf"),
+                restart=resilience.restart,
+                keep_last=resilience.keep_last,
+            )
+            self._lobpcg_checkpoint = LoopCheckpointer(
+                CheckpointManager(resilience.checkpoint_dir, tag="lobpcg"),
+                every=resilience.checkpoint_every,
+                restart=resilience.restart,
+                keep_last=resilience.keep_last,
+            )
 
     # -- version implementations ------------------------------------------------
 
@@ -246,6 +368,8 @@ class LRTDDFTSolver:
             rank_factor=rank_factor,
             rng=self._rng,
             timers=timers,
+            fallback=self._selection_fallback,
+            checkpoint=self._isdf_checkpoint,
             **isdf_kwargs,
         )
 
@@ -296,13 +420,15 @@ class LRTDDFTSolver:
                 else:
                     res = lobpcg(
                         lambda x: h @ x, x0, preconditioner=precond, tol=tol,
-                        max_iter=max_iter,
+                        max_iter=max_iter, checkpoint=self._lobpcg_checkpoint,
                     )
             evals, evecs = res.eigenvalues, res.eigenvectors
             iterations = res.iterations
+            converged = res.converged
             if not tda:
                 evals = np.sqrt(np.maximum(evals, 0.0))
         else:
+            converged = True
             with timers.scope("diagonalize"):
                 if tda:
                     evals, evecs = solve_casida_dense(h, n_excitations)
@@ -310,7 +436,7 @@ class LRTDDFTSolver:
                     evals, evecs = solve_full_casida_dense(h, n_excitations)
         return LRTDDFTResult(
             evals, evecs, "", isdf.n_mu, isdf=isdf,
-            eigensolver_iterations=iterations,
+            eigensolver_iterations=iterations, converged=converged,
         )
 
     def _solve_implicit(
@@ -346,14 +472,14 @@ class LRTDDFTSolver:
             else:
                 res = lobpcg(
                     op.apply, x0, preconditioner=op.preconditioner, tol=tol,
-                    max_iter=max_iter,
+                    max_iter=max_iter, checkpoint=self._lobpcg_checkpoint,
                 )
         evals = res.eigenvalues
         if not tda:
             evals = np.sqrt(np.maximum(evals, 0.0))
         return LRTDDFTResult(
             evals, res.eigenvectors, "", isdf.n_mu, isdf=isdf,
-            eigensolver_iterations=res.iterations,
+            eigensolver_iterations=res.iterations, converged=res.converged,
         )
 
     # -- helpers -----------------------------------------------------------

@@ -100,6 +100,28 @@ class ISDFDecomposition:
         """
         return self.theta @ self.coefficients()
 
+    def to_dict(self) -> dict:
+        """Serializable payload (``selection_info`` is intentionally dropped:
+        it is a diagnostics object, not part of the decomposition)."""
+        return {
+            "indices": self.indices,
+            "theta": self.theta,
+            "psi_v_mu": self.psi_v_mu,
+            "psi_c_mu": self.psi_c_mu,
+            "method": self.method,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ISDFDecomposition":
+        return cls(
+            indices=np.array(data["indices"]),
+            theta=np.array(data["theta"]),
+            psi_v_mu=np.array(data["psi_v_mu"]),
+            psi_c_mu=np.array(data["psi_c_mu"]),
+            method=str(data["method"]),
+            selection_info=None,
+        )
+
     def relative_error(self, psi_v: np.ndarray, psi_c: np.ndarray) -> float:
         """Frobenius error ``||Z - Theta C|| / ||Z||`` (forms Z; small only)."""
         z = pair_products(psi_v, psi_c)
@@ -153,6 +175,8 @@ def isdf_decompose(
     rank_factor: float = 10.0,
     rng: np.random.Generator | None = None,
     timers: TimerRegistry | None = None,
+    fallback: str | None = None,
+    checkpoint=None,
     **selection_kwargs,
 ) -> ISDFDecomposition:
     """Run point selection + least-squares fit.
@@ -165,6 +189,18 @@ def isdf_decompose(
         ``(N_r, 3)`` Cartesian grid coordinates; required for K-Means.
     n_mu:
         Rank; defaults to :func:`default_rank` with ``rank_factor``.
+    fallback:
+        ``"qrcp"`` re-selects points with randomized QRCP when the K-Means
+        clustering fails to converge (or raises) — the graceful-degradation
+        policy of :class:`repro.api.ResilienceConfig`.  ``None`` (default)
+        keeps the historical fail-fast behavior.
+    checkpoint:
+        Optional :class:`~repro.resilience.checkpoint.LoopCheckpointer`;
+        the pipeline snapshots each completed stage (0 = point selection,
+        1 = interpolation-vector fit) so a restarted decomposition reuses
+        the selected points (and, when present, the fitted vectors)
+        instead of recomputing.  ``selection_info`` is ``None`` on a
+        resumed result.
     selection_kwargs:
         Forwarded to the point selector (e.g. ``prune_threshold``,
         ``sketch``, ``oversample``).
@@ -176,30 +212,71 @@ def isdf_decompose(
     if n_mu is None:
         n_mu = default_rank(n_v, n_c, n_r, rank_factor)
     require(0 < n_mu <= min(n_r, n_v * n_c), f"invalid n_mu={n_mu}")
+    require(
+        fallback in (None, "qrcp"),
+        f"unknown selection fallback {fallback!r}; only 'qrcp' is supported",
+    )
 
-    if method == "kmeans":
-        require(grid_points is not None, "kmeans selection needs grid_points")
-        with timers.scope("isdf/select_kmeans"):
-            info = select_points_kmeans(
-                psi_v, psi_c, n_mu, grid_points=grid_points, rng=rng,
-                **selection_kwargs,
+    indices = theta = info = None
+    method_used = method
+    resumed = checkpoint.resume() if checkpoint is not None else None
+    if resumed is not None:
+        _, state = resumed
+        indices = np.array(state["indices"])
+        method_used = str(state["method"])
+        if state.get("theta") is not None:
+            theta = np.array(state["theta"])
+
+    if indices is None:
+        if method == "kmeans":
+            require(grid_points is not None, "kmeans selection needs grid_points")
+            with timers.scope("isdf/select_kmeans"):
+                try:
+                    info = select_points_kmeans(
+                        psi_v, psi_c, n_mu, grid_points=grid_points, rng=rng,
+                        **selection_kwargs,
+                    )
+                    selection_ok = info.converged
+                    indices = info.indices
+                except Exception:
+                    if fallback is None:
+                        raise
+                    selection_ok = False
+            if not selection_ok and fallback == "qrcp":
+                with timers.scope("isdf/select_qrcp_fallback"):
+                    info = select_points_qrcp(psi_v, psi_c, n_mu, rng=rng)
+                indices = np.sort(info.indices)
+                method_used = "qrcp"
+        elif method == "qrcp":
+            with timers.scope("isdf/select_qrcp"):
+                info = select_points_qrcp(
+                    psi_v, psi_c, n_mu, rng=rng, **selection_kwargs
+                )
+            indices = np.sort(info.indices)
+        else:
+            raise ValueError(f"unknown ISDF method {method!r}")
+        if checkpoint is not None:
+            checkpoint.save(
+                0,
+                {"indices": indices, "method": method_used, "theta": None},
+                force=True,
             )
-        indices = info.indices
-    elif method == "qrcp":
-        with timers.scope("isdf/select_qrcp"):
-            info = select_points_qrcp(psi_v, psi_c, n_mu, rng=rng, **selection_kwargs)
-        indices = np.sort(info.indices)
-    else:
-        raise ValueError(f"unknown ISDF method {method!r}")
 
-    with timers.scope("isdf/fit"):
-        theta = fit_interpolation_vectors(psi_v, psi_c, indices)
+    if theta is None:
+        with timers.scope("isdf/fit"):
+            theta = fit_interpolation_vectors(psi_v, psi_c, indices)
+        if checkpoint is not None:
+            checkpoint.save(
+                1,
+                {"indices": indices, "method": method_used, "theta": theta},
+                force=True,
+            )
 
     return ISDFDecomposition(
         indices=indices,
         theta=theta,
         psi_v_mu=psi_v[:, indices].copy(),
         psi_c_mu=psi_c[:, indices].copy(),
-        method=method,
+        method=method_used,
         selection_info=info,
     )

@@ -16,6 +16,8 @@ from typing import Callable
 import numpy as np
 
 from repro.pw.basis import PlaneWaveBasis
+from repro.pw.cell import UnitCell
+from repro.utils.serialization import SerializableResult
 from repro.utils.validation import require
 
 
@@ -91,7 +93,7 @@ def realify_orbitals(
 
 
 @dataclass
-class GroundState:
+class GroundState(SerializableResult):
     """Converged (or synthetic) ground-state data.
 
     Attributes
@@ -179,4 +181,49 @@ class GroundState:
             self.energies[v_slice],
             self.orbitals_real[c_slice],
             self.energies[c_slice],
+        )
+
+    # -- serialization (see repro.utils.serialization) ----------------------
+
+    def to_dict(self) -> dict:
+        """Payload dict: the cell geometry + cutoff rebuild the basis."""
+        cell = self.basis.cell
+        return {
+            "cell": {
+                "lattice": np.asarray(cell.lattice, dtype=float),
+                "species": list(cell.species),
+                "fractional_positions": np.asarray(
+                    cell.fractional_positions, dtype=float
+                ),
+            },
+            "ecut": float(self.basis.ecut),
+            "energies": self.energies,
+            "orbitals_real": self.orbitals_real,
+            "occupations": self.occupations,
+            "density": self.density,
+            "total_energy": float(self.total_energy),
+            "converged": bool(self.converged),
+            "history": self.history,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GroundState":
+        cell_data = data["cell"]
+        cell = UnitCell(
+            lattice=np.array(cell_data["lattice"], dtype=float),
+            species=tuple(cell_data["species"]),
+            fractional_positions=np.array(
+                cell_data["fractional_positions"], dtype=float
+            ),
+        )
+        basis = PlaneWaveBasis(cell, float(data["ecut"]))
+        return cls(
+            basis=basis,
+            energies=np.array(data["energies"]),
+            orbitals_real=np.array(data["orbitals_real"]),
+            occupations=np.array(data["occupations"]),
+            density=np.array(data["density"]),
+            total_energy=float(data["total_energy"]),
+            converged=bool(data["converged"]),
+            history=[dict(h) for h in data.get("history") or []],
         )

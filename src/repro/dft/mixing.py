@@ -26,6 +26,13 @@ class LinearMixer:
     def reset(self) -> None:  # symmetry with AndersonMixer
         pass
 
+    def state_dict(self) -> dict:
+        """Serializable mixer state (stateless: empty)."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        pass
+
 
 class AndersonMixer:
     """Anderson acceleration (equivalently Pulay/DIIS on residuals).
@@ -47,6 +54,29 @@ class AndersonMixer:
     def reset(self) -> None:
         self._inputs.clear()
         self._residuals.clear()
+
+    def state_dict(self) -> dict:
+        """Serializable mixer state: the stacked (input, residual) history.
+
+        Restoring this via :meth:`load_state_dict` makes a restarted SCF
+        loop extrapolate exactly as the uninterrupted one would.
+        """
+        if not self._inputs:
+            return {"inputs": None, "residuals": None}
+        return {
+            "inputs": np.stack(self._inputs, axis=0),
+            "residuals": np.stack(self._residuals, axis=0),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.reset()
+        inputs = state.get("inputs")
+        residuals = state.get("residuals")
+        if inputs is None or residuals is None:
+            return
+        for n_in, res in zip(np.asarray(inputs), np.asarray(residuals)):
+            self._inputs.append(np.array(n_in))
+            self._residuals.append(np.array(res))
 
     def mix(self, n_in: np.ndarray, n_out: np.ndarray) -> np.ndarray:
         residual = n_out - n_in

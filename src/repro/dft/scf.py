@@ -43,6 +43,10 @@ class SCFOptions:
     eig_tol_final: float = 1e-8
     seed: int | None = None
     verbose: bool = False
+    # -- resilience (see repro.resilience.checkpoint) ----------------------
+    checkpoint_dir: str | None = None  #: snapshot directory; None = disabled
+    checkpoint_every: int = 1  #: snapshot every N-th SCF iteration
+    restart: bool = False  #: resume from the newest snapshot when present
 
 
 @dataclass
@@ -111,12 +115,21 @@ def run_scf(
     options: SCFOptions | None = None,
     *,
     timers: TimerRegistry | None = None,
+    checkpoint=None,
     **overrides,
 ) -> GroundState:
     """Run a Gamma-point SCF and return the converged :class:`GroundState`.
 
     Keyword overrides are applied on top of ``options``:
     ``run_scf(cell, ecut=8.0, n_bands=12)``.
+
+    Checkpoint/restart: pass a
+    :class:`~repro.resilience.checkpoint.LoopCheckpointer` (or set
+    ``checkpoint_dir`` / ``restart`` in the options) and the loop snapshots
+    its full iteration-boundary state — mixed density, orbital
+    coefficients, residual, mixer history, diagnostics — after each
+    iteration.  A restarted run replays the remaining iterations
+    bit-identically to an uninterrupted one.
     """
     opts = options or SCFOptions()
     for key, value in overrides.items():
@@ -124,6 +137,15 @@ def run_scf(
         setattr(opts, key, value)
     check_positive(opts.ecut, "ecut")
     timers = timers or TimerRegistry()
+
+    if checkpoint is None and opts.checkpoint_dir is not None:
+        from repro.resilience.checkpoint import CheckpointManager, LoopCheckpointer
+
+        checkpoint = LoopCheckpointer(
+            CheckpointManager(opts.checkpoint_dir, tag="scf"),
+            every=opts.checkpoint_every,
+            restart=opts.restart,
+        )
 
     n_electrons = valence_electron_count(cell.species)
     n_occ = int(np.ceil(n_electrons / 2.0))
@@ -154,7 +176,25 @@ def run_scf(
     energies = np.zeros(n_bands)
     occupations = np.zeros(n_bands)
     residual = np.inf
-    for iteration in range(1, opts.max_iter + 1):
+    start_iteration = 0
+
+    resumed = checkpoint.resume() if checkpoint is not None else None
+    if resumed is not None:
+        start_iteration, state = resumed
+        density = np.array(state["density"])
+        coeffs = np.array(state["coeffs"])
+        residual = float(state["residual"])
+        mixer.load_state_dict(state["mixer"])
+        residuals = [float(v) for v in state["residuals"]]
+        energies_hist = [float(v) for v in state["total_energies"]]
+        info.residuals = list(residuals)
+        info.total_energies = list(energies_hist)
+        history = [
+            {"iteration": i + 1, "residual": r, "e_total": e}
+            for i, (r, e) in enumerate(zip(residuals, energies_hist))
+        ]
+
+    for iteration in range(start_iteration + 1, opts.max_iter + 1):
         ham.update_density(density)
         eig_tol = float(np.clip(0.03 * residual, opts.eig_tol_final, 1e-3))
         with timers.scope("scf/bands"):
@@ -191,6 +231,18 @@ def run_scf(
             break
         with timers.scope("scf/mix"):
             density = mixer.mix(density, density_out)
+        if checkpoint is not None:
+            checkpoint.save(
+                iteration,
+                {
+                    "density": density,
+                    "coeffs": coeffs,
+                    "residual": np.float64(residual),
+                    "mixer": mixer.state_dict(),
+                    "residuals": np.asarray(info.residuals),
+                    "total_energies": np.asarray(info.total_energies),
+                },
+            )
     else:
         info.iterations = opts.max_iter
 

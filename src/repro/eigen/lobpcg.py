@@ -42,6 +42,7 @@ def lobpcg(
     tol: float = 1e-8,
     max_iter: int = 200,
     verbose: bool = False,
+    checkpoint=None,
 ) -> EigenResult:
     """Find the lowest-``k`` eigenpairs of a Hermitian operator.
 
@@ -61,6 +62,14 @@ def lobpcg(
         per pair.
     max_iter:
         Maximum outer iterations.
+    checkpoint:
+        Optional :class:`~repro.resilience.checkpoint.LoopCheckpointer`.
+        The full iteration-boundary state (``X``, ``H X``, ``P``, ``H P``,
+        best-residual watermark, residual history) is snapshotted after
+        each iteration, and a run started with a restart-enabled
+        checkpointer resumes from the newest snapshot — continuing
+        *bit-identically* to the uninterrupted run, since every quantity
+        the remaining iterations consume round-trips exactly.
 
     Notes
     -----
@@ -76,16 +85,28 @@ def lobpcg(
         raise ValueError(f"requested {k} pairs from an order-{n} operator")
 
     x = orthonormalize(x)
-    hx = apply_h(x)
     p: np.ndarray | None = None
     hp: np.ndarray | None = None
     history: list[float] = []
+    best_residual = np.inf
+    start_iteration = 0
+
+    resumed = checkpoint.resume() if checkpoint is not None else None
+    if resumed is not None:
+        start_iteration, state = resumed
+        x = np.array(state["x"])
+        hx = np.array(state["hx"])
+        p = np.array(state["p"]) if state.get("p") is not None else None
+        hp = np.array(state["hp"]) if state.get("hp") is not None else None
+        best_residual = float(state["best_residual"])
+        history = [float(v) for v in state["history"]]
+    else:
+        hx = apply_h(x)
 
     theta = np.zeros(k)
     residual_norms = np.full(k, np.inf)
-    best_residual = np.inf
-    iteration = 0
-    for iteration in range(1, max_iter + 1):
+    iteration = start_iteration
+    for iteration in range(start_iteration + 1, max_iter + 1):
         # Rayleigh-Ritz on the current X block keeps theta and X consistent
         # (X is B-orthonormal from the whitened subspace solve, so this is a
         # plain symmetric eigenproblem).
@@ -156,6 +177,19 @@ def lobpcg(
         hp = h_rest @ c_rest
         x = blocks[0] @ c_x + p
         hx = h_blocks[0] @ c_x + hp
+
+        if checkpoint is not None:
+            checkpoint.save(
+                iteration,
+                {
+                    "x": x,
+                    "hx": hx,
+                    "p": p,
+                    "hp": hp,
+                    "best_residual": np.float64(best_residual),
+                    "history": np.asarray(history),
+                },
+            )
 
     # Final Rayleigh-Ritz for a consistent return state.
     h_xx = symmetrize(x.conj().T @ hx)

@@ -22,8 +22,13 @@ Contents:
   (Figures 4-5).
 """
 
-from repro.parallel.comm import CommTraffic, Communicator, SpmdAbort
-from repro.parallel.executor import spmd_run
+from repro.parallel.comm import (
+    CommTraffic,
+    Communicator,
+    MessageTimeout,
+    SpmdAbort,
+)
+from repro.parallel.executor import spmd_run, spmd_run_resilient
 from repro.parallel.distributions import (
     BlockCyclic2D,
     BlockDistribution1D,
@@ -52,7 +57,9 @@ __all__ = [
     "Communicator",
     "CommTraffic",
     "SpmdAbort",
+    "MessageTimeout",
     "spmd_run",
+    "spmd_run_resilient",
     "BlockDistribution1D",
     "BlockCyclic2D",
     "transpose_to_column_block",

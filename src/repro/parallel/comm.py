@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -30,6 +31,15 @@ from repro.utils.validation import require
 
 class SpmdAbort(RuntimeError):
     """Raised on surviving ranks after another rank failed."""
+
+
+class MessageTimeout(RuntimeError):
+    """A point-to-point receive waited past its deadline.
+
+    Raised instead of the queue's anonymous ``Empty`` so retry policies
+    (:mod:`repro.resilience.policies`) can treat lost messages as a
+    typed, retryable condition.
+    """
 
 
 @dataclass
@@ -70,7 +80,7 @@ def _nbytes(value) -> int:
 class _SharedState:
     """State shared by all ranks of one SPMD run."""
 
-    def __init__(self, size: int) -> None:
+    def __init__(self, size: int, fault_injector=None) -> None:
         self.size = size
         self.barrier = threading.Barrier(size)
         self.slots: list = [None] * size
@@ -80,6 +90,9 @@ class _SharedState:
         self.traffic = CommTraffic()
         self.error: BaseException | None = None
         self.error_lock = threading.Lock()
+        #: Optional repro.resilience.faults.FaultInjector (duck-typed so the
+        #: comm layer stays independent of the resilience package).
+        self.fault_injector = fault_injector
 
     def abort(self, exc: BaseException) -> None:
         with self.error_lock:
@@ -109,6 +122,21 @@ class Communicator:
     def traffic(self) -> CommTraffic:
         return self._shared.traffic
 
+    # -- fault-injection hooks ----------------------------------------------
+
+    def _fault_check(self, op: str) -> None:
+        """Give the injector a chance to kill this rank entering ``op``."""
+        injector = self._shared.fault_injector
+        if injector is not None:
+            injector.on_collective(self._rank, op)
+
+    def _fault_corrupt(self, op: str, value):
+        """Give the injector a chance to poison a reduce contribution."""
+        injector = self._shared.fault_injector
+        if injector is not None:
+            return injector.corrupt_value(self._rank, op, value)
+        return value
+
     # -- synchronization ---------------------------------------------------
 
     def barrier(self) -> None:
@@ -132,6 +160,7 @@ class Communicator:
 
     def bcast(self, value, root: int = 0):
         """Broadcast from ``root``; traffic = payload once per receiver."""
+        self._fault_check("bcast")
         snapshot = self._exchange(value if self._rank == root else None)
         result = snapshot[root]
         if self._rank == root:
@@ -139,6 +168,7 @@ class Communicator:
         return result
 
     def gather(self, value, root: int = 0):
+        self._fault_check("gather")
         snapshot = self._exchange(value)
         if self._rank == root:
             self.traffic.record(
@@ -148,6 +178,7 @@ class Communicator:
         return None
 
     def allgather(self, value):
+        self._fault_check("allgather")
         snapshot = self._exchange(value)
         if self._rank == 0:
             total = sum(_nbytes(v) for v in snapshot)
@@ -155,6 +186,7 @@ class Communicator:
         return snapshot
 
     def scatter(self, values, root: int = 0):
+        self._fault_check("scatter")
         if self._rank == root:
             require(
                 values is not None and len(values) == self.size,
@@ -190,6 +222,8 @@ class Communicator:
 
     def reduce(self, value, root: int = 0, op: str = "sum"):
         """Reduce to ``root``; traffic = one payload per non-root rank."""
+        self._fault_check("reduce")
+        value = self._fault_corrupt("reduce", value)
         snapshot = self._exchange(value)
         if self._rank == root:
             self.traffic.record("reduce", _nbytes(value) * (self.size - 1))
@@ -198,6 +232,8 @@ class Communicator:
 
     def allreduce(self, value, op: str = "sum"):
         """Allreduce; traffic per rank = 2 (P-1)/P payload (ring convention)."""
+        self._fault_check("allreduce")
+        value = self._fault_corrupt("allreduce", value)
         snapshot = self._exchange(value)
         if self._rank == 0:
             vol = int(2 * (self.size - 1) / self.size * _nbytes(value) * self.size)
@@ -206,6 +242,7 @@ class Communicator:
 
     def alltoall(self, chunks):
         """Personalized all-to-all: ``chunks[d]`` goes to rank ``d``."""
+        self._fault_check("alltoall")
         require(
             len(chunks) == self.size,
             f"alltoall needs {self.size} chunks, got {len(chunks)}",
@@ -222,11 +259,60 @@ class Communicator:
 
     def send(self, value, dest: int, tag: int = 0) -> None:
         require(0 <= dest < self.size, f"bad destination {dest}")
+        injector = self._shared.fault_injector
+        if injector is not None:
+            spec = injector.on_send(self._rank, dest, tag=tag)
+            if spec is not None and spec.kind == "drop_message":
+                self.traffic.record("p2p_dropped", _nbytes(value))
+                return  # the network ate it
+            if spec is not None and spec.kind == "delay_message":
+                time.sleep(spec.delay)
         self.traffic.record("p2p", _nbytes(value))
         self._shared.queues[(self._rank, dest)].put((tag, value))
 
-    def recv(self, source: int, tag: int = 0):
+    def recv(
+        self,
+        source: int,
+        tag: int = 0,
+        *,
+        timeout: float = 60.0,
+        strict_tags: bool = True,
+    ):
+        """Blocking receive; raises :class:`MessageTimeout` on expiry.
+
+        With ``strict_tags`` (the default) an arrival carrying a different
+        tag is a programming error and raises ``ValueError``.  The
+        reliable-delivery layer passes ``strict_tags=False`` so stale
+        duplicates from resent messages are buffered and re-queued instead
+        of poisoning the channel.
+        """
         require(0 <= source < self.size, f"bad source {source}")
-        got_tag, value = self._shared.queues[(source, self._rank)].get(timeout=60)
-        require(got_tag == tag, f"tag mismatch: expected {tag}, got {got_tag}")
-        return value
+        chan = self._shared.queues[(source, self._rank)]
+        deadline = time.monotonic() + timeout
+        stashed: list = []
+        try:
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
+                    raise MessageTimeout(
+                        f"rank {self._rank}: no message with tag {tag} from "
+                        f"rank {source} within {timeout:g}s"
+                    )
+                try:
+                    got_tag, value = chan.get(timeout=remaining)
+                except queue.Empty:
+                    raise MessageTimeout(
+                        f"rank {self._rank}: no message with tag {tag} from "
+                        f"rank {source} within {timeout:g}s"
+                    ) from None
+                if got_tag == tag:
+                    return value
+                if strict_tags:
+                    raise ValueError(
+                        f"rank {self._rank}: tag mismatch from rank {source} "
+                        f"(expected {tag}, got {got_tag})"
+                    )
+                stashed.append((got_tag, value))
+        finally:
+            for item in stashed:
+                chan.put(item)

@@ -4,11 +4,20 @@ Thread-per-rank (numpy releases the GIL inside BLAS/FFT, so virtual ranks
 even overlap for real).  A rank that raises aborts the shared barrier;
 every surviving rank unwinds with :class:`~repro.parallel.comm.SpmdAbort`
 and the *original* exception is re-raised to the caller.
+
+Fault tolerance: :func:`spmd_run` accepts a
+:class:`~repro.resilience.faults.FaultInjector` that can kill a rank,
+drop/delay a message, or corrupt a reduce buffer at a configured step, and
+:func:`spmd_run_resilient` wraps the whole run in retry-with-backoff — the
+restart-after-node-loss model of the paper's production context (one-shot
+fault specs are consumed by the failing attempt, so the retried run
+completes cleanly).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable
 
 from repro.parallel.comm import CommTraffic, Communicator, SpmdAbort, _SharedState
@@ -20,6 +29,7 @@ def spmd_run(
     fn: Callable[..., object],
     *args,
     return_traffic: bool = False,
+    fault_injector=None,
 ):
     """Execute ``fn(comm, *args)`` on ``n_ranks`` virtual ranks.
 
@@ -29,6 +39,9 @@ def spmd_run(
         The rank program; receives its :class:`Communicator` first.
     return_traffic:
         Also return the :class:`CommTraffic` accumulated by the run.
+    fault_injector:
+        Optional :class:`~repro.resilience.faults.FaultInjector` consulted
+        by every collective, reduce contribution, and p2p send.
 
     Returns
     -------
@@ -36,7 +49,7 @@ def spmd_run(
     ``(results, traffic)`` when ``return_traffic`` is set.
     """
     require(n_ranks >= 1, f"need at least one rank, got {n_ranks}")
-    shared = _SharedState(n_ranks)
+    shared = _SharedState(n_ranks, fault_injector=fault_injector)
     results: list = [None] * n_ranks
 
     def worker(rank: int) -> None:
@@ -62,6 +75,43 @@ def spmd_run(
     if return_traffic:
         return results, shared.traffic
     return results
+
+
+def spmd_run_resilient(
+    n_ranks: int,
+    fn: Callable[..., object],
+    *args,
+    policy=None,
+    fault_injector=None,
+    return_traffic: bool = False,
+    sleep: Callable[[float], None] = time.sleep,
+):
+    """:func:`spmd_run` with whole-run retry on transient rank faults.
+
+    When any rank dies with an exception matching ``policy.retry_on`` the
+    entire SPMD program is re-launched after the policy's backoff, up to
+    ``policy.max_retries`` times.  Rank programs must therefore be
+    restartable from their arguments — which is exactly what the
+    checkpoint/restart machinery provides for the long loops.
+    """
+    from repro.resilience.policies import RetryPolicy
+
+    policy = policy or RetryPolicy()
+    attempt = 0
+    while True:
+        try:
+            return spmd_run(
+                n_ranks,
+                fn,
+                *args,
+                return_traffic=return_traffic,
+                fault_injector=fault_injector,
+            )
+        except policy.retry_on:
+            if attempt >= policy.max_retries:
+                raise
+            sleep(policy.delay(attempt))
+            attempt += 1
 
 
 def spmd_traffic(n_ranks: int, fn: Callable[..., object], *args) -> CommTraffic:

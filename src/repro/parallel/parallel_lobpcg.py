@@ -56,6 +56,7 @@ def distributed_lobpcg(
     preconditioner_local: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
     tol: float = 1e-8,
     max_iter: int = 200,
+    checkpoint=None,
 ) -> EigenResult:
     """LOBPCG over row-distributed vectors.
 
@@ -70,6 +71,11 @@ def distributed_lobpcg(
     preconditioner_local:
         Optional ``(R_local, theta) -> W_local`` — must be row-local
         (diagonal preconditioners are).
+    checkpoint:
+        Optional per-rank :class:`~repro.resilience.checkpoint.LoopCheckpointer`
+        (each rank snapshots its *local* rows, so callers must hand every
+        rank a distinct tag, e.g. ``lobpcg-r{rank}``).  Restart resumes all
+        ranks from the same iteration bit-identically.
 
     Returns
     -------
@@ -81,16 +87,28 @@ def distributed_lobpcg(
     require(k >= 1, "x0 must contain at least one column")
 
     x = _orthonormalize_distributed(comm, x)
-    hx = apply_h_local(x)
     p = None
     hp = None
     history: list[float] = []
     best_residual = np.inf
+    start_iteration = 0
+
+    resumed = checkpoint.resume() if checkpoint is not None else None
+    if resumed is not None:
+        start_iteration, state = resumed
+        x = np.array(state["x"])
+        hx = np.array(state["hx"])
+        p = np.array(state["p"]) if state.get("p") is not None else None
+        hp = np.array(state["hp"]) if state.get("hp") is not None else None
+        best_residual = float(state["best_residual"])
+        history = [float(v) for v in state["history"]]
+    else:
+        hx = apply_h_local(x)
+
     theta = np.zeros(k)
     residual_norms = np.full(k, np.inf)
-
-    iteration = 0
-    for iteration in range(1, max_iter + 1):
+    iteration = start_iteration
+    for iteration in range(start_iteration + 1, max_iter + 1):
         h_xx = symmetrize(_dot(comm, x, hx))
         theta, rot = np.linalg.eigh(h_xx)
         x = x @ rot
@@ -146,6 +164,19 @@ def distributed_lobpcg(
         hp = h_rest @ c_rest
         x = blocks[0] @ c_x + p
         hx = h_blocks[0] @ c_x + hp
+
+        if checkpoint is not None:
+            checkpoint.save(
+                iteration,
+                {
+                    "x": x,
+                    "hx": hx,
+                    "p": p,
+                    "hp": hp,
+                    "best_residual": np.float64(best_residual),
+                    "history": np.asarray(history),
+                },
+            )
 
     h_xx = symmetrize(_dot(comm, x, hx))
     theta, rot = np.linalg.eigh(h_xx)

@@ -154,11 +154,19 @@ def distributed_implicit_solve(
     *,
     tol: float = 1e-9,
     max_iter: int = 300,
+    checkpoint=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Optimized distributed path: row-distributed Theta -> Vtilde ->
     replicated implicit LOBPCG (the O(N_mu^2) state is tiny by design).
 
     Every rank returns identical eigenpairs.
+
+    ``checkpoint`` (optional
+    :class:`~repro.resilience.checkpoint.LoopCheckpointer`) snapshots the
+    replicated LOBPCG state.  All ranks may share one checkpointer: the
+    iterate is replicated, so every rank writes identical snapshots (the
+    atomic staging uses per-thread temp names) and every rank resumes from
+    the same file, keeping the restarted solve in lockstep.
     """
     from repro.core.implicit import ImplicitCasidaOperator
     from repro.eigen.lobpcg import lobpcg
@@ -175,6 +183,7 @@ def distributed_implicit_solve(
     x0[lowest, np.arange(k)] = 1.0
     x0 += 1e-3 * default_rng(0).standard_normal(x0.shape)
     res = lobpcg(
-        op.apply, x0, preconditioner=op.preconditioner, tol=tol, max_iter=max_iter
+        op.apply, x0, preconditioner=op.preconditioner, tol=tol,
+        max_iter=max_iter, checkpoint=checkpoint,
     )
     return res.eigenvalues, res.eigenvectors

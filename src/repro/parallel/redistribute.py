@@ -22,6 +22,23 @@ from repro.parallel.distributions import BlockCyclic2D, BlockDistribution1D
 from repro.utils.validation import require
 
 
+def _check_chunk(
+    rank: int, src: int, chunk, expected_shape: tuple[int, int]
+) -> None:
+    """Validate one alltoall-received tile before it is stitched in.
+
+    A dropped or corrupted exchange surfaces here as a typed error naming
+    the offending peer instead of as a shape error deep inside
+    ``np.concatenate`` (or worse, silently wrong physics).
+    """
+    require(
+        isinstance(chunk, np.ndarray) and chunk.shape == expected_shape,
+        f"rank {rank}: transpose received a corrupt tile from rank {src}: "
+        f"expected shape {expected_shape}, got "
+        f"{chunk.shape if isinstance(chunk, np.ndarray) else type(chunk).__name__}",
+    )
+
+
 def transpose_to_column_block(
     comm: Communicator,
     local_rows: np.ndarray,
@@ -47,6 +64,9 @@ def transpose_to_column_block(
     ]
     received = comm.alltoall(chunks)
     # received[src] has shape (row_dist.count(src), my_cols): stack by rows.
+    my_cols = col_dist.count(comm.rank)
+    for src, chunk in enumerate(received):
+        _check_chunk(comm.rank, src, chunk, (row_dist.count(src), my_cols))
     return np.concatenate(received, axis=0)
 
 
@@ -67,6 +87,9 @@ def transpose_to_row_block(
         for dest in range(comm.size)
     ]
     received = comm.alltoall(chunks)
+    my_rows = row_dist.count(comm.rank)
+    for src, chunk in enumerate(received):
+        _check_chunk(comm.rank, src, chunk, (my_rows, col_dist.count(src)))
     return np.concatenate(received, axis=1)
 
 

@@ -19,11 +19,12 @@ from repro.dft.density import density_from_orbitals
 from repro.dft.groundstate import GroundState
 from repro.dft.hamiltonian import KohnShamHamiltonian
 from repro.rt.propagator import expm_krylov_block
+from repro.utils.serialization import SerializableResult
 from repro.utils.validation import check_positive, require
 
 
 @dataclass
-class RTResult:
+class RTResult(SerializableResult):
     """Time series produced by one RT-TDDFT run."""
 
     times: np.ndarray  #: (n_steps + 1,) times in a.u.
@@ -39,6 +40,25 @@ class RTResult:
     def dipole_along_kick(self) -> np.ndarray:
         """Projection of the induced dipole on the kick direction."""
         return self.dipoles @ self.kick_direction
+
+    def to_dict(self) -> dict:
+        return {
+            "times": self.times,
+            "dipoles": self.dipoles,
+            "norms": self.norms,
+            "kick_strength": float(self.kick_strength),
+            "kick_direction": np.asarray(self.kick_direction, dtype=float),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RTResult":
+        return cls(
+            times=np.array(data["times"]),
+            dipoles=np.array(data["dipoles"]),
+            norms=np.array(data["norms"]),
+            kick_strength=float(data["kick_strength"]),
+            kick_direction=np.array(data["kick_direction"]),
+        )
 
 
 class RealTimeTDDFT:
@@ -128,6 +148,7 @@ class RealTimeTDDFT:
         krylov_dim: int = 10,
         etrs: bool = True,
         record_every: int = 1,
+        checkpoint=None,
     ) -> RTResult:
         """Run ``n_steps`` of exponential-midpoint propagation.
 
@@ -140,14 +161,30 @@ class RealTimeTDDFT:
             One corrector pass per step: re-propagate with the average of
             H[n(t)] and H[n(t+dt)_predicted] (enforced-time-reversal
             flavour).  Costs ~2x, buys much better energy conservation.
+        checkpoint:
+            Optional :class:`~repro.resilience.checkpoint.LoopCheckpointer`;
+            snapshots the full propagation state (orbitals + recorded
+            observables) each interval, so a restarted run continues the
+            time series bit-identically.
         """
         check_positive(dt, "dt")
         check_positive(n_steps, "n_steps")
         times = [0.0]
         dipoles = [self.dipole()]
         norms = [self.total_norm()]
+        start_step = 0
 
-        for step in range(1, n_steps + 1):
+        resumed = checkpoint.resume() if checkpoint is not None else None
+        if resumed is not None:
+            start_step, state = resumed
+            self._psi = np.array(state["psi"])
+            times = [float(v) for v in state["times"]]
+            dipoles = [np.array(v) for v in state["dipoles"]]
+            norms = [float(v) for v in state["norms"]]
+            self._kick_strength = float(state["kick_strength"])
+            self._kick_direction = np.array(state["kick_direction"])
+
+        for step in range(start_step + 1, n_steps + 1):
             if self.self_consistent:
                 self._update_hamiltonian()
             psi_pred = expm_krylov_block(
@@ -166,6 +203,24 @@ class RealTimeTDDFT:
                 times.append(step * dt)
                 dipoles.append(self.dipole())
                 norms.append(self.total_norm())
+            if checkpoint is not None:
+                checkpoint.save(
+                    step,
+                    {
+                        "psi": self._psi,
+                        "times": np.asarray(times),
+                        "dipoles": np.asarray(dipoles),
+                        "norms": np.asarray(norms),
+                        "kick_strength": np.float64(
+                            getattr(self, "_kick_strength", 0.0)
+                        ),
+                        "kick_direction": np.asarray(
+                            getattr(
+                                self, "_kick_direction", np.array([0.0, 0.0, 1.0])
+                            )
+                        ),
+                    },
+                )
 
         return RTResult(
             times=np.asarray(times),

@@ -1,0 +1,33 @@
+"""Once-per-process deprecation warnings for legacy call signatures.
+
+The facade (:mod:`repro.api`) replaced several kwarg-soup entry points with
+typed config objects; the old signatures keep working but funnel through
+:func:`warn_once` so each legacy pattern warns exactly once per process
+(pytest runs ignore ``DeprecationWarning`` by project config, interactive
+users see a single actionable nudge).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["reset_deprecation_warnings", "warn_once"]
+
+_WARNED: set[str] = set()
+
+
+def warn_once(key: str, message: str, *, stacklevel: int = 3) -> bool:
+    """Emit ``DeprecationWarning`` for ``key`` the first time only.
+
+    Returns True when the warning was actually emitted.
+    """
+    if key in _WARNED:
+        return False
+    _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+    return True
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which warnings fired (test helper)."""
+    _WARNED.clear()

@@ -1,0 +1,143 @@
+"""Config objects: round-trip, immutability, validation, deprecation shims."""
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro import api
+from repro.atoms import silicon_primitive_cell
+from repro.core import LRTDDFTSolver
+from repro.synthetic import synthetic_ground_state
+from repro.utils.deprecation import reset_deprecation_warnings, warn_once
+
+
+@pytest.fixture(scope="module")
+def tiny_gs():
+    return synthetic_ground_state(
+        silicon_primitive_cell(), ecut=4.0, n_valence=4, n_conduction=4, seed=5
+    )
+
+
+@pytest.mark.parametrize(
+    "cls", [api.SCFConfig, api.TDDFTConfig, api.ResilienceConfig]
+)
+class TestRoundTrip:
+    def test_default_round_trip(self, cls):
+        cfg = cls()
+        assert cls.from_dict(cfg.to_dict()) == cfg
+
+    def test_modified_round_trip(self, cls):
+        field = dataclasses.fields(cls)[0].name
+        cfg = cls()
+        d = cfg.to_dict()
+        assert field in d
+        assert cls.from_dict(d) == cfg
+
+    def test_frozen(self, cls):
+        cfg = cls()
+        field = dataclasses.fields(cls)[0].name
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            setattr(cfg, field, None)
+
+    def test_unknown_key_rejected(self, cls):
+        with pytest.raises(ValueError, match="unknown"):
+            cls.from_dict({"definitely_not_a_field": 1})
+
+
+class TestValidation:
+    def test_scf_bad_mixer(self):
+        with pytest.raises(ValueError, match="mixer"):
+            api.SCFConfig(mixer="magic")
+
+    def test_scf_bad_ecut(self):
+        with pytest.raises(ValueError, match="ecut"):
+            api.SCFConfig(ecut=-1.0)
+
+    def test_tddft_bad_method(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            api.TDDFTConfig(method="quantum-leap")
+
+    def test_tddft_bad_spin(self):
+        with pytest.raises(ValueError, match="spin"):
+            api.TDDFTConfig(spin="doublet")
+
+    def test_resilience_bad_fallback(self):
+        with pytest.raises(ValueError, match="selection_fallback"):
+            api.ResilienceConfig(selection_fallback="prayer")
+
+    def test_replace(self):
+        cfg = api.TDDFTConfig()
+        other = cfg.replace(method="naive", n_excitations=3)
+        assert other.method == "naive"
+        assert other.n_excitations == 3
+        assert cfg.method == "implicit-kmeans-isdf-lobpcg"
+
+    def test_retry_policy_from_resilience(self):
+        policy = api.ResilienceConfig(max_retries=5, backoff=0.5).retry_policy()
+        assert policy.max_retries == 5
+        assert policy.backoff == 0.5
+
+    def test_checkpointer_disabled_without_dir(self):
+        assert api.ResilienceConfig().checkpointer("scf") is None
+
+    def test_checkpointer_tagged(self, tmp_path):
+        ck = api.ResilienceConfig(checkpoint_dir=str(tmp_path)).checkpointer("scf")
+        assert ck.tag == "scf"
+
+
+class TestDeprecationShims:
+    def test_warn_once_is_once(self):
+        reset_deprecation_warnings()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert warn_once("test:key", "legacy thing")
+            assert not warn_once("test:key", "legacy thing")
+        dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(dep) == 1
+
+    def test_solve_tddft_legacy_kwargs_warn_exactly_once(self, tiny_gs):
+        reset_deprecation_warnings()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            api.solve_tddft(tiny_gs, method="naive", n_excitations=2)
+            api.solve_tddft(tiny_gs, method="naive", n_excitations=2)
+        dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(dep) == 1
+        assert "TDDFTConfig" in str(dep[0].message)
+
+    def test_solver_legacy_kwargs_warn_exactly_once(self, tiny_gs):
+        reset_deprecation_warnings()
+        solver = LRTDDFTSolver(tiny_gs, seed=0)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            solver.solve("naive", n_excitations=2)
+            solver.solve("naive", n_excitations=2)
+        dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(dep) == 1
+
+    def test_config_plus_legacy_kwargs_is_an_error(self, tiny_gs):
+        with pytest.raises(ValueError, match="config"):
+            api.solve_tddft(tiny_gs, api.TDDFTConfig(), n_excitations=2)
+
+    def test_config_path_does_not_warn(self, tiny_gs):
+        reset_deprecation_warnings()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            api.solve_tddft(
+                tiny_gs, api.TDDFTConfig(method="naive", n_excitations=2)
+            )
+        dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert dep == []
+
+    def test_legacy_and_config_paths_agree(self, tiny_gs):
+        reset_deprecation_warnings()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            legacy = api.solve_tddft(tiny_gs, method="naive", n_excitations=3)
+        modern = api.solve_tddft(
+            tiny_gs, api.TDDFTConfig(method="naive", n_excitations=3)
+        )
+        import numpy as np
+
+        np.testing.assert_array_equal(legacy.energies, modern.energies)

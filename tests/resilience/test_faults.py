@@ -1,0 +1,188 @@
+"""Fault-injection harness: every fault kind fires, and recovery recovers."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import spmd_run, spmd_run_resilient
+from repro.parallel.comm import MessageTimeout
+from repro.resilience import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    InjectedRankFailure,
+    RetryPolicy,
+    reliable_recv,
+    reliable_send,
+    verified_allreduce,
+    with_retry,
+)
+
+NO_SLEEP = lambda s: None  # noqa: E731
+FAST = RetryPolicy(max_retries=3, backoff=0.0, timeout=0.2)
+
+
+def _allreduce_prog(comm):
+    return comm.allreduce(float(comm.rank + 1), op="sum")
+
+
+class TestFaultSpec:
+    def test_known_kinds(self):
+        for kind in ("kill_rank", "drop_message", "delay_message",
+                     "corrupt_reduce", "kill_loop"):
+            assert kind in FAULT_KINDS
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec(kind="meteor_strike")
+
+    def test_one_shot_deactivates(self):
+        spec = FaultSpec(kind="kill_rank", rank=0)
+        assert spec.active
+        injector = FaultInjector([spec])
+        with pytest.raises(InjectedRankFailure):
+            injector.on_collective(0, "allreduce")
+        assert not spec.active
+        injector.on_collective(0, "allreduce")  # second call is a no-op
+
+
+class TestKillRank:
+    def test_kill_rank_propagates_through_spmd_run(self):
+        injector = FaultInjector([FaultSpec(kind="kill_rank", rank=1)])
+        with pytest.raises(InjectedRankFailure):
+            spmd_run(3, _allreduce_prog, fault_injector=injector)
+
+    def test_resilient_run_retries_one_shot_fault_to_success(self):
+        injector = FaultInjector([FaultSpec(kind="kill_rank", rank=1)])
+        results = spmd_run_resilient(
+            3, _allreduce_prog,
+            policy=FAST, fault_injector=injector, sleep=NO_SLEEP,
+        )
+        assert results == [6.0, 6.0, 6.0]
+        assert any(e.startswith("kill_rank") for e in injector.events)
+
+    def test_resilient_run_gives_up_on_persistent_fault(self):
+        injector = FaultInjector(
+            [FaultSpec(kind="kill_rank", rank=0, once=False)]
+        )
+        with pytest.raises(InjectedRankFailure):
+            spmd_run_resilient(
+                2, _allreduce_prog,
+                policy=FAST, fault_injector=injector, sleep=NO_SLEEP,
+            )
+
+
+class TestMessageFaults:
+    def test_drop_message_recovered_by_reliable_send(self):
+        injector = FaultInjector(
+            [FaultSpec(kind="drop_message", rank=0, tag=7)]
+        )
+
+        def prog(comm):
+            if comm.rank == 0:
+                attempts = reliable_send(
+                    comm, np.arange(4.0), dest=1, tag=7, policy=FAST
+                )
+                return attempts
+            return reliable_recv(comm, source=0, tag=7, policy=FAST)
+
+        attempts, received = spmd_run(2, prog, fault_injector=injector)
+        assert attempts == 2  # first copy dropped, resend delivered
+        np.testing.assert_array_equal(received, np.arange(4.0))
+
+    def test_plain_recv_times_out_on_dropped_message(self):
+        injector = FaultInjector(
+            [FaultSpec(kind="drop_message", rank=0, tag=3)]
+        )
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("lost", dest=1, tag=3)
+                return None
+            with pytest.raises(MessageTimeout):
+                comm.recv(0, tag=3, timeout=0.05)
+            return "timed out"
+
+        assert spmd_run(2, prog, fault_injector=injector)[1] == "timed out"
+
+    def test_delay_message_still_delivers(self):
+        injector = FaultInjector(
+            [FaultSpec(kind="delay_message", rank=0, delay=0.01)]
+        )
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("late but intact", dest=1)
+                return None
+            return comm.recv(0, timeout=5.0)
+
+        assert spmd_run(2, prog, fault_injector=injector)[1] == "late but intact"
+
+
+class TestCorruptReduce:
+    def test_corruption_poisons_plain_allreduce(self):
+        injector = FaultInjector(
+            [FaultSpec(kind="corrupt_reduce", rank=0, op="allreduce")]
+        )
+        results = spmd_run(2, _allreduce_prog, fault_injector=injector)
+        assert all(not np.isfinite(r) for r in results)
+
+    def test_verified_allreduce_retries_to_correct_value(self):
+        injector = FaultInjector(
+            [FaultSpec(kind="corrupt_reduce", rank=0, op="allreduce")]
+        )
+
+        def prog(comm):
+            return verified_allreduce(
+                comm, float(comm.rank + 1), op="sum", policy=FAST
+            )
+
+        assert spmd_run(4, prog, fault_injector=injector) == [10.0] * 4
+
+    def test_verified_allreduce_exhausts_budget(self):
+        injector = FaultInjector(
+            [FaultSpec(kind="corrupt_reduce", op="allreduce", once=False)]
+        )
+
+        def prog(comm):
+            with pytest.raises(ArithmeticError):
+                verified_allreduce(comm, 1.0, op="sum", policy=FAST)
+            return "gave up"
+
+        assert spmd_run(2, prog, fault_injector=injector) == ["gave up"] * 2
+
+
+class TestWithRetry:
+    def test_retries_until_success(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise InjectedFault("transient")
+            return "ok"
+
+        assert with_retry(flaky, policy=FAST, sleep=NO_SLEEP) == "ok"
+        assert calls["n"] == 3
+
+    def test_non_retryable_error_passes_through(self):
+        def broken():
+            raise KeyError("not transient")
+
+        with pytest.raises(KeyError):
+            with_retry(broken, policy=FAST, sleep=NO_SLEEP)
+
+    def test_backoff_schedule_is_exponential(self):
+        policy = RetryPolicy(max_retries=3, backoff=0.1, backoff_factor=2.0)
+        assert [policy.delay(a) for a in range(3)] == [0.1, 0.2, 0.4]
+
+
+class TestInjectorLog:
+    def test_events_record_site_and_step(self):
+        injector = FaultInjector([FaultSpec(kind="kill_rank", rank=1)])
+        with pytest.raises(InjectedRankFailure):
+            spmd_run(2, _allreduce_prog, fault_injector=injector)
+        assert injector.events
+        event = injector.events[0]
+        assert event.startswith("kill_rank")
+        assert "rank=1" in event

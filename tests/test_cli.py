@@ -68,6 +68,50 @@ class TestCommands:
         assert "norm drift" in out
 
 
+class TestResilienceFlags:
+    @pytest.mark.parametrize("command", ["scf", "tddft", "rt"])
+    def test_flags_parse(self, command):
+        args = build_parser().parse_args([
+            command, "--checkpoint-dir", "/tmp/ck",
+            "--checkpoint-every", "3", "--restart",
+        ])
+        assert args.checkpoint_dir == "/tmp/ck"
+        assert args.checkpoint_every == 3
+        assert args.restart
+
+    def test_restart_requires_checkpoint_dir(self):
+        with pytest.raises(SystemExit):
+            main(["scf", "--system", "si2", "--restart"])
+
+    def test_scf_writes_snapshots(self, capsys, tmp_path):
+        assert main([
+            "scf", "--system", "si2", "--ecut", "8", "--bands", "6",
+            "--checkpoint-dir", str(tmp_path),
+        ]) == 0
+        assert "converged: True" in capsys.readouterr().out
+        assert list(tmp_path.glob("scf-*.npz"))
+
+    def test_scf_restart_from_snapshots(self, capsys, tmp_path):
+        base = [
+            "scf", "--system", "si2", "--ecut", "8", "--bands", "6",
+            "--checkpoint-dir", str(tmp_path),
+        ]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        assert main(base + ["--restart"]) == 0
+        second = capsys.readouterr().out
+        assert first.splitlines()[-1] == second.splitlines()[-1]
+
+    def test_rt_writes_snapshots(self, capsys, tmp_path):
+        assert main([
+            "rt", "--system", "h2", "--ecut", "6", "--bands", "3",
+            "--steps", "10", "--dt", "0.2",
+            "--checkpoint-dir", str(tmp_path),
+        ]) == 0
+        assert "norm drift" in capsys.readouterr().out
+        assert list(tmp_path.glob("rt-*.npz"))
+
+
 class TestXYZInput:
     def test_scf_from_xyz_file(self, capsys, tmp_path):
         from repro.atoms import silicon_primitive_cell, write_xyz

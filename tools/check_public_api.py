@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Snapshot test for the exported ``repro.api`` surface.
+
+Describes every name in ``repro.api.__all__`` (kind, dataclass fields with
+default reprs, callable signatures) and diffs the description against the
+committed manifest ``tools/public_api_manifest.json``.  An unreviewed change
+to the public facade — removed export, changed default, changed signature —
+shows up as a diff and fails CI.
+
+Usage::
+
+    python tools/check_public_api.py            # verify (exit 1 on drift)
+    python tools/check_public_api.py --update   # re-bless the manifest
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import importlib
+import inspect
+import json
+import os
+import sys
+
+_TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+MANIFEST_PATH = os.path.join(_TOOLS_DIR, "public_api_manifest.json")
+_SRC_DIR = os.path.join(os.path.dirname(_TOOLS_DIR), "src")
+
+
+def _field_default(f: dataclasses.Field) -> str:
+    if f.default is not dataclasses.MISSING:
+        return repr(f.default)
+    if f.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+        return "<factory>"
+    return "<required>"
+
+
+def describe_api(module_name: str = "repro.api") -> dict:
+    """A JSON-able description of the module's exported surface."""
+    if _SRC_DIR not in sys.path:
+        sys.path.insert(0, _SRC_DIR)
+    api = importlib.import_module(module_name)
+    surface: dict[str, dict] = {}
+    for name in sorted(api.__all__):
+        obj = getattr(api, name)
+        if inspect.isclass(obj) and dataclasses.is_dataclass(obj):
+            surface[name] = {
+                "kind": "dataclass",
+                "fields": {
+                    f.name: _field_default(f) for f in dataclasses.fields(obj)
+                },
+            }
+        elif inspect.isclass(obj):
+            surface[name] = {"kind": "class"}
+        elif callable(obj):
+            surface[name] = {
+                "kind": "function",
+                "signature": str(inspect.signature(obj)),
+            }
+        else:
+            surface[name] = {"kind": type(obj).__name__}
+    return surface
+
+
+def diff_surfaces(expected: dict, actual: dict) -> list[str]:
+    """Human-readable drift lines (empty = surfaces match)."""
+    problems: list[str] = []
+    for name in sorted(set(expected) - set(actual)):
+        problems.append(f"removed export: {name}")
+    for name in sorted(set(actual) - set(expected)):
+        problems.append(f"new unblessed export: {name}")
+    for name in sorted(set(expected) & set(actual)):
+        if expected[name] != actual[name]:
+            problems.append(
+                f"changed: {name}\n  manifest: {expected[name]}\n"
+                f"  current:  {actual[name]}"
+            )
+    return problems
+
+
+def check(manifest_path: str | None = None) -> list[str]:
+    """Drift lines between the committed manifest and the live surface."""
+    manifest_path = manifest_path or MANIFEST_PATH
+    if not os.path.exists(manifest_path):
+        return [f"manifest missing: {manifest_path} (run with --update)"]
+    with open(manifest_path) as fh:
+        expected = json.load(fh)
+    return diff_surfaces(expected, describe_api())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the manifest from the current surface",
+    )
+    args = parser.parse_args(argv)
+    if args.update:
+        surface = describe_api()
+        with open(MANIFEST_PATH, "w") as fh:
+            json.dump(surface, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {MANIFEST_PATH} ({len(surface)} exports)")
+        return 0
+    problems = check()
+    if problems:
+        print("public API drift detected:")
+        for p in problems:
+            print(f"- {p}")
+        print("\nif intentional, re-bless with: python tools/check_public_api.py --update")
+        return 1
+    print("public API matches the manifest")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
