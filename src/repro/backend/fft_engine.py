@@ -103,7 +103,7 @@ class FFTEngine:
         key = (tuple(shape), np.dtype(dtype).str)
         buf = pool.get(key)
         if buf is None:
-            buf = np.empty(shape, dtype=dtype)
+            buf = np.empty(shape, dtype=dtype)  # repro-lint: disable=no-alloc-in-hot -- pool miss: allocates once per (shape, dtype), then reused
             pool[key] = buf
             while len(pool) > _SCRATCH_SLOTS:
                 pool.popitem(last=False)

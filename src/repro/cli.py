@@ -15,6 +15,9 @@ Commands
 ``bench-backend``
     Measured A/B benchmark of the FFT backends and the pruned K-Means;
     writes machine-readable ``BENCH_backend.json``.
+``lint``
+    Run the project's AST lint passes (``repro.lint``) over source paths;
+    exits nonzero when findings remain.
 """
 
 from __future__ import annotations
@@ -227,6 +230,20 @@ def cmd_bench_backend(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.lint import format_findings, get_rules, lint_paths
+
+    if args.list_rules:
+        for rule in get_rules():
+            print(f"{rule.name}: {rule.description}")
+        return 0
+    findings = lint_paths(args.paths, rules=args.select or None)
+    output = format_findings(findings, fmt=args.format)
+    if output:
+        print(output)
+    return 1 if findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -287,6 +304,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="tiny workload for CI (seconds, not minutes)")
     p_bb.add_argument("--out", default=None,
                       help="write the JSON report here (e.g. BENCH_backend.json)")
+
+    p_lint = sub.add_parser("lint", help="run the repro.lint AST passes")
+    p_lint.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    p_lint.add_argument("--format", choices=("text", "json"), default="text",
+                        help="human-readable lines or a machine JSON report")
+    p_lint.add_argument("--select", action="append", default=None,
+                        metavar="RULE",
+                        help="run only this rule (repeatable)")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the registered rules and exit")
     return parser
 
 
@@ -299,6 +327,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "scaling": cmd_scaling,
         "rt": cmd_rt,
         "bench-backend": cmd_bench_backend,
+        "lint": cmd_lint,
     }
     return handlers[args.command](args)
 

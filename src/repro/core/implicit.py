@@ -19,6 +19,7 @@ from repro.core.isdf import ISDFDecomposition
 from repro.core.isdf_hamiltonian import project_kernel
 from repro.core.kernel import HxcKernel
 from repro.core.pair_products import pair_energies
+from repro.utils.hot import hot_kernel
 from repro.utils.timers import TimerRegistry
 from repro.utils.validation import require
 
@@ -93,6 +94,7 @@ class ImplicitCasidaOperator:
             self._workspace_k = k
         return self._ws
 
+    @hot_kernel("implicit-casida-apply")
     def apply(self, x: np.ndarray) -> np.ndarray:
         """``H @ X`` for column blocks ``(N_cv, k)`` (also accepts 1-D).
 

@@ -23,6 +23,18 @@ from repro.utils.rng import default_rng
 from repro.utils.timers import TimerRegistry
 from repro.utils.validation import require
 
+#: How K-Means point selection fails in practice: degenerate clusters or
+#: weights (ValueError), numerical breakdown (ArithmeticError, LinAlgError)
+#: or a backend fault surfacing as RuntimeError.  Injected faults, aborts
+#: and programming errors must propagate rather than silently triggering
+#: the QRCP fallback.
+_SELECTION_FAILURES = (
+    RuntimeError,
+    ValueError,
+    ArithmeticError,
+    np.linalg.LinAlgError,
+)
+
 
 def default_rank(n_v: int, n_c: int, n_r: int, rank_factor: float = 10.0) -> int:
     """Paper-style default rank ``N_mu ~= rank_factor * sqrt(N_v N_c)``.
@@ -238,7 +250,7 @@ def isdf_decompose(
                     )
                     selection_ok = info.converged
                     indices = info.indices
-                except Exception:
+                except _SELECTION_FAILURES:
                     if fallback is None:
                         raise
                     selection_ok = False

@@ -30,6 +30,12 @@ from repro.utils.linalg import (
     symmetrize,
 )
 
+# repro-lint: disable=no-alloc-in-hot -- Rayleigh-Ritz subspace assembly
+# reallocates each iteration by design: block widths shrink with soft
+# locking, so [X, W, P] and the projected pencil cannot use fixed-shape
+# workspaces.  Per-iteration cost is dominated by the O(N k) operator
+# applications, not these O(k^2) temporaries.
+
 ApplyFn = Callable[[np.ndarray], np.ndarray]
 PrecondFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
 

@@ -1,0 +1,50 @@
+"""``repro.lint`` — AST lint passes for this codebase's parallel hazards.
+
+The generic engine (rule registry, suppression comments, text/JSON output)
+lives in :mod:`repro.lint.engine`; the passes encoding the invariants the
+reproduction actually relies on live in :mod:`repro.lint.rules`:
+
+* ``no-alloc-in-hot`` — per-call allocations inside hot kernels,
+* ``collective-in-branch`` — collectives guarded by ``if rank`` branches,
+* ``nondeterminism-in-replay`` — wall-clock/global-RNG/dict-order inside
+  checkpoint-replayed loops,
+* ``mutated-recv-buffer`` — in-place writes to arrays received through the
+  comm layer without a defensive copy,
+* ``no-blind-except`` — ``except Exception`` handlers that swallow
+  everything.
+
+Run it via ``repro lint [paths]``, ``python tools/run_checks.py``, or the
+API below.  See ``docs/static-analysis.md`` for rule rationale and the
+suppression syntax.
+"""
+
+from repro.lint.engine import (
+    Finding,
+    LintRule,
+    all_rules,
+    format_findings,
+    get_rules,
+    lint_file,
+    lint_paths,
+    lint_source,
+    register_rule,
+)
+from repro.lint.hotpaths import HOT_DECORATORS, HOT_PATH_MANIFEST, hot_functions_for
+
+# Importing the rules module populates the registry.
+from repro.lint import rules as _rules  # noqa: F401  (registration side effect)
+
+__all__ = [
+    "Finding",
+    "LintRule",
+    "all_rules",
+    "format_findings",
+    "get_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "HOT_DECORATORS",
+    "HOT_PATH_MANIFEST",
+    "hot_functions_for",
+]

@@ -1,0 +1,254 @@
+"""The lint engine: rule registry, suppression comments, output formats.
+
+A rule is a named check over one parsed module; the engine owns everything
+rule-agnostic — file discovery, parsing, the suppression protocol, and the
+two output formats consumed by humans (``text``) and by tooling (``json``).
+
+Suppression protocol
+--------------------
+``# repro-lint: disable=rule-a,rule-b -- reason`` as a *trailing* comment
+suppresses those rules on that line only; the same comment on a line of its
+own suppresses them for the whole file.  ``disable=all`` matches every
+rule.  The reason string after ``--`` is mandatory by convention (reviewed
+suppressions must say why); the engine records findings suppressed without
+one under the pseudo-rule ``suppression-without-reason`` so bare waivers
+are themselves lint findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import json
+import re
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "LintRule",
+    "SourceModule",
+    "all_rules",
+    "format_findings",
+    "get_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One lint violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_\-, *]+?)\s*(?:--\s*(?P<reason>\S.*))?$"
+)
+
+
+@dataclasses.dataclass
+class _Suppressions:
+    """Parsed suppression comments of one module."""
+
+    #: rule -> reason (or "") for file-wide waivers.
+    file_level: dict[str, str] = dataclasses.field(default_factory=dict)
+    #: line -> {rule -> reason} for single-line waivers.
+    by_line: dict[int, dict[str, str]] = dataclasses.field(default_factory=dict)
+    #: (line, rules) of waivers missing a reason string.
+    missing_reason: list[tuple[int, str]] = dataclasses.field(default_factory=list)
+
+    def covers(self, rule: str, line: int) -> bool:
+        for table in (self.file_level, self.by_line.get(line, {})):
+            if rule in table or "all" in table or "*" in table:
+                return True
+        return False
+
+
+def _parse_suppressions(text: str) -> _Suppressions:
+    sup = _Suppressions()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        rules = [r.strip() for r in match.group(1).split(",") if r.strip()]
+        reason = match.group("reason") or ""
+        if not reason:
+            sup.missing_reason.append((lineno, ",".join(rules)))
+        own_line = line.strip().startswith("#")
+        target = sup.file_level if own_line else sup.by_line.setdefault(lineno, {})
+        for rule in rules:
+            target[rule] = reason
+    return sup
+
+
+@dataclasses.dataclass
+class SourceModule:
+    """One parsed python file handed to every rule."""
+
+    path: str
+    text: str
+    tree: ast.Module
+
+    @property
+    def posix_path(self) -> str:
+        return Path(self.path).as_posix()
+
+
+class LintRule:
+    """Base class for a lint pass.
+
+    Subclasses set :attr:`name` / :attr:`description` and implement
+    :meth:`check`, yielding :class:`Finding` objects (the engine applies
+    suppressions afterwards, rules never need to).
+    """
+
+    name: str = "abstract"
+    description: str = ""
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: SourceModule, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.name,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, LintRule] = {}
+
+
+def register_rule(rule_cls: type[LintRule]) -> type[LintRule]:
+    """Class decorator adding one instance of the rule to the registry."""
+    rule = rule_cls()
+    if rule.name in _REGISTRY:
+        raise ValueError(f"duplicate lint rule name {rule.name!r}")
+    _REGISTRY[rule.name] = rule
+    return rule_cls
+
+
+def all_rules() -> tuple[LintRule, ...]:
+    return tuple(_REGISTRY[name] for name in sorted(_REGISTRY))
+
+
+def get_rules(names: Sequence[str] | None = None) -> tuple[LintRule, ...]:
+    """Resolve rule names to instances (``None`` = every registered rule)."""
+    if names is None:
+        return all_rules()
+    unknown = sorted(set(names) - set(_REGISTRY))
+    if unknown:
+        raise ValueError(
+            f"unknown lint rule(s) {unknown}; available: {sorted(_REGISTRY)}"
+        )
+    return tuple(_REGISTRY[name] for name in names)
+
+
+def lint_source(
+    text: str,
+    path: str = "<string>",
+    rules: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Lint one source string; returns unsuppressed findings sorted by line."""
+    try:
+        tree = ast.parse(text, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="syntax-error",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    module = SourceModule(path=path, text=text, tree=tree)
+    suppressions = _parse_suppressions(text)
+    findings = [
+        f
+        for rule in get_rules(rules)
+        for f in rule.check(module)
+        if not suppressions.covers(f.rule, f.line)
+    ]
+    for lineno, rule_list in suppressions.missing_reason:
+        findings.append(
+            Finding(
+                rule="suppression-without-reason",
+                path=path,
+                line=lineno,
+                col=1,
+                message=(
+                    f"suppression of {rule_list!r} has no reason string; "
+                    "append ' -- <why this is safe>'"
+                ),
+            )
+        )
+    return sorted(findings, key=lambda f: (f.line, f.col, f.rule))
+
+
+def lint_file(path: str | Path, rules: Sequence[str] | None = None) -> list[Finding]:
+    path = Path(path)
+    return lint_source(path.read_text(), str(path), rules)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into sorted ``.py`` files (skips caches)."""
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            yield from sorted(
+                p for p in entry.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        else:
+            yield entry
+
+
+def lint_paths(
+    paths: Iterable[str | Path], rules: Sequence[str] | None = None
+) -> list[Finding]:
+    """Lint every python file under ``paths`` (files or directories)."""
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rules))
+    return findings
+
+
+def format_findings(findings: Sequence[Finding], fmt: str = "text") -> str:
+    """Render findings as ``text`` (one line each) or machine ``json``."""
+    if fmt == "json":
+        counts: dict[str, int] = {}
+        for f in findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        payload = {
+            "findings": [f.as_dict() for f in findings],
+            "counts_by_rule": dict(sorted(counts.items())),
+            "total": len(findings),
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+    if fmt == "text":
+        if not findings:
+            return "repro-lint: no findings"
+        lines = [f.render() for f in findings]
+        lines.append(f"repro-lint: {len(findings)} finding(s)")
+        return "\n".join(lines)
+    raise ValueError(f"unknown format {fmt!r}; choose 'text' or 'json'")
+
+
+# Typing helper for rule helpers that walk with a predicate.
+NodePredicate = Callable[[ast.AST], bool]

@@ -1,0 +1,37 @@
+"""The hot-path manifest: which functions must stay allocation-free.
+
+Two ways a function enters the ``no-alloc-in-hot`` scope:
+
+* decorate it with :func:`repro.utils.hot.hot_kernel` (self-documenting,
+  preferred for new code), or
+* list its qualified name here against its module path (used for the
+  seed-era kernels whose modules predate the decorator).
+
+The manifest keys are posix path *suffixes*, so the same table works for
+``src/repro/...`` checkouts and installed trees.
+"""
+
+from __future__ import annotations
+
+__all__ = ["HOT_DECORATORS", "HOT_PATH_MANIFEST", "hot_functions_for"]
+
+#: Decorator names that mark a function as a hot kernel.
+HOT_DECORATORS = frozenset({"hot_kernel"})
+
+#: module-path suffix -> qualified function names under allocation discipline.
+HOT_PATH_MANIFEST: dict[str, frozenset[str]] = {
+    "repro/backend/fft_engine.py": frozenset({"FFTEngine.scratch"}),
+    "repro/core/isdf.py": frozenset(
+        {"ISDFDecomposition.apply_c", "ISDFDecomposition.apply_ct"}
+    ),
+    "repro/parallel/pipeline.py": frozenset({"pipelined_vhxc_rows"}),
+    "repro/eigen/lobpcg.py": frozenset({"lobpcg"}),
+}
+
+
+def hot_functions_for(posix_path: str) -> frozenset[str]:
+    """Manifest entries applying to ``posix_path`` (empty set if none)."""
+    for suffix, names in HOT_PATH_MANIFEST.items():
+        if posix_path.endswith(suffix):
+            return names
+    return frozenset()

@@ -1,0 +1,531 @@
+"""The lint passes encoding this codebase's parallel-correctness invariants.
+
+Each rule documents its rationale in the class docstring; worked examples
+and the suppression syntax live in ``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Finding, LintRule, SourceModule, register_rule
+from repro.lint.hotpaths import HOT_DECORATORS, hot_functions_for
+
+__all__ = [
+    "CollectiveInBranch",
+    "MutatedRecvBuffer",
+    "NoAllocInHot",
+    "NoBlindExcept",
+    "NondeterminismInReplay",
+]
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``np.linalg.solve`` for nested attributes, ``''`` when not name-like."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        return f"{base}.{node.attr}" if base else node.attr
+    return ""
+
+
+def _iter_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Yield ``(qualname, node)`` for every function/method in the module."""
+
+    def walk(node: ast.AST, prefix: str) -> Iterator[tuple[str, ast.AST]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _FUNC_NODES):
+                qual = f"{prefix}{child.name}"
+                yield qual, child
+                yield from walk(child, f"{qual}.")
+            elif isinstance(child, ast.ClassDef):
+                yield from walk(child, f"{prefix}{child.name}.")
+            else:
+                yield from walk(child, prefix)
+
+    for qual, node in walk(tree, ""):
+        yield qual, node  # type: ignore[misc]
+
+
+def _decorator_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    names = set()
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = dotted_name(target)
+        if name:
+            names.add(name.rsplit(".", maxsplit=1)[-1])
+    return names
+
+
+def _mentions_rank(node: ast.AST) -> bool:
+    """Does the expression reference a rank (``rank`` name or ``.rank``)?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id == "rank":
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr in ("rank", "_rank"):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# no-alloc-in-hot
+# ---------------------------------------------------------------------------
+
+#: numpy constructors that always materialize a fresh buffer.
+_ALLOC_FUNCS = frozenset(
+    {
+        "array",
+        "column_stack",
+        "concatenate",
+        "copy",
+        "empty",
+        "empty_like",
+        "full",
+        "full_like",
+        "hstack",
+        "kron",
+        "ones",
+        "ones_like",
+        "outer",
+        "repeat",
+        "stack",
+        "tile",
+        "vstack",
+        "zeros",
+        "zeros_like",
+    }
+)
+_NUMPY_ALIASES = frozenset({"np", "numpy"})
+
+
+@register_rule
+class NoAllocInHot(LintRule):
+    """Allocations inside hot kernels silently regress the PR-1 speedups.
+
+    Scope: functions decorated ``@hot_kernel`` or listed in
+    :data:`repro.lint.hotpaths.HOT_PATH_MANIFEST`.  Flagged anywhere in the
+    function: numpy constructor calls (``np.zeros`` / ``np.empty`` /
+    ``np.concatenate`` / ...) and ``.copy()`` method calls.  Flagged only
+    inside ``for``/``while`` bodies (the per-iteration hazard): plain
+    assignments whose value is a binary operation, which materialize a
+    temporary every pass — use ``out=`` kwargs or augmented assignment.
+    """
+
+    name = "no-alloc-in-hot"
+    description = "allocation or operator temporary inside a hot kernel"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        manifest = hot_functions_for(module.posix_path)
+        for qual, fn in _iter_functions(module.tree):
+            if qual in manifest or _decorator_names(fn) & HOT_DECORATORS:
+                yield from self._check_function(module, qual, fn)
+
+    def _check_function(
+        self, module: SourceModule, qual: str, fn: ast.AST
+    ) -> Iterator[Finding]:
+        loop_lines = _loop_body_lines(fn)
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                head, _, leaf = name.rpartition(".")
+                if leaf in _ALLOC_FUNCS and head.split(".")[0] in _NUMPY_ALIASES:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"hot kernel {qual!r} allocates via {name}(); "
+                        "preallocate outside the kernel or reuse a workspace",
+                    )
+                elif leaf == "copy" and head and not node.args:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"hot kernel {qual!r} copies {head!r}; copies in hot "
+                        "paths must be reviewed (suppress with a reason) or "
+                        "hoisted",
+                    )
+            elif (
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.BinOp)
+                and node.lineno in loop_lines
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"hot kernel {qual!r} builds an operator temporary every "
+                    "loop iteration; use an out= contraction or augmented "
+                    "assignment",
+                )
+
+
+def _loop_body_lines(fn: ast.AST) -> set[int]:
+    """Line numbers inside ``for``/``while`` bodies of ``fn`` (not nested
+    function definitions — those are linted on their own)."""
+    lines: set[int] = set()
+
+    def visit(node: ast.AST, in_loop: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _FUNC_NODES) and node is not fn:
+                continue
+            child_in_loop = in_loop or isinstance(child, (ast.For, ast.While))
+            if in_loop and hasattr(child, "lineno"):
+                lines.add(child.lineno)
+            visit(child, child_in_loop)
+
+    visit(fn, False)
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# collective-in-branch
+# ---------------------------------------------------------------------------
+
+_COLLECTIVES = frozenset(
+    {
+        "allgather",
+        "allreduce",
+        "alltoall",
+        "barrier",
+        "bcast",
+        "gather",
+        "reduce",
+        "scatter",
+        "verified_allreduce",
+    }
+)
+
+
+def _collective_calls(nodes: list[ast.stmt]) -> list[tuple[str, ast.Call]]:
+    calls = []
+    for stmt in nodes:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                leaf = dotted_name(node.func).rpartition(".")[2]
+                if leaf in _COLLECTIVES:
+                    calls.append((leaf, node))
+    return calls
+
+
+@register_rule
+class CollectiveInBranch(LintRule):
+    """A collective on one side of an ``if rank`` branch deadlocks.
+
+    Collectives must be called by *every* rank; lexically guarding one with
+    a rank test means the other ranks never enter it and the program hangs
+    at the barrier (or, worse, pairs the call with the *next* collective).
+    The rule compares the multiset of collective calls on both arms of any
+    ``if`` whose test mentions a rank and flags the unmatched ones.
+    """
+
+    name = "collective-in-branch"
+    description = "collective call guarded by a rank branch"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.If) and _mentions_rank(node.test)):
+                continue
+            body_calls = _collective_calls(node.body)
+            else_calls = _collective_calls(node.orelse)
+            body_ops = [op for op, _ in body_calls]
+            else_ops = [op for op, _ in else_calls]
+            for op, call in body_calls + else_calls:
+                mine, other = (
+                    (body_ops, else_ops) if (op, call) in body_calls else (else_ops, body_ops)
+                )
+                if mine.count(op) > other.count(op):
+                    yield self.finding(
+                        module,
+                        call,
+                        f"collective {op!r} inside a rank-dependent branch has "
+                        "no matching call on the other arm — ranks taking the "
+                        "other path will deadlock",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# nondeterminism-in-replay
+# ---------------------------------------------------------------------------
+
+_WALLCLOCK = frozenset(
+    {"time.time", "time.time_ns", "datetime.now", "datetime.utcnow",
+     "datetime.datetime.now", "datetime.datetime.utcnow"}
+)
+_SEEDED_RNG_FACTORIES = frozenset({"default_rng", "Generator", "SeedSequence"})
+_DICT_ITERATORS = frozenset({"items", "keys", "values"})
+_REDUCTIONS = frozenset({"allreduce", "reduce", "sum", "verified_allreduce"})
+
+
+def _is_replay_scope(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Checkpoint-replayed = takes a ``checkpoint`` argument or builds a
+    ``LoopCheckpointer`` / calls ``<checkpoint>.resume() / .save()``."""
+    args = fn.args
+    names = [
+        a.arg
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+    ]
+    if any("checkpoint" in n for n in names):
+        return True
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name.rpartition(".")[2] == "LoopCheckpointer":
+                return True
+            base, _, leaf = name.rpartition(".")
+            if leaf in ("resume", "save") and "checkpoint" in base:
+                return True
+    return False
+
+
+@register_rule
+class NondeterminismInReplay(LintRule):
+    """Checkpoint replay promises bit-identical resumption (PR 2).
+
+    Anything that differs between the original run and the replayed one —
+    wall-clock reads, the unseeded global numpy RNG, or hash-order dict
+    iteration feeding a reduction — silently breaks that contract.  The
+    rule scopes itself to functions that participate in checkpointing (a
+    ``checkpoint`` parameter or ``LoopCheckpointer`` usage).
+    """
+
+    name = "nondeterminism-in-replay"
+    description = "nondeterministic construct inside a checkpoint-replayed loop"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for qual, fn in _iter_functions(module.tree):
+            if not _is_replay_scope(fn):
+                continue
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Call):
+                    yield from self._check_call(module, qual, node)
+                elif isinstance(node, (ast.For, ast.comprehension)):
+                    yield from self._check_iteration(module, qual, node)
+
+    def _check_call(
+        self, module: SourceModule, qual: str, node: ast.Call
+    ) -> Iterator[Finding]:
+        name = dotted_name(node.func)
+        if name in _WALLCLOCK:
+            yield self.finding(
+                module,
+                node,
+                f"{name}() inside checkpoint-replayed {qual!r} differs on "
+                "replay; thread timestamps through the snapshot instead",
+            )
+            return
+        parts = name.split(".")
+        if (
+            len(parts) >= 3
+            and parts[0] in _NUMPY_ALIASES
+            and parts[1] == "random"
+            and parts[2] not in _SEEDED_RNG_FACTORIES
+        ):
+            yield self.finding(
+                module,
+                node,
+                f"unseeded global RNG {name}() inside checkpoint-replayed "
+                f"{qual!r}; pass an explicit np.random.Generator",
+            )
+
+    def _check_iteration(
+        self, module: SourceModule, qual: str, node: ast.For | ast.comprehension
+    ) -> Iterator[Finding]:
+        iter_expr = node.iter
+        if not (
+            isinstance(iter_expr, ast.Call)
+            and isinstance(iter_expr.func, ast.Attribute)
+            and iter_expr.func.attr in _DICT_ITERATORS
+        ):
+            return
+        if isinstance(node, ast.For):
+            feeds_reduction = any(
+                isinstance(sub, ast.AugAssign)
+                or (
+                    isinstance(sub, ast.Call)
+                    and dotted_name(sub.func).rpartition(".")[2] in _REDUCTIONS
+                )
+                for stmt in node.body
+                for sub in ast.walk(stmt)
+            )
+        else:  # comprehension: assume its consumer accumulates
+            feeds_reduction = True
+        if feeds_reduction:
+            target = dotted_name(iter_expr.func.value) or "<mapping>"
+            yield self.finding(
+                module,
+                iter_expr,
+                f"iteration over {target}.{iter_expr.func.attr}() feeds a "
+                f"reduction inside checkpoint-replayed {qual!r}; wrap in "
+                "sorted(...) so replay order is deterministic",
+            )
+
+
+# ---------------------------------------------------------------------------
+# mutated-recv-buffer
+# ---------------------------------------------------------------------------
+
+#: comm methods / redistribute helpers whose return value aliases a buffer
+#: owned by (or shared with) another rank in the thread-per-rank runtime.
+_RECV_METHODS = frozenset({"recv", "bcast", "scatter"})
+_RECV_FUNCS = frozenset(
+    {
+        "allgather_rows",
+        "reliable_recv",
+        "row_block_to_block_cyclic",
+        "transpose_to_column_block",
+        "transpose_to_row_block",
+    }
+)
+_MUTATING_METHODS = frozenset(
+    {"fill", "partition", "put", "resize", "sort", "setfield", "byteswap"}
+)
+
+
+def _is_recv_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = dotted_name(node.func)
+    head, _, leaf = name.rpartition(".")
+    return (leaf in _RECV_METHODS and head != "") or (
+        leaf in _RECV_FUNCS and head == ""
+    ) or name in _RECV_FUNCS
+
+
+@register_rule
+class MutatedRecvBuffer(LintRule):
+    """The thread-per-rank comm layer exchanges arrays *by reference*.
+
+    Writing into an array returned by ``comm.recv`` / ``comm.bcast`` / the
+    redistribute helpers mutates the sender's buffer (and every other
+    receiver's view) — a data race the production MPI build doesn't have,
+    and exactly what the runtime sanitizer flags dynamically.  Take a
+    ``.copy()`` before mutating.
+    """
+
+    name = "mutated-recv-buffer"
+    description = "in-place mutation of a buffer received through the comm layer"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for qual, fn in _iter_functions(module.tree):
+            yield from self._check_function(module, qual, fn)
+
+    def _check_function(
+        self, module: SourceModule, qual: str, fn: ast.AST
+    ) -> Iterator[Finding]:
+        tracked: dict[str, int] = {}  # name -> line of the receiving assign
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    if _is_recv_call(node.value):
+                        tracked[target.id] = node.lineno
+                    elif target.id in tracked:
+                        # reassigned (e.g. to a .copy()): no longer shared.
+                        del tracked[target.id]
+                    continue
+            yield from self._check_mutation(module, qual, node, tracked)
+
+    def _check_mutation(
+        self,
+        module: SourceModule,
+        qual: str,
+        node: ast.AST,
+        tracked: dict[str, int],
+    ) -> Iterator[Finding]:
+        def hit(name_node: ast.AST) -> str | None:
+            if isinstance(name_node, ast.Name) and name_node.id in tracked:
+                return name_node.id
+            return None
+
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    name = hit(target.value)
+                    if name:
+                        yield self._flag(module, qual, node, name, tracked[name])
+        elif isinstance(node, ast.AugAssign):
+            base = node.target.value if isinstance(node.target, ast.Subscript) else node.target
+            name = hit(base)
+            if name:
+                yield self._flag(module, qual, node, name, tracked[name])
+        elif isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Attribute) and node.func.attr in _MUTATING_METHODS:
+                name = hit(node.func.value)
+                if name:
+                    yield self._flag(module, qual, node, name, tracked[name])
+            for kw in node.keywords:
+                if kw.arg == "out":
+                    name = hit(kw.value)
+                    if name:
+                        yield self._flag(module, qual, node, name, tracked[name])
+
+    def _flag(
+        self,
+        module: SourceModule,
+        qual: str,
+        node: ast.AST,
+        name: str,
+        recv_line: int,
+    ) -> Finding:
+        return self.finding(
+            module,
+            node,
+            f"{qual!r} mutates {name!r} received through the comm layer at "
+            f"line {recv_line} in place; buffers are shared by reference — "
+            f"use {name}.copy() first",
+        )
+
+
+# ---------------------------------------------------------------------------
+# no-blind-except
+# ---------------------------------------------------------------------------
+
+
+@register_rule
+class NoBlindExcept(LintRule):
+    """``except Exception`` hides injected faults, aborts and real bugs.
+
+    The resilience layer communicates through typed exceptions
+    (``InjectedFault``, ``SpmdAbort``, ``MessageTimeout``); a blanket
+    handler that can swallow them turns a diagnosed failure into silent
+    corruption.  Catch the specific expected types, or end the handler
+    with an unconditional re-raise (a ``raise`` buried inside an ``if``
+    still swallows every other path).
+    """
+
+    name = "no-blind-except"
+    description = "blanket except handler that can swallow typed faults"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_blind(node.type):
+                continue
+            always_reraises = bool(node.body) and isinstance(
+                node.body[-1], ast.Raise
+            )
+            if not always_reraises:
+                caught = dotted_name(node.type) if node.type else "everything"
+                yield self.finding(
+                    module,
+                    node,
+                    f"handler catches {caught} without unconditionally "
+                    "re-raising; name the expected exception types (typed "
+                    "faults must propagate)",
+                )
+
+    @staticmethod
+    def _is_blind(type_node: ast.AST | None) -> bool:
+        if type_node is None:
+            return True
+        names = (
+            [dotted_name(e) for e in type_node.elts]
+            if isinstance(type_node, ast.Tuple)
+            else [dotted_name(type_node)]
+        )
+        return any(n in ("Exception", "BaseException") for n in names)

@@ -29,6 +29,7 @@ from repro.parallel.comm import (
     SpmdAbort,
 )
 from repro.parallel.executor import spmd_run, spmd_run_resilient
+from repro.parallel.sanitizer import SanitizerError, SpmdSanitizer
 from repro.parallel.distributions import (
     BlockCyclic2D,
     BlockDistribution1D,
@@ -58,6 +59,8 @@ __all__ = [
     "CommTraffic",
     "SpmdAbort",
     "MessageTimeout",
+    "SanitizerError",
+    "SpmdSanitizer",
     "spmd_run",
     "spmd_run_resilient",
     "BlockDistribution1D",

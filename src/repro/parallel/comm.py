@@ -80,7 +80,7 @@ def _nbytes(value) -> int:
 class _SharedState:
     """State shared by all ranks of one SPMD run."""
 
-    def __init__(self, size: int, fault_injector=None) -> None:
+    def __init__(self, size: int, fault_injector=None, sanitizer=None) -> None:
         self.size = size
         self.barrier = threading.Barrier(size)
         self.slots: list = [None] * size
@@ -93,12 +93,17 @@ class _SharedState:
         #: Optional repro.resilience.faults.FaultInjector (duck-typed so the
         #: comm layer stays independent of the resilience package).
         self.fault_injector = fault_injector
+        #: Optional repro.parallel.sanitizer.SpmdSanitizer (duck-typed for
+        #: the same reason); consulted at the entry of every collective.
+        self.sanitizer = sanitizer
 
     def abort(self, exc: BaseException) -> None:
         with self.error_lock:
             if self.error is None:
                 self.error = exc
         self.barrier.abort()
+        if self.sanitizer is not None:
+            self.sanitizer.abort()
 
 
 class Communicator:
@@ -122,13 +127,21 @@ class Communicator:
     def traffic(self) -> CommTraffic:
         return self._shared.traffic
 
-    # -- fault-injection hooks ----------------------------------------------
+    # -- fault-injection / sanitizer hooks -----------------------------------
 
-    def _fault_check(self, op: str) -> None:
-        """Give the injector a chance to kill this rank entering ``op``."""
+    def _enter(self, op: str, value=None, detail: str = "") -> None:
+        """Collective entry point: fault injection, then sanitizer checks.
+
+        The injector runs first so a killed rank never reaches the
+        sanitizer's sync (its peers then unwind through the abort path
+        rather than diagnosing a phantom mismatch).
+        """
         injector = self._shared.fault_injector
         if injector is not None:
             injector.on_collective(self._rank, op)
+        sanitizer = self._shared.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_collective(self._rank, op, value, detail=detail)
 
     def _fault_corrupt(self, op: str, value):
         """Give the injector a chance to poison a reduce contribution."""
@@ -140,6 +153,11 @@ class Communicator:
     # -- synchronization ---------------------------------------------------
 
     def barrier(self) -> None:
+        self._enter("barrier")
+        self._barrier_wait()
+
+    def _barrier_wait(self) -> None:
+        """Raw shared-barrier wait (no hooks — used inside collectives)."""
         try:
             self._shared.barrier.wait()
         except threading.BrokenBarrierError:
@@ -151,16 +169,16 @@ class Communicator:
     def _exchange(self, value):
         """All-to-all slot exchange: every rank deposits, every rank reads."""
         self._shared.slots[self._rank] = value
-        self.barrier()
+        self._barrier_wait()
         snapshot = list(self._shared.slots)
-        self.barrier()  # nobody overwrites slots before everyone has read
+        self._barrier_wait()  # nobody overwrites slots before everyone has read
         return snapshot
 
     # -- collectives ---------------------------------------------------------
 
     def bcast(self, value, root: int = 0):
         """Broadcast from ``root``; traffic = payload once per receiver."""
-        self._fault_check("bcast")
+        self._enter("bcast", value, detail=f"root={root}")
         snapshot = self._exchange(value if self._rank == root else None)
         result = snapshot[root]
         if self._rank == root:
@@ -168,7 +186,7 @@ class Communicator:
         return result
 
     def gather(self, value, root: int = 0):
-        self._fault_check("gather")
+        self._enter("gather", value, detail=f"root={root}")
         snapshot = self._exchange(value)
         if self._rank == root:
             self.traffic.record(
@@ -178,7 +196,7 @@ class Communicator:
         return None
 
     def allgather(self, value):
-        self._fault_check("allgather")
+        self._enter("allgather", value)
         snapshot = self._exchange(value)
         if self._rank == 0:
             total = sum(_nbytes(v) for v in snapshot)
@@ -186,7 +204,7 @@ class Communicator:
         return snapshot
 
     def scatter(self, values, root: int = 0):
-        self._fault_check("scatter")
+        self._enter("scatter", values, detail=f"root={root}")
         if self._rank == root:
             require(
                 values is not None and len(values) == self.size,
@@ -222,7 +240,7 @@ class Communicator:
 
     def reduce(self, value, root: int = 0, op: str = "sum"):
         """Reduce to ``root``; traffic = one payload per non-root rank."""
-        self._fault_check("reduce")
+        self._enter("reduce", value, detail=f"root={root},op={op}")
         value = self._fault_corrupt("reduce", value)
         snapshot = self._exchange(value)
         if self._rank == root:
@@ -232,7 +250,7 @@ class Communicator:
 
     def allreduce(self, value, op: str = "sum"):
         """Allreduce; traffic per rank = 2 (P-1)/P payload (ring convention)."""
-        self._fault_check("allreduce")
+        self._enter("allreduce", value, detail=f"op={op}")
         value = self._fault_corrupt("allreduce", value)
         snapshot = self._exchange(value)
         if self._rank == 0:
@@ -242,7 +260,7 @@ class Communicator:
 
     def alltoall(self, chunks):
         """Personalized all-to-all: ``chunks[d]`` goes to rank ``d``."""
-        self._fault_check("alltoall")
+        self._enter("alltoall", chunks)
         require(
             len(chunks) == self.size,
             f"alltoall needs {self.size} chunks, got {len(chunks)}",

@@ -21,6 +21,7 @@ import time
 from typing import Callable
 
 from repro.parallel.comm import CommTraffic, Communicator, SpmdAbort, _SharedState
+from repro.parallel.sanitizer import SpmdSanitizer, env_enabled
 from repro.utils.validation import require
 
 
@@ -30,6 +31,8 @@ def spmd_run(
     *args,
     return_traffic: bool = False,
     fault_injector=None,
+    sanitize: bool | None = None,
+    sanitize_timeout: float | None = None,
 ):
     """Execute ``fn(comm, *args)`` on ``n_ranks`` virtual ranks.
 
@@ -42,6 +45,16 @@ def spmd_run(
     fault_injector:
         Optional :class:`~repro.resilience.faults.FaultInjector` consulted
         by every collective, reduce contribution, and p2p send.
+    sanitize:
+        Run under the :class:`~repro.parallel.sanitizer.SpmdSanitizer`:
+        mismatched collectives, unsynchronized shared-array writes and
+        deadlocks become diagnosed
+        :class:`~repro.parallel.sanitizer.SanitizerError` instead of
+        silent corruption or hangs.  ``None`` (default) consults the
+        ``REPRO_SANITIZE`` environment variable.
+    sanitize_timeout:
+        Seconds after which a collective that never completes is declared
+        a deadlock (default: ``REPRO_SANITIZE_TIMEOUT`` or 10).
 
     Returns
     -------
@@ -49,16 +62,25 @@ def spmd_run(
     ``(results, traffic)`` when ``return_traffic`` is set.
     """
     require(n_ranks >= 1, f"need at least one rank, got {n_ranks}")
-    shared = _SharedState(n_ranks, fault_injector=fault_injector)
+    if sanitize is None:
+        sanitize = env_enabled()
+    sanitizer = (
+        SpmdSanitizer(n_ranks, barrier_timeout=sanitize_timeout)
+        if sanitize
+        else None
+    )
+    shared = _SharedState(n_ranks, fault_injector=fault_injector, sanitizer=sanitizer)
     results: list = [None] * n_ranks
 
     def worker(rank: int) -> None:
         comm = Communicator(rank, shared)
         try:
             results[rank] = fn(comm, *args)
+            if sanitizer is not None:
+                sanitizer.rank_done(rank)
         except SpmdAbort:
             pass  # secondary failure; the original error is in shared.error
-        except BaseException as exc:  # noqa: BLE001 - must not deadlock peers
+        except BaseException as exc:  # repro-lint: disable=no-blind-except -- the worker must capture every failure to abort peers; spmd_run re-raises shared.error
             shared.abort(exc)
 
     threads = [

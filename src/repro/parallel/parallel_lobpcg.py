@@ -74,8 +74,11 @@ def distributed_lobpcg(
     checkpoint:
         Optional per-rank :class:`~repro.resilience.checkpoint.LoopCheckpointer`
         (each rank snapshots its *local* rows, so callers must hand every
-        rank a distinct tag, e.g. ``lobpcg-r{rank}``).  Restart resumes all
-        ranks from the same iteration bit-identically.
+        rank a distinct tag, e.g. ``lobpcg-r{rank}``).  On restart the
+        ranks agree (one Allreduce) on the newest step *every* rank holds
+        and resume from that common snapshot bit-identically — a crash mid
+        iteration can leave one rank's snapshot set a step behind its
+        peers', and resuming from per-rank ``latest()`` would deadlock.
 
     Returns
     -------
@@ -94,6 +97,22 @@ def distributed_lobpcg(
     start_iteration = 0
 
     resumed = checkpoint.resume() if checkpoint is not None else None
+    if checkpoint is not None and checkpoint.restart:
+        # Consistent recovery line.  A crash can tear the per-rank snapshot
+        # sets: the abort that unwinds the surviving ranks may reach a rank
+        # after its last collective completed but *before* it wrote the
+        # step its peers already have durably.  Resuming each rank from its
+        # own latest() would then restart the loop at different iterations
+        # on different ranks, the collective sequences diverge, and the run
+        # deadlocks.  All ranks therefore agree on the newest step every
+        # rank holds and roll back to it (possible because the manager
+        # keeps earlier snapshots unless keep_last prunes them).
+        local_step = resumed[0] if resumed is not None else -1
+        common_step = int(comm.allreduce(local_step, op="min"))
+        if common_step < 0:
+            resumed = None  # some rank has no snapshot: everyone starts fresh
+        elif resumed is None or resumed[0] != common_step:
+            resumed = (common_step, checkpoint.manager.load(common_step))
     if resumed is not None:
         start_iteration, state = resumed
         x = np.array(state["x"])

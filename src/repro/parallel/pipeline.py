@@ -56,12 +56,12 @@ def pipelined_vhxc_rows(
     partial: np.ndarray | None = None
     for owner in range(comm.size):
         rows = out_dist.local_slice(owner)
-        n_block = rows.stop - rows.start
+        n_block = rows.stop - rows.start  # repro-lint: disable=no-alloc-in-hot -- scalar slice arithmetic, no array temporary
         # Partial GEMM for this block only (Figure 5's per-block compute),
         # written into a buffer reused across blocks of equal height so the
         # pipeline allocates O(1) blocks regardless of the rank count...
         if partial is None or partial.shape[0] != n_block:
-            partial = np.empty((n_block, n_pairs))
+            partial = np.empty((n_block, n_pairs))  # repro-lint: disable=no-alloc-in-hot -- guarded buffer (re)allocation: runs only when the block height changes, O(1) times per run
         np.matmul(z_local[:, rows].T, k_local, out=partial)
         partial *= dv
         # ...immediately reduced to the owning rank (MPI_Reduce, not
@@ -74,10 +74,10 @@ def pipelined_vhxc_rows(
         if comm.rank == owner:
             # Detach from the reused buffer (size-1 communicators hand the
             # input straight back).
-            my_rows = reduced.copy() if reduced is partial else reduced
+            my_rows = reduced.copy() if reduced is partial else reduced  # repro-lint: disable=no-alloc-in-hot -- once-per-run detach from the reused buffer; owner keeps these rows
     assert my_rows is not None or out_dist.count(comm.rank) == 0
     if my_rows is None:
-        my_rows = np.zeros((0, n_pairs))
+        my_rows = np.zeros((0, n_pairs))  # repro-lint: disable=no-alloc-in-hot -- empty placeholder for ranks owning zero rows
     return my_rows, out_dist
 
 

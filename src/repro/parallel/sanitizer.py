@@ -1,0 +1,305 @@
+"""Runtime SPMD sanitizer: collective matching, write detection, deadlock
+diagnosis for the thread-per-rank runtime.
+
+Enabled with ``spmd_run(..., sanitize=True)`` or ``REPRO_SANITIZE=1``; the
+communicator then reports every collective to a shared
+:class:`SpmdSanitizer` *before* executing it, which buys three guarantees
+the bare runtime does not have:
+
+* **Matched collectives** — each rank's ops are tagged with a per-rank
+  sequence number and an op signature (name, root, payload description).
+  When the ranks of one epoch disagree — ``allreduce`` on rank 0 paired
+  with ``bcast`` on rank 1 — every rank raises a :class:`SanitizerError`
+  quoting *all* ranks' signatures and call sites instead of silently
+  exchanging mismatched payloads.
+* **Shared-write detection** — arrays handed through a collective travel
+  by reference in this runtime, so an in-place write before the next
+  synchronization races with every aliasing rank.  Payload arrays are
+  fingerprinted at publish time and re-checked at the next epoch; a changed
+  fingerprint names the owning rank, the publishing op and its call site.
+  (Mutating a buffer *after* the next barrier is synchronized and legal —
+  the one-epoch window is exactly the race window.)
+* **Deadlock diagnosis** — the sanitizer's internal sync carries a
+  timeout, and a rank returning from its program is recorded.  A collective
+  that can never complete (a rank skipped it, or already finished) turns
+  into a :class:`SanitizerError` naming the stuck ranks and their last
+  collectives, rather than a hang.
+
+Signatures must agree in op name and root for every collective; payload
+shape/dtype must additionally agree for ``allreduce``/``reduce`` (whose
+contributions are combined element-wise).  ``gather``/``allgather``/
+``alltoall`` legitimately carry per-rank shapes (variable block sizes).
+
+Overhead: two extra barriers plus one payload hash per collective — for
+debugging and CI smoke runs, not production paths (see
+``docs/static-analysis.md``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import traceback
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SanitizerError", "SpmdSanitizer", "describe_payload"]
+
+#: Arrays above this size are not fingerprinted (hash cost would dominate).
+_MAX_TRACKED_BYTES = 64 * 1024 * 1024
+_ENV_ENABLE = "REPRO_SANITIZE"
+_ENV_TIMEOUT = "REPRO_SANITIZE_TIMEOUT"
+
+#: collectives whose contributions are combined element-wise, so payload
+#: shape/dtype must match across ranks (others may differ legitimately).
+_SYMMETRIC_PAYLOAD_OPS = frozenset({"allreduce", "reduce"})
+
+
+class SanitizerError(RuntimeError):
+    """A diagnosed SPMD correctness violation (mismatch, race or deadlock)."""
+
+
+def env_enabled() -> bool:
+    """Whether ``REPRO_SANITIZE`` asks for sanitized runs."""
+    return os.environ.get(_ENV_ENABLE, "").strip() not in ("", "0", "false", "off")
+
+
+def env_timeout(default: float = 10.0) -> float:
+    value = os.environ.get(_ENV_TIMEOUT, "").strip()
+    return float(value) if value else default
+
+
+def describe_payload(value, _depth: int = 0) -> str:
+    """Compact structural signature of a collective payload."""
+    if isinstance(value, np.ndarray):
+        shape = "x".join(str(s) for s in value.shape)
+        return f"ndarray[{value.dtype},{shape}]"
+    if isinstance(value, (list, tuple)):
+        kind = "list" if isinstance(value, list) else "tuple"
+        if _depth >= 2:
+            return f"{kind}(n={len(value)})"
+        inner = ",".join(describe_payload(v, _depth + 1) for v in value[:3])
+        if len(value) > 3:
+            inner += ",..."
+        return f"{kind}[{inner}]"
+    if value is None:
+        return "none"
+    return type(value).__name__
+
+
+def _call_site() -> str:
+    """First stack frame outside the comm/sanitizer layer, as ``file:line``."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    internal = (
+        os.path.join(here, "comm.py"),
+        os.path.join(here, "sanitizer.py"),
+    )
+    for frame in reversed(traceback.extract_stack()):
+        if os.path.abspath(frame.filename) not in internal:
+            return f"{frame.filename}:{frame.lineno} in {frame.name}"
+    return "<unknown>"
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One rank's entry into one collective."""
+
+    rank: int
+    seq: int
+    op: str
+    detail: str  # root etc. — must match on every rank
+    payload: str  # structural payload signature
+    site: str
+
+    def render(self) -> str:
+        extra = f", {self.detail}" if self.detail else ""
+        return (
+            f"rank {self.rank} seq {self.seq}: {self.op}({self.payload}{extra}) "
+            f"at {self.site}"
+        )
+
+
+@dataclass
+class _TrackedArray:
+    array: np.ndarray
+    fingerprint: str
+    record: OpRecord
+
+
+def _fingerprint(arr: np.ndarray) -> str:
+    return hashlib.blake2b(
+        np.ascontiguousarray(arr).tobytes(), digest_size=16
+    ).hexdigest()
+
+
+def _payload_arrays(value, _depth: int = 0):
+    if isinstance(value, np.ndarray):
+        if 0 < value.nbytes <= _MAX_TRACKED_BYTES:
+            yield value
+    elif isinstance(value, (list, tuple)) and _depth < 3:
+        for v in value:
+            yield from _payload_arrays(v, _depth + 1)
+
+
+class SpmdSanitizer:
+    """Shared sanitizer state for one SPMD run (thread-safe)."""
+
+    def __init__(
+        self,
+        size: int,
+        *,
+        barrier_timeout: float | None = None,
+        track_writes: bool = True,
+    ) -> None:
+        self.size = size
+        self.timeout = env_timeout() if barrier_timeout is None else barrier_timeout
+        # A single rank has nobody to race or mismatch with.
+        self.track_writes = track_writes and size > 1
+        self._barrier = threading.Barrier(size)
+        self._lock = threading.Lock()
+        self._seq = [0] * size
+        self._current: list[OpRecord | None] = [None] * size
+        self._last: list[OpRecord | None] = [None] * size
+        self._done = [False] * size
+        self._aborted = False
+        self._verdict: str | None = None
+        self._tracked: list[_TrackedArray] = []
+        #: Completed synchronization epochs (for tests / the smoke check).
+        self.n_synced = 0
+
+    # -- hooks called by the communicator / executor -------------------------
+
+    def on_collective(self, rank: int, op: str, value=None, detail: str = "") -> None:
+        """Validate one collective entry; raises :class:`SanitizerError`."""
+        record = OpRecord(
+            rank=rank,
+            seq=self._seq[rank],
+            op=op,
+            detail=detail,
+            payload=describe_payload(value),
+            site=_call_site(),
+        )
+        with self._lock:
+            self._seq[rank] += 1
+            self._current[rank] = record
+            finished = [r for r in range(self.size) if self._done[r]]
+        if finished:
+            raise SanitizerError(self._diagnose(record, finished=finished))
+
+        leader = self._wait(record) == 0
+        if leader:
+            with self._lock:
+                self._verdict = self._validate()
+        self._wait(record)
+
+        verdict = self._verdict
+        if verdict is not None:
+            raise SanitizerError(verdict)
+        with self._lock:
+            self._last[rank] = record
+            if rank == 0:
+                self.n_synced += 1
+            if self.track_writes:
+                for arr in _payload_arrays(value):
+                    self._tracked.append(
+                        _TrackedArray(arr, _fingerprint(arr), record)
+                    )
+
+    def rank_done(self, rank: int) -> None:
+        """Called by the executor when a rank's program returns."""
+        with self._lock:
+            self._done[rank] = True
+            waiting = self._barrier.n_waiting
+        if waiting > 0:
+            # Peers are inside a collective this rank will never join —
+            # break the sync so they diagnose instead of timing out.
+            self._barrier.abort()
+
+    def abort(self) -> None:
+        """Called by the executor when any rank failed: unwind, don't hang."""
+        with self._lock:
+            self._aborted = True
+        self._barrier.abort()
+
+    # -- internals -----------------------------------------------------------
+
+    def _wait(self, record: OpRecord) -> int:
+        try:
+            return self._barrier.wait(timeout=self.timeout)
+        except threading.BrokenBarrierError:
+            with self._lock:
+                aborted = self._aborted
+            if aborted:
+                from repro.parallel.comm import SpmdAbort
+
+                raise SpmdAbort(
+                    f"rank {record.rank}: sanitized run aborted by a rank failure"
+                ) from None
+            raise SanitizerError(self._diagnose(record)) from None
+
+    def _validate(self) -> str | None:
+        """Leader check once every rank deposited its record (lock held)."""
+        mutated = self._check_tracked_writes()
+        if mutated is not None:
+            return mutated
+        records = [r for r in self._current if r is not None]
+        if len(records) < self.size:
+            return None  # unreachable once the barrier passed; be safe
+        reference = records[0]
+        mismatch = any(
+            r.op != reference.op or r.detail != reference.detail for r in records
+        ) or (
+            reference.op in _SYMMETRIC_PAYLOAD_OPS
+            and any(r.payload != reference.payload for r in records)
+        )
+        if mismatch:
+            lines = "\n  ".join(r.render() for r in records)
+            return (
+                "mismatched collectives — the ranks of this epoch disagree:\n  "
+                f"{lines}"
+            )
+        return None
+
+    def _check_tracked_writes(self) -> str | None:
+        """Re-fingerprint last epoch's payload arrays (lock held)."""
+        tracked, self._tracked = self._tracked, []
+        for entry in tracked:
+            if _fingerprint(entry.array) != entry.fingerprint:
+                return (
+                    "unsynchronized shared-array write: "
+                    f"{describe_payload(entry.array)} published by "
+                    f"{entry.record.render()} was mutated before the next "
+                    "synchronization; aliasing ranks observed a torn buffer — "
+                    "mutate a .copy(), or mutate only after the next barrier"
+                )
+        return None
+
+    def _diagnose(self, record: OpRecord, finished: list[int] | None = None) -> str:
+        with self._lock:
+            if finished is None:
+                finished = [r for r in range(self.size) if self._done[r]]
+            lines = []
+            for rank in range(self.size):
+                current = self._current[rank]
+                last = self._last[rank]
+                if self._done[rank]:
+                    tail = f" (last completed: {last.render()})" if last else ""
+                    lines.append(f"rank {rank}: program finished{tail}")
+                elif current is not None and current is not last:
+                    lines.append(f"rank {rank}: entered {current.render()}")
+                elif last is not None:
+                    lines.append(f"rank {rank}: last completed {last.render()}")
+                else:
+                    lines.append(f"rank {rank}: no collective entered yet")
+        reason = (
+            "a peer rank finished its program without this collective"
+            if finished
+            else f"collective sync did not complete within {self.timeout:g}s"
+        )
+        table = "\n  ".join(lines)
+        return (
+            f"rank {record.rank} stuck in {record.op} at {record.site}: "
+            f"{reason} — per-rank state:\n  {table}"
+        )

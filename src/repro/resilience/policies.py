@@ -43,6 +43,13 @@ __all__ = [
 #: Tag offset reserved for delivery acknowledgements.
 _ACK_TAG_OFFSET = 1 << 20
 
+#: How a backend transform failure surfaces: a backend bug/limitation
+#: (RuntimeError), a shape/plan problem (ValueError), numerical trouble
+#: (ArithmeticError covers FloatingPointError) or exhaustion (MemoryError).
+#: Anything else — KeyboardInterrupt, injected faults, programming errors —
+#: must propagate instead of silently degrading the backend.
+_TRANSFORM_FAILURES = (RuntimeError, ValueError, ArithmeticError, MemoryError)
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -211,7 +218,7 @@ class ResilientFFTEngine(FFTEngine):
     def _call(self, method: str, *args):
         try:
             return getattr(self._active, method)(*args)
-        except Exception:
+        except _TRANSFORM_FAILURES:
             if self._active is self._fallback:
                 raise
             self._active = self._fallback

@@ -1,5 +1,6 @@
 """Shared infrastructure: timers, RNG, validation and linear-algebra helpers."""
 
+from repro.utils.hot import hot_kernel, is_hot_kernel
 from repro.utils.rng import default_rng, spawn_rng
 from repro.utils.timers import Timer, TimerRegistry, timed
 from repro.utils.linalg import (
@@ -22,6 +23,8 @@ __all__ = [
     "timed",
     "default_rng",
     "spawn_rng",
+    "hot_kernel",
+    "is_hot_kernel",
     "orthonormalize",
     "orthonormalize_against",
     "rayleigh_ritz",

@@ -1,0 +1,46 @@
+"""Marker decorator for allocation-disciplined hot kernels.
+
+``@hot_kernel`` is a zero-overhead annotation: it tags the function so the
+``no-alloc-in-hot`` lint pass (:mod:`repro.lint.rules`) holds it to the
+allocation-free contract of ``docs/performance.md`` — no fresh numpy
+buffers or operator temporaries per call/iteration beyond the documented
+(suppressed-with-reason) ones.  Seed-era kernels that predate the decorator
+are enrolled via :data:`repro.lint.hotpaths.HOT_PATH_MANIFEST` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar, overload
+
+__all__ = ["hot_kernel", "is_hot_kernel"]
+
+F = TypeVar("F", bound=Callable)
+
+
+@overload
+def hot_kernel(fn: F) -> F: ...
+@overload
+def hot_kernel(fn: str | None = None, *, label: str | None = None) -> Callable[[F], F]: ...
+
+
+def hot_kernel(fn: Callable | str | None = None, *, label: str | None = None):
+    """Mark ``fn`` as a hot kernel.
+
+    Usable bare (``@hot_kernel``), with a keyword label
+    (``@hot_kernel(label="...")``) or a positional one
+    (``@hot_kernel("...")``).
+    """
+    if isinstance(fn, str):
+        fn, label = None, fn
+
+    def mark(f: F) -> F:
+        f.__repro_hot__ = True  # type: ignore[attr-defined]
+        f.__repro_hot_label__ = label or f.__qualname__  # type: ignore[attr-defined]
+        return f
+
+    return mark if fn is None else mark(fn)
+
+
+def is_hot_kernel(fn: Callable) -> bool:
+    """Whether ``fn`` (or the function under a bound method) is marked."""
+    return bool(getattr(fn, "__repro_hot__", False))

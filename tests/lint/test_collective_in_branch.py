@@ -1,0 +1,83 @@
+"""The rank-branch collective-matching pass."""
+
+from repro.lint import lint_source
+
+RULE = ["collective-in-branch"]
+
+
+def findings_in(src: str):
+    return lint_source(src, rules=RULE)
+
+
+class TestPositive:
+    def test_collective_on_one_arm_only(self):
+        src = (
+            "def prog(comm):\n"
+            "    if comm.rank == 0:\n"
+            "        comm.bcast(1, root=0)\n"
+        )
+        (finding,) = findings_in(src)
+        assert "bcast" in finding.message
+        assert finding.line == 3
+
+    def test_unbalanced_ops_across_arms(self):
+        src = (
+            "def prog(comm):\n"
+            "    if comm.rank == 0:\n"
+            "        comm.gather(1, root=0)\n"
+            "    else:\n"
+            "        comm.allreduce(1)\n"
+        )
+        flagged = {f.line for f in findings_in(src)}
+        assert flagged == {3, 5}  # neither arm's op has a partner
+
+    def test_bare_rank_name_counts(self):
+        src = (
+            "def prog(comm, rank):\n"
+            "    if rank > 0:\n"
+            "        comm.barrier()\n"
+        )
+        assert len(findings_in(src)) == 1
+
+    def test_extra_repetition_on_one_arm(self):
+        src = (
+            "def prog(comm):\n"
+            "    if comm.rank:\n"
+            "        comm.barrier()\n"
+            "        comm.barrier()\n"
+            "    else:\n"
+            "        comm.barrier()\n"
+        )
+        assert len(findings_in(src)) >= 1
+
+
+class TestNegative:
+    def test_matched_ops_on_both_arms_are_clean(self):
+        src = (
+            "def prog(comm):\n"
+            "    if comm.rank == 0:\n"
+            "        out = comm.bcast(make(), root=0)\n"
+            "    else:\n"
+            "        out = comm.bcast(None, root=0)\n"
+        )
+        assert findings_in(src) == []
+
+    def test_non_rank_branch_is_out_of_scope(self):
+        src = (
+            "def prog(comm, flag):\n"
+            "    if flag:\n"
+            "        comm.barrier()\n"
+        )
+        assert findings_in(src) == []
+
+    def test_collective_outside_any_branch_is_clean(self):
+        src = "def prog(comm):\n    return comm.allreduce(comm.rank)\n"
+        assert findings_in(src) == []
+
+    def test_rank_branch_without_collectives_is_clean(self):
+        src = (
+            "def prog(comm):\n"
+            "    if comm.rank == 0:\n"
+            "        print('root')\n"
+        )
+        assert findings_in(src) == []

@@ -1,0 +1,163 @@
+"""The allocation-discipline pass over hot kernels."""
+
+from repro.lint import lint_source
+from repro.lint.hotpaths import HOT_PATH_MANIFEST, hot_functions_for
+from repro.utils import hot_kernel, is_hot_kernel
+
+RULE = ["no-alloc-in-hot"]
+
+
+def findings_in(src: str, path: str = "mod.py"):
+    return lint_source(src, path=path, rules=RULE)
+
+
+class TestScope:
+    def test_undecorated_function_is_not_checked(self):
+        src = "import numpy as np\ndef cold():\n    return np.zeros(3)\n"
+        assert findings_in(src) == []
+
+    def test_decorated_function_is_checked(self):
+        src = (
+            "import numpy as np\n"
+            "from repro.utils import hot_kernel\n"
+            "@hot_kernel\n"
+            "def k():\n"
+            "    return np.zeros(3)\n"
+        )
+        (finding,) = findings_in(src)
+        assert finding.line == 5
+        assert "np.zeros" in finding.message
+
+    def test_labelled_decorator_form_is_recognized(self):
+        src = (
+            "import numpy as np\n"
+            "from repro.utils import hot_kernel\n"
+            "@hot_kernel('my-label')\n"
+            "def k():\n"
+            "    return np.empty(3)\n"
+        )
+        assert len(findings_in(src)) == 1
+
+    def test_manifest_enrolls_seed_era_files_by_path(self):
+        src = "import numpy as np\ndef lobpcg():\n    return np.zeros(3)\n"
+        assert findings_in(src, path="other/file.py") == []
+        assert len(findings_in(src, path="src/repro/eigen/lobpcg.py")) == 1
+
+    def test_manifest_matches_qualnames_not_everything_in_file(self):
+        src = "import numpy as np\ndef helper():\n    return np.zeros(3)\n"
+        assert findings_in(src, path="src/repro/eigen/lobpcg.py") == []
+
+    def test_hot_functions_for_suffix_match(self):
+        assert hot_functions_for("x/y/repro/eigen/lobpcg.py") == \
+            HOT_PATH_MANIFEST["repro/eigen/lobpcg.py"]
+        assert hot_functions_for("unrelated.py") == frozenset()
+
+
+HOT_HEADER = (
+    "import numpy as np\n"
+    "from repro.utils import hot_kernel\n"
+    "@hot_kernel\n"
+)
+
+
+class TestAllocationKinds:
+    def test_constructors_flagged_anywhere(self):
+        for call in ("np.empty((3, 3))", "np.concatenate([x, x])",
+                     "np.hstack([x, x])", "numpy.ones(4)"):
+            src = (
+                "import numpy\n" + HOT_HEADER +
+                f"def k(x):\n    return {call}\n"
+            )
+            assert len(findings_in(src)) == 1, call
+
+    def test_copy_method_flagged(self):
+        src = HOT_HEADER + "def k(x):\n    return x.copy()\n"
+        (finding,) = findings_in(src)
+        assert "copies 'x'" in finding.message
+
+    def test_non_numpy_zeros_not_flagged(self):
+        src = HOT_HEADER + "def k(torch, x):\n    return torch.zeros(3)\n"
+        assert findings_in(src) == []
+
+    def test_binop_assignment_flagged_only_in_loops(self):
+        outside = HOT_HEADER + "def k(a, b):\n    c = a + b\n    return c\n"
+        assert findings_in(outside) == []
+        inside = HOT_HEADER + (
+            "def k(a, b):\n"
+            "    for _ in range(3):\n"
+            "        c = a + b\n"
+            "    return c\n"
+        )
+        (finding,) = findings_in(inside)
+        assert "every loop iteration" in finding.message
+
+    def test_augmented_assignment_is_the_sanctioned_idiom(self):
+        src = HOT_HEADER + (
+            "def k(a, b):\n"
+            "    for _ in range(3):\n"
+            "        a += b\n"
+            "    return a\n"
+        )
+        assert findings_in(src) == []
+
+    def test_out_kwarg_contraction_is_clean(self):
+        src = HOT_HEADER + (
+            "def k(a, b, ws):\n"
+            "    for _ in range(3):\n"
+            "        np.matmul(a, b, out=ws)\n"
+            "    return ws\n"
+        )
+        assert findings_in(src) == []
+
+
+class TestAcceptanceScenario:
+    """ISSUE acceptance: deleting a defensive ``.copy()`` in a real hot
+    kernel must produce a nonzero lint result with the right rule + line."""
+
+    def test_deleting_pipeline_copy_is_caught(self):
+        import repro.parallel.pipeline as pipeline
+
+        source = open(pipeline.__file__).read()
+        assert findings_in(source, path="src/repro/parallel/pipeline.py") == []
+        # Simulate the regression: drop the .copy() (its suppression
+        # comment goes with the line's tail).
+        broken = None
+        for line in source.splitlines():
+            if "reduced.copy() if reduced is partial" in line:
+                broken = source.replace(
+                    line,
+                    line.split("=")[0] + "= reduced",
+                )
+        assert broken is not None and broken != source
+        # The buffer is now returned still aliased; the lint can't see
+        # that, but reintroducing any per-iteration allocation can't dodge
+        # the rule either:
+        regressed = broken.replace(
+            "= reduced", "= reduced + 0.0", 1
+        )
+        findings = lint_source(
+            regressed, path="src/repro/parallel/pipeline.py", rules=RULE
+        )
+        assert findings, "regression not caught"
+        assert all(f.rule == "no-alloc-in-hot" for f in findings)
+
+
+class TestDecoratorRuntime:
+    def test_marker_is_zero_overhead_and_introspectable(self):
+        @hot_kernel
+        def bare(x):
+            return x
+
+        @hot_kernel("labelled")
+        def named(x):
+            return x
+
+        @hot_kernel(label="kw")
+        def kw(x):
+            return x
+
+        assert bare(5) == 5 and named(5) == 5 and kw(5) == 5
+        assert is_hot_kernel(bare) and is_hot_kernel(named) and is_hot_kernel(kw)
+        assert named.__repro_hot_label__ == "labelled"
+        assert kw.__repro_hot_label__ == "kw"
+        assert not is_hot_kernel(lambda x: x)

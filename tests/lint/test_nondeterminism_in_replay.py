@@ -1,0 +1,92 @@
+"""The checkpoint-replay determinism pass."""
+
+from repro.lint import lint_source
+
+RULE = ["nondeterminism-in-replay"]
+
+
+def findings_in(src: str):
+    return lint_source(src, rules=RULE)
+
+
+class TestScope:
+    def test_checkpoint_parameter_enables_the_rule(self):
+        src = (
+            "import time\n"
+            "def loop(x, checkpoint=None):\n"
+            "    return time.time()\n"
+        )
+        (finding,) = findings_in(src)
+        assert "time.time" in finding.message
+
+    def test_loopcheckpointer_usage_enables_the_rule(self):
+        src = (
+            "import time\n"
+            "def loop(x, tmpdir):\n"
+            "    cp = LoopCheckpointer(tmpdir, tag='scf')\n"
+            "    return time.time()\n"
+        )
+        assert len(findings_in(src)) == 1
+
+    def test_plain_function_is_out_of_scope(self):
+        src = "import time\ndef loop(x):\n    return time.time()\n"
+        assert findings_in(src) == []
+
+
+class TestWallclockAndRng:
+    def test_unseeded_global_rng_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def loop(checkpoint):\n"
+            "    return np.random.rand(3)\n"
+        )
+        (finding,) = findings_in(src)
+        assert "unseeded" in finding.message
+
+    def test_seeded_generator_factory_is_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def loop(checkpoint):\n"
+            "    rng = np.random.default_rng(0)\n"
+            "    return rng.normal(size=3)\n"
+        )
+        assert findings_in(src) == []
+
+
+class TestDictIteration:
+    def test_dict_items_feeding_accumulation_flagged(self):
+        src = (
+            "def loop(table, checkpoint):\n"
+            "    total = 0.0\n"
+            "    for key, val in table.items():\n"
+            "        total += val\n"
+            "    return total\n"
+        )
+        (finding,) = findings_in(src)
+        assert "sorted" in finding.message
+
+    def test_dict_values_feeding_comm_reduce_flagged(self):
+        src = (
+            "def loop(comm, table, checkpoint):\n"
+            "    for val in table.values():\n"
+            "        comm.allreduce(val)\n"
+        )
+        assert len(findings_in(src)) == 1
+
+    def test_sorted_iteration_is_clean(self):
+        src = (
+            "def loop(table, checkpoint):\n"
+            "    total = 0.0\n"
+            "    for key in sorted(table):\n"
+            "        total += table[key]\n"
+            "    return total\n"
+        )
+        assert findings_in(src) == []
+
+    def test_non_accumulating_dict_loop_is_clean(self):
+        src = (
+            "def loop(table, checkpoint):\n"
+            "    for key, val in table.items():\n"
+            "        print(key, val)\n"
+        )
+        assert findings_in(src) == []

@@ -1,0 +1,40 @@
+"""The repo-wide invariant this PR establishes: ``src/`` lints clean."""
+
+import pathlib
+
+from repro.lint import format_findings, lint_paths
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src"
+
+
+def test_src_tree_has_zero_findings():
+    findings = lint_paths([SRC])
+    assert findings == [], "\n" + format_findings(findings)
+
+
+def test_hot_path_manifest_names_existing_functions():
+    # The manifest must not drift: every enrolled qualname still exists in
+    # the named file (a rename would silently un-enroll the kernel).
+    import ast
+
+    from repro.lint.hotpaths import HOT_PATH_MANIFEST
+
+    for rel_path, quals in HOT_PATH_MANIFEST.items():
+        path = SRC / rel_path
+        assert path.exists(), rel_path
+        tree = ast.parse(path.read_text())
+        defined = set()
+
+        def walk(node, prefix=""):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    defined.add(f"{prefix}{child.name}")
+                    walk(child, f"{prefix}{child.name}.")
+                elif isinstance(child, ast.ClassDef):
+                    walk(child, f"{prefix}{child.name}.")
+                else:
+                    walk(child, prefix)
+
+        walk(tree)
+        missing = quals - defined
+        assert not missing, f"{rel_path}: manifest names {missing} not defined"

@@ -137,6 +137,58 @@ class TestDistributedLOBPCGRestart:
             np.testing.assert_array_equal(restarted[rank][0], reference[rank][0])
             np.testing.assert_array_equal(restarted[rank][1], reference[rank][1])
 
+    def test_torn_checkpoints_roll_back_to_common_step(self, tmp_path):
+        # A crash can leave the per-rank snapshot sets torn: the abort that
+        # unwinds the surviving ranks may arrive after a rank's last
+        # collective but before its save, so its newest step is one behind
+        # its peers'.  Restart must agree on the common step and roll the
+        # ahead rank back — resuming from per-rank latest() diverges the
+        # collective sequences and deadlocks the run.
+        n, k, n_ranks = 48, 3, 2
+        h, x0 = _test_matrix(n, k, seed=2)
+        dist = BlockDistribution1D(n, n_ranks)
+
+        def apply_local_for(comm):
+            rows = h[dist.local_slice(comm.rank)]
+
+            def apply_local(x_local):
+                x_full = np.concatenate(comm.allgather(x_local), axis=0)
+                return rows @ x_full
+
+            return apply_local
+
+        def prog(comm, restart):
+            ck = LoopCheckpointer(
+                CheckpointManager(tmp_path, tag=f"torn-r{comm.rank}"),
+                restart=restart,
+            )
+            res = distributed_lobpcg(
+                comm, apply_local_for(comm),
+                x0[dist.local_slice(comm.rank)], tol=1e-9, max_iter=200,
+                checkpoint=ck,
+            )
+            return res.eigenvalues, res.eigenvectors
+
+        reference = spmd_run(n_ranks, prog, False)
+
+        # Tear rank 1's snapshot set: drop its newest step.
+        manager = CheckpointManager(tmp_path, tag="torn-r1")
+        steps = manager.steps()
+        assert len(steps) >= 2
+        manager.path(steps[-1]).unlink()
+
+        restarted = spmd_run(n_ranks, prog, True)
+        for rank in range(n_ranks):
+            np.testing.assert_array_equal(restarted[rank][0], reference[rank][0])
+            np.testing.assert_array_equal(restarted[rank][1], reference[rank][1])
+
+        # Fully missing on one rank: everyone must agree to start fresh.
+        manager.clear()
+        fresh = spmd_run(n_ranks, prog, True)
+        for rank in range(n_ranks):
+            np.testing.assert_array_equal(fresh[rank][0], reference[rank][0])
+            np.testing.assert_array_equal(fresh[rank][1], reference[rank][1])
+
 
 class TestSCFRestart:
     def test_kill_then_restart_is_bit_identical(self, tmp_path):

@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Unified static-analysis + test gate: ``python tools/run_checks.py``.
+
+Runs, in order:
+
+1. **ruff** — baseline style/correctness lint (skipped when not installed;
+   the container image does not ship it),
+2. **mypy** — type check of the static-analysis subsystem (skipped when not
+   installed),
+3. **repro-lint** — the project's own AST passes (``python -m repro lint``),
+4. **sanitizer smoke** — a 4-rank SPMD run under the runtime sanitizer plus
+   one deliberately mismatched collective that must be *diagnosed*, proving
+   the sanitizer is alive and not a no-op,
+5. **public API snapshot** — ``tools/check_public_api.py``,
+6. **bytecode guard** — ``tools/check_no_pyc.py``,
+7. **tier-1 tests** — ``pytest -x -q`` (skip with ``--no-tests`` for the
+   fast pre-commit loop).
+
+Exit status is nonzero if any mandatory stage fails.  Optional tools that
+are absent are reported as SKIP, never as failures — the repo must be
+checkable in the minimal numpy/scipy container.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import os
+import subprocess
+import sys
+import time
+
+_TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(_TOOLS_DIR)
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _have_module(name: str) -> bool:
+    try:
+        return importlib.util.find_spec(name) is not None
+    except (ImportError, ValueError):
+        return False
+
+
+class Gate:
+    """Collects stage results and renders the summary table."""
+
+    def __init__(self) -> None:
+        self.results: list[tuple[str, str, float]] = []
+
+    def run(self, name: str, argv: list[str], *, optional_module: str | None = None) -> None:
+        if optional_module is not None and not _have_module(optional_module):
+            print(f"-- {name}: SKIP ({optional_module} not installed)")
+            self.results.append((name, "SKIP", 0.0))
+            return
+        shown = " ".join(a if len(a) < 80 else a[:77].replace("\n", " ") + "..." for a in argv)
+        print(f"-- {name}: {shown}")
+        start = time.perf_counter()
+        proc = subprocess.run(argv, cwd=REPO_ROOT, env=_env())
+        elapsed = time.perf_counter() - start
+        status = "ok" if proc.returncode == 0 else f"FAIL (exit {proc.returncode})"
+        self.results.append((name, status, elapsed))
+
+    def summary(self) -> int:
+        print("\n== run_checks summary ==")
+        failed = 0
+        for name, status, elapsed in self.results:
+            print(f"  {name:<18s} {status:<14s} {elapsed:6.1f}s")
+            failed += status.startswith("FAIL")
+        if failed:
+            print(f"run_checks: {failed} stage(s) failed")
+            return 1
+        print("run_checks: all stages passed")
+        return 0
+
+
+_SANITIZER_SMOKE = """
+import repro  # noqa: F401 - import side effects must not break the sanitizer
+from repro.parallel import SanitizerError, spmd_run
+
+# Clean program: collectives must pass under the sanitizer unchanged.
+def ok(comm):
+    return comm.allreduce(comm.rank)
+
+assert spmd_run(4, ok, sanitize=True) == [6, 6, 6, 6]
+
+# Divergent program: rank 2 calls a different collective; the sanitizer must
+# diagnose the mismatch (naming both op signatures) instead of hanging.
+def bad(comm):
+    if comm.rank == 2:
+        return comm.gather(comm.rank, root=0)
+    return comm.allreduce(comm.rank)
+
+try:
+    spmd_run(4, bad, sanitize=True, sanitize_timeout=5.0)
+except SanitizerError as exc:
+    text = str(exc)
+    assert "allreduce" in text and "gather" in text, text
+else:
+    raise SystemExit("sanitizer missed a mismatched collective")
+print("sanitizer smoke: ok")
+"""
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--no-tests", action="store_true",
+                        help="skip the tier-1 pytest stage (fast loop)")
+    args = parser.parse_args(argv)
+
+    gate = Gate()
+    gate.run("ruff", [sys.executable, "-m", "ruff", "check", "src", "tests", "tools"],
+             optional_module="ruff")
+    gate.run("mypy", [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+             optional_module="mypy")
+    gate.run("repro-lint", [sys.executable, "-m", "repro", "lint", "src"])
+    gate.run("sanitizer-smoke", [sys.executable, "-c", _SANITIZER_SMOKE])
+    gate.run("public-api", [sys.executable, os.path.join("tools", "check_public_api.py")])
+    gate.run("no-pyc", [sys.executable, os.path.join("tools", "check_no_pyc.py")])
+    if not args.no_tests:
+        gate.run("tier1-tests", [sys.executable, "-m", "pytest", "-x", "-q"])
+    else:
+        print("-- tier1-tests: SKIP (--no-tests)")
+        gate.results.append(("tier1-tests", "SKIP", 0.0))
+    return gate.summary()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
