@@ -1,0 +1,56 @@
+"""Measured thread vs process SPMD backend benchmark.
+
+Runs the same rank programs under both ``spmd_run`` backends:
+
+* a GIL-bound pure-Python workload (where process-per-rank is the only
+  way to real parallelism),
+* the pipelined GEMM + nonblocking Reduce of ``pipelined_vhxc_rows``
+  (exercising the zero-copy shared-memory transport and compute/comm
+  overlap),
+
+and writes a machine-readable report (default ``BENCH_spmd.json`` at the
+repo root) with per-rank-count wall times, speedups, the process/thread
+ratio, and the transport split: logical bytes vs bytes shared zero-copy
+vs bytes pickled.  Interpret wall times against ``meta.cpu_count`` — on a
+single-core host all ranks time-slice one CPU and process-per-rank cannot
+beat threads; see ``docs/parallelism.md``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_spmd.py [--smoke] [--ranks 1,2,4,8] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+
+def main(argv=None) -> int:
+    from repro.perf.spmd_bench import (
+        format_summary,
+        run_spmd_bench,
+        write_report,
+    )
+
+    default_out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_spmd.json"
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload for CI (seconds, not minutes)")
+    parser.add_argument("--ranks", default="1,2,4,8",
+                        help="comma-separated rank counts to sweep")
+    parser.add_argument("--out", default=str(default_out),
+                        help=f"JSON report path (default: {default_out})")
+    args = parser.parse_args(argv)
+
+    ranks = tuple(int(r) for r in args.ranks.split(","))
+    report = run_spmd_bench(smoke=args.smoke, ranks=ranks)
+    print(format_summary(report))
+    write_report(report, args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,9 @@ Commands
 ``bench-backend``
     Measured A/B benchmark of the FFT backends and the pruned K-Means;
     writes machine-readable ``BENCH_backend.json``.
+``bench-spmd``
+    Thread vs process SPMD backend comparison (wall time, speedup, and
+    the zero-copy/pickled transport split); writes ``BENCH_spmd.json``.
 ``lint``
     Run the project's AST lint passes (``repro.lint``) over source paths;
     exits nonzero when findings remain.
@@ -222,7 +225,27 @@ def cmd_bench_backend(args) -> int:
         write_report,
     )
 
-    report = run_backend_bench(smoke=args.smoke)
+    report = run_backend_bench(
+        smoke=args.smoke,
+        kmeans_max_iter=args.kmeans_max_iter,
+        kmeans_tol=args.kmeans_tol,
+    )
+    print(format_summary(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_bench_spmd(args) -> int:
+    from repro.perf.spmd_bench import (
+        format_summary,
+        run_spmd_bench,
+        write_report,
+    )
+
+    ranks = tuple(int(r) for r in args.ranks.split(","))
+    report = run_spmd_bench(smoke=args.smoke, ranks=ranks)
     print(format_summary(report))
     if args.out:
         write_report(report, args.out)
@@ -304,6 +327,20 @@ def build_parser() -> argparse.ArgumentParser:
                       help="tiny workload for CI (seconds, not minutes)")
     p_bb.add_argument("--out", default=None,
                       help="write the JSON report here (e.g. BENCH_backend.json)")
+    p_bb.add_argument("--kmeans-max-iter", type=int, default=None,
+                      help="K-Means iteration cap (default converges the "
+                           "full workload; the summary warns if it doesn't)")
+    p_bb.add_argument("--kmeans-tol", type=float, default=None,
+                      help="K-Means centroid-movement convergence tolerance")
+
+    p_bs = sub.add_parser("bench-spmd",
+                          help="benchmark thread vs process SPMD backends")
+    p_bs.add_argument("--smoke", action="store_true",
+                      help="tiny workload for CI (seconds, not minutes)")
+    p_bs.add_argument("--ranks", default="1,2,4,8",
+                      help="comma-separated rank counts to sweep")
+    p_bs.add_argument("--out", default=None,
+                      help="write the JSON report here (e.g. BENCH_spmd.json)")
 
     p_lint = sub.add_parser("lint", help="run the repro.lint AST passes")
     p_lint.add_argument("paths", nargs="*", default=["src"],
@@ -327,6 +364,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "scaling": cmd_scaling,
         "rt": cmd_rt,
         "bench-backend": cmd_bench_backend,
+        "bench-spmd": cmd_bench_spmd,
         "lint": cmd_lint,
     }
     return handlers[args.command](args)

@@ -26,6 +26,18 @@ HOT_PATH_MANIFEST: dict[str, frozenset[str]] = {
     ),
     "repro/parallel/pipeline.py": frozenset({"pipelined_vhxc_rows"}),
     "repro/eigen/lobpcg.py": frozenset({"lobpcg"}),
+    # Shared-memory transport of the process SPMD backend: the per-epoch
+    # publish/decode path every collective crosses.
+    "repro/parallel/shm.py": frozenset(
+        {"SharedSlab.view", "SharedSlab.write", "SlabArena.write_array"}
+    ),
+    "repro/parallel/process_backend.py": frozenset(
+        {
+            "ProcessCommunicator._publish",
+            "ProcessCommunicator._peer_descriptor",
+            "ProcessCommunicator._materialize",
+        }
+    ),
 }
 
 

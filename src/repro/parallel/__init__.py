@@ -26,9 +26,16 @@ from repro.parallel.comm import (
     CommTraffic,
     Communicator,
     MessageTimeout,
+    ReduceHandle,
     SpmdAbort,
 )
-from repro.parallel.executor import spmd_run, spmd_run_resilient
+from repro.parallel.executor import (
+    SPMD_BACKENDS,
+    resolve_backend,
+    spmd_run,
+    spmd_run_resilient,
+)
+from repro.parallel.shm import SharedSlab, SlabRegistry, reap_run_segments
 from repro.parallel.sanitizer import SanitizerError, SpmdSanitizer
 from repro.parallel.distributions import (
     BlockCyclic2D,
@@ -61,6 +68,12 @@ __all__ = [
     "MessageTimeout",
     "SanitizerError",
     "SpmdSanitizer",
+    "ReduceHandle",
+    "SharedSlab",
+    "SlabRegistry",
+    "reap_run_segments",
+    "SPMD_BACKENDS",
+    "resolve_backend",
     "spmd_run",
     "spmd_run_resilient",
     "BlockDistribution1D",

@@ -44,10 +44,23 @@ class MessageTimeout(RuntimeError):
 
 @dataclass
 class CommTraffic:
-    """Accumulated communication volume (bytes) per collective type."""
+    """Accumulated communication volume (bytes) per collective type.
+
+    ``bytes_by_op`` counts *logical* traffic — what a real network would
+    move — with identical conventions on every backend, so thread and
+    process runs report the same totals.  The process backend additionally
+    fills the transport counters: ``shm_bytes_by_op`` (payload bytes that
+    travelled through shared-memory slabs as zero-copy views) and
+    ``pickled_bytes_by_op`` (descriptor/object bytes that crossed a pipe).
+
+    Instances are picklable (the lock is dropped and re-created), and
+    per-process traces combine with :meth:`merge` on run exit.
+    """
 
     bytes_by_op: dict[str, int] = field(default_factory=dict)
     calls_by_op: dict[str, int] = field(default_factory=dict)
+    shm_bytes_by_op: dict[str, int] = field(default_factory=dict)
+    pickled_bytes_by_op: dict[str, int] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record(self, op: str, nbytes: int) -> None:
@@ -55,15 +68,66 @@ class CommTraffic:
             self.bytes_by_op[op] = self.bytes_by_op.get(op, 0) + int(nbytes)
             self.calls_by_op[op] = self.calls_by_op.get(op, 0) + 1
 
+    def record_transport(
+        self, op: str, *, shm_bytes: int = 0, pickled_bytes: int = 0
+    ) -> None:
+        """Attribute transport-level bytes (process backend only)."""
+        with self._lock:
+            if shm_bytes:
+                self.shm_bytes_by_op[op] = (
+                    self.shm_bytes_by_op.get(op, 0) + int(shm_bytes)
+                )
+            if pickled_bytes:
+                self.pickled_bytes_by_op[op] = (
+                    self.pickled_bytes_by_op.get(op, 0) + int(pickled_bytes)
+                )
+
     @property
     def total_bytes(self) -> int:
         return sum(self.bytes_by_op.values())
+
+    @property
+    def zero_copy_bytes(self) -> int:
+        """Bytes that moved between ranks as shared-memory views."""
+        return sum(self.shm_bytes_by_op.values())
+
+    @property
+    def pickled_bytes(self) -> int:
+        """Bytes that were serialized through a pipe."""
+        return sum(self.pickled_bytes_by_op.values())
+
+    def merge(self, other: "CommTraffic") -> "CommTraffic":
+        """Fold another (quiescent) trace into this one; returns self."""
+        with self._lock:
+            for mine, theirs in (
+                (self.bytes_by_op, other.bytes_by_op),
+                (self.calls_by_op, other.calls_by_op),
+                (self.shm_bytes_by_op, other.shm_bytes_by_op),
+                (self.pickled_bytes_by_op, other.pickled_bytes_by_op),
+            ):
+                for op, count in theirs.items():
+                    mine[op] = mine.get(op, 0) + count
+        return self
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def summary(self) -> str:
         lines = [
             f"{op:<12s} {self.calls_by_op[op]:6d} calls  {nbytes/1e6:12.3f} MB"
             for op, nbytes in sorted(self.bytes_by_op.items())
         ]
+        if self.zero_copy_bytes or self.pickled_bytes:
+            lines.append(
+                f"transport: {self.zero_copy_bytes/1e6:.3f} MB zero-copy (shm), "
+                f"{self.pickled_bytes/1e6:.3f} MB pickled"
+            )
         return "\n".join(lines)
 
 
@@ -77,6 +141,69 @@ def _nbytes(value) -> int:
     return 64  # conservative default for small python objects
 
 
+class _ReduceBoard:
+    """Posted-contribution board backing the thread backend's ``ireduce``.
+
+    Contributions are *copied* at post time, so the caller may immediately
+    reuse its buffer — the property that lets the pipelined GEMM proceed
+    to the next block while a reduce is conceptually in flight.  Entries
+    are keyed ``(root, seq)`` with a per-rank per-root sequence number, so
+    repeated pipelines never collide.
+    """
+
+    def __init__(self, size: int) -> None:
+        self._size = size
+        self._cond = threading.Condition()
+        self._entries: dict[tuple[int, int], list] = {}
+
+    def post(self, key: tuple[int, int], rank: int, contribution) -> None:
+        with self._cond:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = [None] * self._size
+                self._entries[key] = entry
+            entry[rank] = contribution
+            self._cond.notify_all()
+
+    def wait(self, key: tuple[int, int], shared: "_SharedState") -> list:
+        """Block until every rank posted ``key``; pops and returns the
+        contributions in rank order.  Unwinds with :class:`SpmdAbort` if
+        the run was aborted while waiting."""
+        with self._cond:
+            while True:
+                entry = self._entries.get(key)
+                if entry is not None and all(c is not None for c in entry):
+                    return self._entries.pop(key)
+                if shared.error is not None:
+                    raise SpmdAbort(
+                        f"ireduce wait aborted: another rank failed "
+                        f"({shared.error!r})"
+                    )
+                self._cond.wait(timeout=0.05)
+
+
+class ReduceHandle:
+    """Completion handle of :meth:`Communicator.ireduce`.
+
+    ``wait()`` returns the rank-order combined array on the root and
+    ``None`` elsewhere (matching blocking ``reduce``).  It may be called
+    once; the contribution itself was already captured at post time, so
+    posting ranks never block.
+    """
+
+    def __init__(self, result=None, waiter=None) -> None:
+        self._result = result
+        self._waiter = waiter
+        self._done = waiter is None
+
+    def wait(self):
+        if not self._done:
+            self._result = self._waiter()
+            self._waiter = None
+            self._done = True
+        return self._result
+
+
 class _SharedState:
     """State shared by all ranks of one SPMD run."""
 
@@ -87,6 +214,7 @@ class _SharedState:
         self.queues = {
             (src, dst): queue.Queue() for src in range(size) for dst in range(size)
         }
+        self.reduce_board = _ReduceBoard(size)
         self.traffic = CommTraffic()
         self.error: BaseException | None = None
         self.error_lock = threading.Lock()
@@ -112,6 +240,9 @@ class Communicator:
     def __init__(self, rank: int, shared: _SharedState) -> None:
         self._rank = rank
         self._shared = shared
+        #: per-root sequence numbers for ireduce (identical on every rank
+        #: because SPMD programs post in identical order).
+        self._ireduce_seq: dict[int, int] = {}
 
     # -- identity ----------------------------------------------------------
 
@@ -129,19 +260,22 @@ class Communicator:
 
     # -- fault-injection / sanitizer hooks -----------------------------------
 
-    def _enter(self, op: str, value=None, detail: str = "") -> None:
+    def _enter(self, op: str, value=None, detail: str = "", track: bool = True) -> None:
         """Collective entry point: fault injection, then sanitizer checks.
 
         The injector runs first so a killed rank never reaches the
         sanitizer's sync (its peers then unwind through the abort path
-        rather than diagnosing a phantom mismatch).
+        rather than diagnosing a phantom mismatch).  ``track=False``
+        exempts the payload from the sanitizer's shared-write tracking —
+        used by :meth:`ireduce`, which copies its contribution at post
+        time, making later mutation of the caller's buffer legal.
         """
         injector = self._shared.fault_injector
         if injector is not None:
             injector.on_collective(self._rank, op)
         sanitizer = self._shared.sanitizer
         if sanitizer is not None:
-            sanitizer.on_collective(self._rank, op, value, detail=detail)
+            sanitizer.on_collective(self._rank, op, value, detail=detail, track=track)
 
     def _fault_corrupt(self, op: str, value):
         """Give the injector a chance to poison a reduce contribution."""
@@ -166,12 +300,29 @@ class Communicator:
                 f"({self._shared.error!r})"
             ) from None
 
-    def _exchange(self, value):
-        """All-to-all slot exchange: every rank deposits, every rank reads."""
+    def _post(self, value):
+        """Deposit + first barrier; returns the snapshot for *reading only*.
+
+        The snapshot is valid until :meth:`_complete` — the process
+        backend hands out zero-copy shared-memory views here, which the
+        reducing collectives consume (rank-ordered combine) inside the
+        post/complete window.
+        """
         self._shared.slots[self._rank] = value
         self._barrier_wait()
-        snapshot = list(self._shared.slots)
-        self._barrier_wait()  # nobody overwrites slots before everyone has read
+        return list(self._shared.slots)
+
+    def _complete(self) -> None:
+        """Second barrier: nobody overwrites slots before everyone has read."""
+        self._barrier_wait()
+
+    def _exchange(self, value):
+        """All-to-all slot exchange: every rank deposits, every rank reads.
+
+        Unlike :meth:`_post`, the returned snapshot stays valid after the
+        exchange (the process backend materializes copies here)."""
+        snapshot = self._post(value)
+        self._complete()
         return snapshot
 
     # -- collectives ---------------------------------------------------------
@@ -242,21 +393,56 @@ class Communicator:
         """Reduce to ``root``; traffic = one payload per non-root rank."""
         self._enter("reduce", value, detail=f"root={root},op={op}")
         value = self._fault_corrupt("reduce", value)
-        snapshot = self._exchange(value)
+        snapshot = self._post(value)
+        result = self._combine(snapshot, op) if self._rank == root else None
+        self._complete()
         if self._rank == root:
             self.traffic.record("reduce", _nbytes(value) * (self.size - 1))
-            return self._combine(snapshot, op)
+            return result
         return None
 
     def allreduce(self, value, op: str = "sum"):
         """Allreduce; traffic per rank = 2 (P-1)/P payload (ring convention)."""
         self._enter("allreduce", value, detail=f"op={op}")
         value = self._fault_corrupt("allreduce", value)
-        snapshot = self._exchange(value)
+        snapshot = self._post(value)
+        result = self._combine(snapshot, op)
+        self._complete()
         if self._rank == 0:
             vol = int(2 * (self.size - 1) / self.size * _nbytes(value) * self.size)
             self.traffic.record("allreduce", vol)
-        return self._combine(snapshot, op)
+        return result
+
+    def ireduce(self, value: np.ndarray, root: int = 0) -> ReduceHandle:
+        """Nonblocking rank-ordered sum-reduce of an ndarray to ``root``.
+
+        The contribution is copied at post time, so the caller may reuse
+        (or mutate) its buffer immediately — this is what gives the
+        pipelined GEMM+Reduce genuine compute/comm overlap on the process
+        backend: the next block's GEMM proceeds while the previous
+        block's combine is in flight on the owning rank.  ``wait()`` on
+        the returned handle yields the combined array on ``root`` and
+        ``None`` elsewhere; results are bit-identical to blocking
+        :meth:`reduce` (same rank-ordered combine tree).
+        """
+        require(
+            isinstance(value, np.ndarray),
+            f"ireduce payload must be an ndarray, got {type(value).__name__}",
+        )
+        self._enter("reduce", value, detail=f"root={root},op=sum,async", track=False)
+        value = self._fault_corrupt("reduce", value)
+        seq = self._ireduce_seq.get(root, 0)
+        self._ireduce_seq[root] = seq + 1
+        contribution = np.array(value)
+        key = (root, seq)
+        self._shared.reduce_board.post(key, self._rank, contribution)
+        if self._rank != root:
+            return ReduceHandle(None)
+        self.traffic.record("reduce", contribution.nbytes * (self.size - 1))
+        board, shared = self._shared.reduce_board, self._shared
+        return ReduceHandle(
+            waiter=lambda: self._combine(board.wait(key, shared), "sum")
+        )
 
     def alltoall(self, chunks):
         """Personalized all-to-all: ``chunks[d]`` goes to rank ``d``."""

@@ -1,9 +1,18 @@
 """The SPMD executor: run one function on N virtual ranks.
 
-Thread-per-rank (numpy releases the GIL inside BLAS/FFT, so virtual ranks
-even overlap for real).  A rank that raises aborts the shared barrier;
-every surviving rank unwinds with :class:`~repro.parallel.comm.SpmdAbort`
-and the *original* exception is re-raised to the caller.
+Two interchangeable backends (``backend=`` or ``REPRO_SPMD_BACKEND``):
+
+* ``"thread"`` (default) — thread-per-rank in this process; numpy releases
+  the GIL inside BLAS/FFT, so virtual ranks even overlap for real.
+* ``"process"`` — one forked OS process per rank with shared-memory
+  collectives (:mod:`repro.parallel.process_backend`): pure-Python rank
+  code runs genuinely in parallel and bulk arrays move zero-copy.
+
+Both produce bit-identical results for the same rank program (same
+deterministic rank-ordered combine trees) and the same logical traffic
+totals.  A rank that raises aborts the shared barrier; every surviving
+rank unwinds with :class:`~repro.parallel.comm.SpmdAbort` and the
+*original* exception is re-raised to the caller.
 
 Fault tolerance: :func:`spmd_run` accepts a
 :class:`~repro.resilience.faults.FaultInjector` that can kill a rank,
@@ -16,6 +25,7 @@ completes cleanly).
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from typing import Callable
@@ -23,6 +33,20 @@ from typing import Callable
 from repro.parallel.comm import CommTraffic, Communicator, SpmdAbort, _SharedState
 from repro.parallel.sanitizer import SpmdSanitizer, env_enabled
 from repro.utils.validation import require
+
+_ENV_BACKEND = "REPRO_SPMD_BACKEND"
+SPMD_BACKENDS = ("thread", "process")
+
+
+def resolve_backend(backend: str | None) -> str:
+    """``backend`` argument > ``REPRO_SPMD_BACKEND`` > ``"thread"``."""
+    if backend is None:
+        backend = os.environ.get(_ENV_BACKEND, "").strip() or "thread"
+    if backend not in SPMD_BACKENDS:
+        raise ValueError(
+            f"unknown SPMD backend {backend!r}; choose from {SPMD_BACKENDS}"
+        )
+    return backend
 
 
 def spmd_run(
@@ -33,6 +57,7 @@ def spmd_run(
     fault_injector=None,
     sanitize: bool | None = None,
     sanitize_timeout: float | None = None,
+    backend: str | None = None,
 ):
     """Execute ``fn(comm, *args)`` on ``n_ranks`` virtual ranks.
 
@@ -55,6 +80,10 @@ def spmd_run(
     sanitize_timeout:
         Seconds after which a collective that never completes is declared
         a deadlock (default: ``REPRO_SANITIZE_TIMEOUT`` or 10).
+    backend:
+        ``"thread"`` (default) or ``"process"`` — see the module
+        docstring; ``None`` consults ``REPRO_SPMD_BACKEND``.  The
+        sanitizer is thread-backend only.
 
     Returns
     -------
@@ -62,8 +91,27 @@ def spmd_run(
     ``(results, traffic)`` when ``return_traffic`` is set.
     """
     require(n_ranks >= 1, f"need at least one rank, got {n_ranks}")
+    backend = resolve_backend(backend)
     if sanitize is None:
         sanitize = env_enabled()
+    if backend == "process":
+        if sanitize:
+            raise NotImplementedError(
+                "the runtime SPMD sanitizer is thread-backend only: it "
+                "fingerprints shared payload arrays in one address space, "
+                "which has no analogue across process boundaries — run "
+                "sanitized checks with backend='thread' (results are "
+                "bit-identical), or disable sanitize for backend='process'"
+            )
+        from repro.parallel.process_backend import process_spmd_run
+
+        return process_spmd_run(
+            n_ranks,
+            fn,
+            *args,
+            return_traffic=return_traffic,
+            fault_injector=fault_injector,
+        )
     sanitizer = (
         SpmdSanitizer(n_ranks, barrier_timeout=sanitize_timeout)
         if sanitize
@@ -107,6 +155,7 @@ def spmd_run_resilient(
     fault_injector=None,
     return_traffic: bool = False,
     sleep: Callable[[float], None] = time.sleep,
+    backend: str | None = None,
 ):
     """:func:`spmd_run` with whole-run retry on transient rank faults.
 
@@ -128,6 +177,7 @@ def spmd_run_resilient(
                 *args,
                 return_traffic=return_traffic,
                 fault_injector=fault_injector,
+                backend=backend,
             )
         except policy.retry_on:
             if attempt >= policy.max_retries:

@@ -8,16 +8,20 @@ that owns that block.  Two wins the paper claims, both realized here:
 * **memory** — each rank stores only its ``N_cv / P`` rows of ``V_Hxc``
   (Figure 4's data-partitioning change), and
 * **overlap** — compute of block ``b+1`` proceeds while block ``b`` is in
-  flight (in this in-process runtime the overlap itself is a no-op, but the
-  schedule, message sizes and reduction roots are exactly the production
-  ones, which is what the cost model consumes).
+  flight.  The reduce is posted with the nonblocking
+  :meth:`~repro.parallel.comm.Communicator.ireduce` and only waited on
+  after the loop: under the process backend
+  (``spmd_run(..., backend="process")``) the owner's combine genuinely
+  runs while other ranks are still in their next GEMM; under the thread
+  backend the schedule, message sizes and reduction roots are identical,
+  which is what the cost model and the bit-identity tests consume.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.parallel.comm import Communicator
+from repro.parallel.comm import Communicator, ReduceHandle
 from repro.parallel.distributions import BlockDistribution1D
 from repro.utils.validation import require
 
@@ -52,7 +56,7 @@ def pipelined_vhxc_rows(
         out_dist = BlockDistribution1D(n_pairs, comm.size)
     require(out_dist.n_global == n_pairs, "output distribution mismatch")
 
-    my_rows: np.ndarray | None = None
+    my_handle: ReduceHandle | None = None
     partial: np.ndarray | None = None
     for owner in range(comm.size):
         rows = out_dist.local_slice(owner)
@@ -64,17 +68,15 @@ def pipelined_vhxc_rows(
             partial = np.empty((n_block, n_pairs))  # repro-lint: disable=no-alloc-in-hot -- guarded buffer (re)allocation: runs only when the block height changes, O(1) times per run
         np.matmul(z_local[:, rows].T, k_local, out=partial)
         partial *= dv
-        # ...immediately reduced to the owning rank (MPI_Reduce, not
-        # Allreduce: nobody else needs these rows — Figure 4).
-        reduced = comm.reduce(partial, root=owner)
-        # The in-process reduce combines by reference after the slot
-        # exchange: hold every rank here until the owner is done reading
-        # before the shared buffer is overwritten for the next block.
-        comm.barrier()
+        # ...posted as a nonblocking Reduce to the owning rank (MPI_Reduce
+        # + overlap, not Allreduce: nobody else needs these rows — Figure
+        # 4).  The contribution is captured at post time, so reusing
+        # ``partial`` for the next block is safe, and the next GEMM starts
+        # while this block is still in flight.
+        handle = comm.ireduce(partial, root=owner)
         if comm.rank == owner:
-            # Detach from the reused buffer (size-1 communicators hand the
-            # input straight back).
-            my_rows = reduced.copy() if reduced is partial else reduced  # repro-lint: disable=no-alloc-in-hot -- once-per-run detach from the reused buffer; owner keeps these rows
+            my_handle = handle
+    my_rows = my_handle.wait() if my_handle is not None else None
     assert my_rows is not None or out_dist.count(comm.rank) == 0
     if my_rows is None:
         my_rows = np.zeros((0, n_pairs))  # repro-lint: disable=no-alloc-in-hot -- empty placeholder for ranks owning zero rows

@@ -171,8 +171,15 @@ class SpmdSanitizer:
 
     # -- hooks called by the communicator / executor -------------------------
 
-    def on_collective(self, rank: int, op: str, value=None, detail: str = "") -> None:
-        """Validate one collective entry; raises :class:`SanitizerError`."""
+    def on_collective(
+        self, rank: int, op: str, value=None, detail: str = "", track: bool = True
+    ) -> None:
+        """Validate one collective entry; raises :class:`SanitizerError`.
+
+        ``track=False`` skips shared-write fingerprinting for this
+        payload (used by ``ireduce``, whose contribution is copied at
+        post time, so later mutation of the caller's buffer is legal).
+        """
         record = OpRecord(
             rank=rank,
             seq=self._seq[rank],
@@ -201,7 +208,7 @@ class SpmdSanitizer:
             self._last[rank] = record
             if rank == 0:
                 self.n_synced += 1
-            if self.track_writes:
+            if self.track_writes and track:
                 for arr in _payload_arrays(value):
                     self._tracked.append(
                         _TrackedArray(arr, _fingerprint(arr), record)

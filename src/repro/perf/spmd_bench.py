@@ -1,0 +1,203 @@
+"""Thread vs process SPMD backend benchmark (``repro bench-spmd``).
+
+Measures the same rank program under both executors and emits
+``BENCH_spmd.json``:
+
+* **gil_bound** — a pure-Python per-rank workload (dict/loop churn that
+  never releases the GIL) plus one small allreduce per step.  Threads
+  serialize on the GIL here; forked processes do not — this is the
+  workload the process backend exists for.
+* **pipeline** — :func:`~repro.parallel.pipeline.pipelined_vhxc_rows` on
+  a synthetic pair matrix: BLAS GEMMs (which release the GIL) plus the
+  nonblocking per-block reduces, exercising the zero-copy slab transport
+  and the compute/comm overlap.
+
+For each (workload, backend, rank count) the report carries wall seconds,
+speedup versus the same backend's 1-rank run, the process/thread ratio,
+and — for the process backend — the transport split: logical bytes the
+collectives would move on a real network, bytes that travelled as
+zero-copy shared-memory views, and bytes that were pickled through pipes.
+
+**Read the numbers against ``meta.cpu_count``.** Process-per-rank buys
+wall-clock only when ranks can actually run concurrently; on a 1-CPU
+container both backends time-slice one core and the process backend's
+fork/IPC overhead makes it *slower*, which the report states honestly
+(``meets_2x_target`` + ``hardware_note``) rather than hiding behind a
+synthetic workload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+import numpy as np
+
+from repro.parallel import spmd_run
+from repro.parallel.pipeline import pipelined_vhxc_rows
+
+__all__ = [
+    "format_summary",
+    "run_spmd_bench",
+    "write_report",
+]
+
+
+# -- rank programs -----------------------------------------------------------
+
+
+def _gil_bound_program(comm, steps: int, work: int):
+    """Pure-Python churn per step + one tiny allreduce (never drops the GIL)."""
+    acc = 0.0
+    for step in range(steps):
+        table: dict[int, float] = {}
+        for i in range(work):
+            table[i & 255] = table.get(i & 255, 0.0) + (i ^ step) * 1e-9
+        acc += sum(table.values())
+        acc = float(comm.allreduce(np.array([acc]))[0])
+    return acc
+
+
+def _pipeline_program(comm, n_pairs: int, seed: int):
+    """Row-block slabs -> pipelined GEMM + nonblocking per-block reduce."""
+    rng = np.random.default_rng(seed)  # same draw on every rank
+    z_full = rng.standard_normal((n_pairs, n_pairs))
+    k_full = rng.standard_normal((n_pairs, n_pairs))
+    lo = comm.rank * n_pairs // comm.size
+    hi = (comm.rank + 1) * n_pairs // comm.size
+    my_rows, _ = pipelined_vhxc_rows(
+        comm, z_full[lo:hi], k_full[lo:hi], 1e-3
+    )
+    return float(my_rows.sum())
+
+
+# -- measurement -------------------------------------------------------------
+
+
+def _measure(workload: str, backend: str, n_ranks: int, params: dict) -> dict:
+    if workload == "gil_bound":
+        args = (params["steps"], params["work"])
+        fn = _gil_bound_program
+    else:
+        args = (params["n_pairs"], params["seed"])
+        fn = _pipeline_program
+    t0 = time.perf_counter()
+    results, traffic = spmd_run(
+        n_ranks, fn, *args, return_traffic=True, backend=backend
+    )
+    seconds = time.perf_counter() - t0
+    return {
+        "seconds": seconds,
+        "result_digest": float(np.sum(results)),
+        "logical_bytes": traffic.total_bytes,
+        "zero_copy_bytes": traffic.zero_copy_bytes,
+        "pickled_bytes": traffic.pickled_bytes,
+    }
+
+
+def run_spmd_bench(*, smoke: bool = False, ranks=(1, 2, 4, 8)) -> dict:
+    """Benchmark both backends over ``ranks``; returns a JSON-ready dict."""
+    if smoke:
+        params = {"steps": 2, "work": 20_000, "n_pairs": 96, "seed": 3}
+        ranks = tuple(r for r in ranks if r <= 4)
+    else:
+        params = {"steps": 4, "work": 200_000, "n_pairs": 384, "seed": 3}
+
+    workloads: dict[str, dict] = {}
+    for workload in ("gil_bound", "pipeline"):
+        runs: dict[str, dict] = {}
+        for backend in ("thread", "process"):
+            per_rank: dict[str, dict] = {}
+            for n_ranks in ranks:
+                per_rank[str(n_ranks)] = _measure(
+                    workload, backend, n_ranks, params
+                )
+            base = per_rank[str(ranks[0])]["seconds"]
+            for stats in per_rank.values():
+                stats["speedup_vs_1rank"] = base / stats["seconds"]
+            runs[backend] = per_rank
+        digests = {
+            b: [runs[b][str(r)]["result_digest"] for r in ranks] for b in runs
+        }
+        workloads[workload] = {
+            "per_backend": runs,
+            "process_vs_thread": {
+                str(r): (
+                    runs["thread"][str(r)]["seconds"]
+                    / runs["process"][str(r)]["seconds"]
+                )
+                for r in ranks
+            },
+            "backends_agree": bool(
+                np.allclose(digests["thread"], digests["process"])
+            ),
+        }
+
+    cpu_count = os.cpu_count() or 1
+    top_ranks = str(ranks[-1])
+    gil_ratio = workloads["gil_bound"]["process_vs_thread"][top_ranks]
+    return {
+        "meta": {
+            "mode": "smoke" if smoke else "full",
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": cpu_count,
+            "ranks": list(ranks),
+            "params": params,
+        },
+        "workloads": workloads,
+        "meets_2x_target": bool(gil_ratio >= 2.0),
+        "hardware_note": (
+            f"{cpu_count} CPU(s) available for {top_ranks} ranks: "
+            + (
+                "process-per-rank parallelism can beat the GIL"
+                if cpu_count > 1
+                else "all ranks time-slice one core, so process-per-rank "
+                "cannot beat threads here regardless of the GIL — judge "
+                "the backend by bit-identity and the zero-copy byte "
+                "counts, and rerun on a multi-core host for wall-clock"
+            )
+        ),
+    }
+
+
+def format_summary(report: dict) -> str:
+    """Terse human-readable digest of :func:`run_spmd_bench` output."""
+    lines = [
+        f"spmd bench ({report['meta']['mode']} mode, "
+        f"{report['meta']['cpu_count']} cpus)"
+    ]
+    for workload, data in report["workloads"].items():
+        for backend, per_rank in data["per_backend"].items():
+            for ranks, stats in per_rank.items():
+                extra = ""
+                if stats["zero_copy_bytes"] or stats["pickled_bytes"]:
+                    extra = (
+                        f"  shm={stats['zero_copy_bytes']/1e6:.2f}MB"
+                        f" pickled={stats['pickled_bytes']/1e6:.3f}MB"
+                    )
+                lines.append(
+                    f"  {workload:<9s} {backend:<7s} P={ranks:>2s}"
+                    f"  {stats['seconds']*1e3:9.1f} ms"
+                    f"  x{stats['speedup_vs_1rank']:.2f} vs 1 rank{extra}"
+                )
+        ratios = ", ".join(
+            f"P={r}: {v:.2f}x" for r, v in data["process_vs_thread"].items()
+        )
+        lines.append(
+            f"  {workload}: process vs thread {ratios} "
+            f"(agree={data['backends_agree']})"
+        )
+    lines.append(
+        f"  meets_2x_target={report['meets_2x_target']}  "
+        f"[{report['hardware_note']}]"
+    )
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

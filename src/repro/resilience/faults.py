@@ -66,6 +66,13 @@ class InjectedRankFailure(InjectedFault):
         self.op = op
         self.step = step
 
+    def __reduce__(self):
+        # Default exception pickling replays BaseException.args (the
+        # formatted message) against our 3-arg __init__; the process
+        # backend ships these across rank boundaries, so rebuild from the
+        # real fields instead.
+        return (InjectedRankFailure, (self.rank, self.op, self.step))
+
 
 @dataclass
 class FaultSpec:
@@ -207,3 +214,44 @@ class FaultInjector:
             spec = self._fire("kill_loop", step, tag=tag)
         if spec is not None:
             raise InjectedFault(f"injected crash of loop {tag!r} at step {step}")
+
+    # -- cross-process state (the process SPMD backend forks this object) ----
+
+    def state(self) -> dict:
+        """Picklable snapshot of the mutable bookkeeping.
+
+        The process backend forks one copy of this injector into every
+        rank; each copy's counters diverge independently.  The parent
+        snapshots before the run and merges every child's deltas back
+        with :meth:`merge_child_state`, so one-shot specs consumed inside
+        a worker stay consumed for the resilient retry.
+        """
+        with self._lock:
+            return {
+                "triggered": [spec.triggered for spec in self._specs],
+                "counters": dict(self._counters),
+                "events": list(self.events),
+            }
+
+    def merge_child_state(self, base: dict, child: dict) -> None:
+        """Fold one forked child's bookkeeping deltas (vs ``base``) back in."""
+        with self._lock:
+            for i, spec in enumerate(self._specs):
+                if i < len(child["triggered"]):
+                    delta = child["triggered"][i] - base["triggered"][i]
+                    if delta > 0:
+                        spec.triggered += delta
+            for site, count in child["counters"].items():
+                delta = count - base["counters"].get(site, 0)
+                if delta > 0:
+                    self._counters[site] = self._counters.get(site, 0) + delta
+            self.events.extend(child["events"][len(base["events"]) :])
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()

@@ -111,30 +111,18 @@ class TestAllocationKinds:
 
 
 class TestAcceptanceScenario:
-    """ISSUE acceptance: deleting a defensive ``.copy()`` in a real hot
-    kernel must produce a nonzero lint result with the right rule + line."""
+    """ISSUE acceptance: regressing a sanctioned in-place idiom in a real
+    hot kernel must produce a nonzero lint result with the right rule."""
 
-    def test_deleting_pipeline_copy_is_caught(self):
+    def test_pipeline_allocation_regression_is_caught(self):
         import repro.parallel.pipeline as pipeline
 
         source = open(pipeline.__file__).read()
         assert findings_in(source, path="src/repro/parallel/pipeline.py") == []
-        # Simulate the regression: drop the .copy() (its suppression
-        # comment goes with the line's tail).
-        broken = None
-        for line in source.splitlines():
-            if "reduced.copy() if reduced is partial" in line:
-                broken = source.replace(
-                    line,
-                    line.split("=")[0] + "= reduced",
-                )
-        assert broken is not None and broken != source
-        # The buffer is now returned still aliased; the lint can't see
-        # that, but reintroducing any per-iteration allocation can't dodge
-        # the rule either:
-        regressed = broken.replace(
-            "= reduced", "= reduced + 0.0", 1
-        )
+        # Simulate the regression: the augmented in-place scale becomes a
+        # fresh per-iteration allocation.
+        assert "partial *= dv" in source
+        regressed = source.replace("partial *= dv", "partial = partial * dv", 1)
         findings = lint_source(
             regressed, path="src/repro/parallel/pipeline.py", rules=RULE
         )

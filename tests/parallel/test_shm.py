@@ -1,0 +1,117 @@
+"""Unit tests for the shared-memory slab layer behind the process backend."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.parallel.shm import (
+    SharedSlab,
+    SlabArena,
+    SlabRegistry,
+    align,
+    list_run_segments,
+    reap_run_segments,
+    run_prefix,
+    segment_name,
+)
+
+
+@pytest.fixture()
+def run_id():
+    rid = f"test{os.getpid()}"
+    yield rid
+    reap_run_segments(rid)
+
+
+class TestSharedSlab:
+    def test_create_view_roundtrip(self, run_id):
+        with SharedSlab.create(segment_name(run_id, 0, "t"), 4096) as slab:
+            data = np.arange(12, dtype=np.float64).reshape(3, 4)
+            slab.write(data, 64)
+            view = slab.view((3, 4), np.float64, 64)
+            np.testing.assert_array_equal(view, data)
+
+    def test_attach_sees_owner_writes_zero_copy(self, run_id):
+        name = segment_name(run_id, 0, "t")
+        with SharedSlab.create(name, 1024) as owner:
+            peer = SharedSlab.attach(name)
+            owner.write(np.full(8, 7.0), 0)
+            view = peer.view((8,), np.float64)
+            np.testing.assert_array_equal(view, np.full(8, 7.0))
+            # zero-copy: a later owner write is visible through the view
+            owner.write(np.full(8, 9.0), 0)
+            assert view[0] == 9.0
+            peer.close()
+
+    def test_view_bounds_checked(self, run_id):
+        with SharedSlab.create(segment_name(run_id, 0, "t"), 128) as slab:
+            with pytest.raises(ValueError):
+                slab.view((100,), np.float64, 0)
+
+    def test_unlink_idempotent_and_reaper_tolerant(self, run_id):
+        slab = SharedSlab.create(segment_name(run_id, 0, "t"), 64)
+        slab.close()
+        slab.unlink()
+        slab.unlink()  # second call is a no-op, not an error
+
+    def test_align(self):
+        assert align(0) == 0
+        assert align(1) == 64
+        assert align(64) == 64
+        assert align(65) == 128
+
+
+class TestSlabRegistry:
+    def test_cleanup_unlinks_owned(self, run_id):
+        reg = SlabRegistry()
+        reg.create(segment_name(run_id, 0, "a"), 256)
+        reg.create(segment_name(run_id, 0, "b"), 256)
+        assert len(list_run_segments(run_id)) == 2
+        reg.cleanup()
+        assert list_run_segments(run_id) == []
+
+    def test_attach_is_cached(self, run_id):
+        reg = SlabRegistry()
+        name = segment_name(run_id, 1, "a")
+        owner = SlabRegistry()
+        owner.create(name, 256)
+        first = reg.attach(name)
+        assert reg.attach(name) is first
+        reg.cleanup()
+        owner.cleanup()
+
+
+class TestSlabArena:
+    def test_regions_never_overwritten(self, run_id):
+        reg = SlabRegistry()
+        arena = SlabArena(reg, run_id, 0, "ird", min_bytes=256)
+        a = np.arange(4, dtype=np.float64)
+        refs = [arena.write_array(a + i) for i in range(64)]
+        # Growth happened (several generations), yet every region still
+        # reads back its original payload.
+        assert len({seg for seg, _ in refs}) > 1
+        for i, (seg, off) in enumerate(refs):
+            view = reg.attach(seg).view((4,), np.float64, off)
+            np.testing.assert_array_equal(view, a + i)
+        reg.cleanup()
+        assert list_run_segments(run_id) == []
+
+
+class TestReaper:
+    def test_reap_removes_only_this_run(self, run_id):
+        other = f"{run_id}other"
+        a = SharedSlab.create(segment_name(run_id, 0, "x"), 64)
+        b = SharedSlab.create(segment_name(other, 0, "x"), 64)
+        try:
+            reaped = reap_run_segments(run_id)
+            assert reaped == [segment_name(run_id, 0, "x")]
+            assert list_run_segments(other) == [segment_name(other, 0, "x")]
+        finally:
+            a.close()
+            b.close()
+            b.unlink()
+            reap_run_segments(other)
+
+    def test_prefix_is_namespaced(self):
+        assert run_prefix("abc").startswith("reprospmd_")

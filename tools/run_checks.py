@@ -11,9 +11,12 @@ Runs, in order:
 4. **sanitizer smoke** — a 4-rank SPMD run under the runtime sanitizer plus
    one deliberately mismatched collective that must be *diagnosed*, proving
    the sanitizer is alive and not a no-op,
-5. **public API snapshot** — ``tools/check_public_api.py``,
-6. **bytecode guard** — ``tools/check_no_pyc.py``,
-7. **tier-1 tests** — ``pytest -x -q`` (skip with ``--no-tests`` for the
+5. **process-backend smoke** — a 3-rank ``backend="process"`` run whose
+   collectives must match the thread backend bit-for-bit and leave no
+   ``/dev/shm`` residue (skipped where ``fork`` is unavailable),
+6. **public API snapshot** — ``tools/check_public_api.py``,
+7. **bytecode guard** — ``tools/check_no_pyc.py``,
+8. **tier-1 tests** — ``pytest -x -q`` (skip with ``--no-tests`` for the
    fast pre-commit loop).
 
 Exit status is nonzero if any mandatory stage fails.  Optional tools that
@@ -108,6 +111,37 @@ print("sanitizer smoke: ok")
 """
 
 
+_PROCESS_SMOKE = """
+import multiprocessing, os, sys
+try:
+    multiprocessing.get_context("fork")
+except ValueError:
+    print("process smoke: SKIP (no fork start method)")
+    sys.exit(0)
+
+import numpy as np
+from repro.parallel import spmd_run
+
+def prog(comm):
+    rng = np.random.default_rng(99)
+    a = rng.standard_normal((6, 5))
+    out = comm.allreduce(a * (comm.rank + 1))
+    got = comm.alltoall([a + d for d in range(comm.size)])
+    h = comm.ireduce(a, root=0)
+    red = h.wait()
+    return (out.sum(), sum(g.sum() for g in got),
+            None if red is None else red.sum())
+
+thread = spmd_run(3, prog, backend="thread")
+process, traffic = spmd_run(3, prog, backend="process", return_traffic=True)
+assert thread == process, (thread, process)
+assert traffic.zero_copy_bytes > 0, "no bytes moved through shared memory?"
+residue = [f for f in os.listdir("/dev/shm") if f.startswith("reprospmd")]
+assert not residue, residue
+print("process smoke: ok (bit-identical, zero-copy, no shm residue)")
+"""
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--no-tests", action="store_true",
@@ -121,6 +155,7 @@ def main(argv: list[str] | None = None) -> int:
              optional_module="mypy")
     gate.run("repro-lint", [sys.executable, "-m", "repro", "lint", "src"])
     gate.run("sanitizer-smoke", [sys.executable, "-c", _SANITIZER_SMOKE])
+    gate.run("process-smoke", [sys.executable, "-c", _PROCESS_SMOKE])
     gate.run("public-api", [sys.executable, os.path.join("tools", "check_public_api.py")])
     gate.run("no-pyc", [sys.executable, os.path.join("tools", "check_no_pyc.py")])
     if not args.no_tests:
