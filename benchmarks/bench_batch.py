@@ -1,0 +1,59 @@
+"""Measured warm vs cold trajectory benchmark (the batch engine).
+
+Runs the same perturbed silicon trajectory twice through
+``repro.batch.run_batch`` — cold (every frame standalone) and warm
+(cross-frame reuse: extrapolated densities + orbital seeds for SCF,
+K-Means centroid warm starts, ISDF interpolation-point carry-over under a
+drift threshold, Casida eigenvector seeds) — and writes a machine-readable
+report (default ``BENCH_batch.json`` at the repo root) with per-frame wall
+times, SCF/K-Means/LOBPCG iteration counts, ISDF reselection events, the
+end-to-end speedup, and warm-vs-cold equivalence checks.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_batch.py [--smoke] [--frames N] [--repeats R] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+
+def main(argv=None) -> int:
+    from repro.perf.batch_bench import (
+        format_summary,
+        run_batch_bench,
+        write_report,
+    )
+
+    default_out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_batch.json"
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload for CI (seconds, not minutes)")
+    parser.add_argument("--frames", type=int, default=None,
+                        help="trajectory length (default: 4 smoke / 10 full)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="cold+warm pairs to run; minimum is reported "
+                             "(default: 1 smoke / 3 full)")
+    parser.add_argument("--amplitude", type=float, default=0.012,
+                        help="displacement scale in Bohr")
+    parser.add_argument("--out", default=str(default_out),
+                        help=f"JSON report path (default: {default_out})")
+    args = parser.parse_args(argv)
+
+    report = run_batch_bench(
+        smoke=args.smoke,
+        n_frames=args.frames,
+        repeats=args.repeats,
+        amplitude=args.amplitude,
+    )
+    print(format_summary(report))
+    write_report(report, args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

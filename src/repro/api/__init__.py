@@ -3,10 +3,13 @@
 Everything a downstream user needs lives here:
 
 * config objects: :class:`SCFConfig`, :class:`TDDFTConfig`,
-  :class:`ResilienceConfig` (frozen dataclasses with exact dict round-trip);
-* entry points: :func:`run_scf`, :func:`solve_tddft`, :func:`run_rt`;
+  :class:`BatchConfig`, :class:`ResilienceConfig` (frozen dataclasses with
+  exact dict round-trip);
+* entry points: :func:`run_scf`, :func:`solve_tddft`, :func:`run_batch`,
+  :func:`run_rt`;
 * result types: :class:`SCFResult` (= :class:`~repro.dft.GroundState`),
-  :class:`LRTDDFTResult`, :class:`RTResult` — all with ``save``/``load``;
+  :class:`LRTDDFTResult`, :class:`RTResult` — all with ``save``/``load`` —
+  and the batch containers :class:`BatchResult` / :class:`FrameRecord`;
 * :func:`load_result` — load any saved result by its embedded class tag.
 
 The exported surface is snapshot-tested against
@@ -14,20 +17,25 @@ The exported surface is snapshot-tested against
 accidental breaking changes fail CI instead of downstream users.
 """
 
-from repro.api.config import ResilienceConfig, SCFConfig, TDDFTConfig
+from repro.api.config import BatchConfig, ResilienceConfig, SCFConfig, TDDFTConfig
 from repro.api.facade import (
     SCFResult,
     install_fft_fallback,
     load_result,
     reset_deprecation_warnings,
+    run_batch,
     run_rt,
     run_scf,
     solve_tddft,
 )
+from repro.batch.results import BatchResult, FrameRecord
 from repro.core.driver import LRTDDFTResult
 from repro.rt.tddft import RTResult
 
 __all__ = [
+    "BatchConfig",
+    "BatchResult",
+    "FrameRecord",
     "LRTDDFTResult",
     "ResilienceConfig",
     "RTResult",
@@ -37,6 +45,7 @@ __all__ = [
     "install_fft_fallback",
     "load_result",
     "reset_deprecation_warnings",
+    "run_batch",
     "run_rt",
     "run_scf",
     "solve_tddft",

@@ -10,11 +10,11 @@ update pattern for frozen dataclasses).
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.utils.validation import require
 
-__all__ = ["ResilienceConfig", "SCFConfig", "TDDFTConfig"]
+__all__ = ["BatchConfig", "ResilienceConfig", "SCFConfig", "TDDFTConfig"]
 
 
 @dataclass(frozen=True)
@@ -93,6 +93,97 @@ class TDDFTConfig(_ConfigBase):
             f"spin must be 'singlet' or 'triplet', got {self.spin!r}",
         )
         require(self.max_iter >= 1, f"max_iter must be >= 1, got {self.max_iter}")
+
+
+@dataclass(frozen=True)
+class BatchConfig(_ConfigBase):
+    """Cross-calculation batch parameters (see :func:`repro.api.run_batch`).
+
+    Attributes
+    ----------
+    scf / tddft:
+        Per-frame pipeline configs, shared by every frame.
+    warm_start:
+        Master switch for all cross-frame reuse.  Off, every frame runs
+        exactly as a standalone calculation (bit-identical to calling
+        :func:`repro.api.run_scf` + :func:`repro.api.solve_tddft` per
+        frame).
+    density_extrapolation:
+        Starting-density policy under warm start: ``"quadratic"``
+        (default; three-frame extrapolation), ``"linear"``, or ``"none"``
+        (carry the previous density unmodified).
+    isdf_drift_threshold:
+        Reuse the previous frame's ISDF interpolation points while the
+        candidate-assignment drift stays at or below this fraction;
+        past it, points are reselected (K-Means still warm-started from
+        the previous centroids).  0 reselects on any nonzero drift.
+    residual_hint_floor:
+        Lower bound on the warm SCF residual hint (guards the adaptive
+        eigensolver tolerance when consecutive frames nearly coincide).
+    reuse_identical_frames:
+        Replay results bit-identically for frames whose fingerprint
+        (structure + configs) matches an earlier frame.
+    n_ranks / spmd_backend:
+        Shard frames over SPMD ranks (``"thread"``/``"process"``;
+        ``None`` consults ``REPRO_SPMD_BACKEND``).  Each rank runs a
+        contiguous chunk with its own warm chain.
+    store_results:
+        Keep full per-frame result objects on the
+        :class:`~repro.batch.results.BatchResult`; off, only the
+        per-frame records survive (memory-lean mode).
+    """
+
+    scf: SCFConfig = field(default_factory=SCFConfig)
+    tddft: TDDFTConfig = field(default_factory=TDDFTConfig)
+    warm_start: bool = True
+    density_extrapolation: str = "quadratic"
+    isdf_drift_threshold: float = 0.1
+    residual_hint_floor: float = 3e-5
+    reuse_identical_frames: bool = True
+    n_ranks: int = 1
+    spmd_backend: str | None = None
+    store_results: bool = True
+
+    def __post_init__(self) -> None:
+        require(
+            isinstance(self.scf, SCFConfig),
+            f"scf must be an SCFConfig, got {type(self.scf).__name__}",
+        )
+        require(
+            isinstance(self.tddft, TDDFTConfig),
+            f"tddft must be a TDDFTConfig, got {type(self.tddft).__name__}",
+        )
+        require(
+            self.density_extrapolation in ("none", "linear", "quadratic"),
+            f"density_extrapolation must be none/linear/quadratic, "
+            f"got {self.density_extrapolation!r}",
+        )
+        require(
+            0.0 <= self.isdf_drift_threshold <= 1.0,
+            f"isdf_drift_threshold must be in [0, 1], "
+            f"got {self.isdf_drift_threshold}",
+        )
+        require(
+            self.residual_hint_floor > 0,
+            f"residual_hint_floor must be positive, "
+            f"got {self.residual_hint_floor}",
+        )
+        require(self.n_ranks >= 1, f"n_ranks must be >= 1, got {self.n_ranks}")
+        require(
+            self.spmd_backend in (None, "thread", "process"),
+            f"spmd_backend must be None, 'thread' or 'process', "
+            f"got {self.spmd_backend!r}",
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BatchConfig":
+        """Round-trip-exact construction; nested configs may be dicts."""
+        payload = dict(data)
+        if isinstance(payload.get("scf"), dict):
+            payload["scf"] = SCFConfig.from_dict(payload["scf"])
+        if isinstance(payload.get("tddft"), dict):
+            payload["tddft"] = TDDFTConfig.from_dict(payload["tddft"])
+        return super().from_dict(payload)
 
 
 @dataclass(frozen=True)

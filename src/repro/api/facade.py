@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import os
 
-from repro.api.config import ResilienceConfig, SCFConfig, TDDFTConfig
+from repro.api.config import BatchConfig, ResilienceConfig, SCFConfig, TDDFTConfig
+from repro.batch.results import BatchResult
 from repro.core.driver import LRTDDFTResult, LRTDDFTSolver
 from repro.dft.groundstate import GroundState
 from repro.dft.scf import SCFOptions
@@ -29,6 +30,7 @@ __all__ = [
     "install_fft_fallback",
     "load_result",
     "reset_deprecation_warnings",
+    "run_batch",
     "run_rt",
     "run_scf",
     "solve_tddft",
@@ -161,6 +163,29 @@ def solve_tddft(
                 resilience=dense_resilience,
             )
     return result
+
+
+def run_batch(
+    cells,
+    config: BatchConfig | None = None,
+    *,
+    resilience: ResilienceConfig | None = None,
+    on_result=None,
+) -> BatchResult:
+    """Warm-started pipeline over an ordered sequence of related structures.
+
+    Each frame runs SCF -> K-Means/ISDF -> LR-TDDFT; consecutive frames
+    reuse converged densities/orbitals, K-Means centroids, ISDF
+    interpolation points (under a drift threshold) and Casida
+    eigenvectors.  See :func:`repro.batch.run_batch` for semantics and
+    ``docs/batching.md`` for the reuse policy.
+    """
+    from repro.batch.engine import run_batch as _run_batch_core
+
+    _apply_resilience_process_policies(resilience)
+    return _run_batch_core(
+        cells, config, resilience=resilience, on_result=on_result
+    )
 
 
 def run_rt(

@@ -100,16 +100,29 @@ class FFTEngine:
         )
         if pool is None:
             pool = self._local.pool = OrderedDict()
+            self._local.hits = 0
+            self._local.misses = 0
         key = (tuple(shape), np.dtype(dtype).str)
         buf = pool.get(key)
         if buf is None:
+            self._local.misses += 1
             buf = np.empty(shape, dtype=dtype)  # repro-lint: disable=no-alloc-in-hot -- pool miss: allocates once per (shape, dtype), then reused
             pool[key] = buf
             while len(pool) > _SCRATCH_SLOTS:
                 pool.popitem(last=False)
         else:
+            self._local.hits += 1
             pool.move_to_end(key)
         return buf
+
+    def scratch_stats(self) -> dict[str, int]:
+        """This thread's scratch-pool occupancy and hit/miss counters."""
+        pool = getattr(self._local, "pool", None)
+        return {
+            "slots": 0 if pool is None else len(pool),
+            "hits": int(getattr(self._local, "hits", 0)),
+            "misses": int(getattr(self._local, "misses", 0)),
+        }
 
     def describe(self) -> str:
         return (

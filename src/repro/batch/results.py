@@ -1,0 +1,161 @@
+"""Result containers for batched trajectory runs.
+
+Kept free of any :mod:`repro.api` import so the facade can re-export these
+classes at module level without an import cycle (the engine imports the
+facade's config types lazily instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["BatchResult", "FrameRecord", "FrameResult"]
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """Per-frame accounting: what ran, how warm it was, what it cost.
+
+    Attributes
+    ----------
+    index:
+        Position of the frame in the input sequence.
+    rank:
+        SPMD rank that computed the frame (0 for serial runs).
+    warm:
+        Whether *any* warm-start information was applied to this frame.
+    reused_identical:
+        The frame's fingerprint matched an earlier frame and its results
+        were replayed bit-identically without recomputing.
+    scf_iterations / eigensolver_iterations:
+        SCF loop length and Casida LOBPCG iteration count.
+    kmeans_iterations:
+        K-Means iterations spent selecting ISDF points — 0 when the
+        previous frame's interpolation points were reused outright.
+    isdf_reselected:
+        True when interpolation points were (re)selected for this frame,
+        False when carried forward under the drift threshold.
+    seconds_scf / seconds_tddft:
+        Wall-clock seconds of the two pipeline stages.
+    total_energy:
+        Converged ground-state total energy (Ha).
+    excitation_energies:
+        LR-TDDFT excitation energies (Ha).
+    """
+
+    index: int
+    rank: int = 0
+    warm: bool = False
+    reused_identical: bool = False
+    scf_iterations: int = 0
+    eigensolver_iterations: int = 0
+    kmeans_iterations: int = 0
+    isdf_reselected: bool = True
+    scf_converged: bool = False
+    tddft_converged: bool = False
+    seconds_scf: float = 0.0
+    seconds_tddft: float = 0.0
+    total_energy: float = 0.0
+    excitation_energies: tuple[float, ...] = ()
+
+    @property
+    def seconds(self) -> float:
+        """Total wall-clock seconds for the frame."""
+        return self.seconds_scf + self.seconds_tddft
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "rank": self.rank,
+            "warm": self.warm,
+            "reused_identical": self.reused_identical,
+            "scf_iterations": self.scf_iterations,
+            "eigensolver_iterations": self.eigensolver_iterations,
+            "kmeans_iterations": self.kmeans_iterations,
+            "isdf_reselected": self.isdf_reselected,
+            "scf_converged": self.scf_converged,
+            "tddft_converged": self.tddft_converged,
+            "seconds_scf": self.seconds_scf,
+            "seconds_tddft": self.seconds_tddft,
+            "total_energy": self.total_energy,
+            "excitation_energies": list(self.excitation_energies),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FrameRecord":
+        payload = dict(data)
+        payload["excitation_energies"] = tuple(
+            float(v) for v in payload.get("excitation_energies", ())
+        )
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class FrameResult:
+    """One frame's record plus (optionally) its full result objects.
+
+    ``ground_state`` / ``tddft`` are ``None`` when the batch ran with
+    ``store_results=False`` (records only — the memory-lean mode for long
+    trajectories).
+    """
+
+    record: FrameRecord
+    ground_state: object | None = None
+    tddft: object | None = None
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of a batched trajectory run.
+
+    ``records`` always covers every input frame in order; ``results``
+    aligns with it (entries hold ``None`` result objects when
+    ``store_results=False``).
+    """
+
+    records: tuple[FrameRecord, ...]
+    results: tuple[FrameResult, ...] = field(repr=False, default=())
+    n_ranks: int = 1
+    spmd_backend: str = "thread"
+    warm_start: bool = True
+
+    @property
+    def n_frames(self) -> int:
+        return len(self.records)
+
+    @property
+    def seconds(self) -> float:
+        """Summed per-frame wall-clock seconds (compute time, not span)."""
+        return float(sum(r.seconds for r in self.records))
+
+    @property
+    def total_energies(self) -> np.ndarray:
+        return np.array([r.total_energy for r in self.records])
+
+    @property
+    def excitation_energies(self) -> np.ndarray:
+        """``(n_frames, n_excitations)`` excitation energies."""
+        return np.array([r.excitation_energies for r in self.records])
+
+    def summary(self) -> str:
+        """Human-readable per-frame table."""
+        lines = [
+            "frame  rank  warm  reuse  scf  eig  km  resel  "
+            "t_scf[s]  t_td[s]   E_total[Ha]"
+        ]
+        for r in self.records:
+            lines.append(
+                f"{r.index:5d}  {r.rank:4d}  {str(r.warm):>4}  "
+                f"{str(r.reused_identical):>5}  {r.scf_iterations:3d}  "
+                f"{r.eigensolver_iterations:3d}  {r.kmeans_iterations:2d}  "
+                f"{str(r.isdf_reselected):>5}  {r.seconds_scf:8.3f}  "
+                f"{r.seconds_tddft:7.3f}  {r.total_energy:13.8f}"
+            )
+        lines.append(
+            f"total: {self.n_frames} frames, {self.seconds:.3f} s "
+            f"({self.n_ranks} rank(s), {self.spmd_backend} backend, "
+            f"warm_start={self.warm_start})"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Structure sequences for cross-calculation batching.
+
+A *batch* is an ordered sequence of related unit cells — consecutive MD
+snapshots, phonon displacements, a screening set — run through the full
+SCF -> K-Means/ISDF -> LR-TDDFT pipeline with warm starts carried from
+frame to frame (:mod:`repro.batch.engine`).
+
+:func:`perturbed_trajectory` generates the phonon-like synthetic
+trajectories used by the tests and benchmarks: every atom oscillates
+around its reference position with a fixed per-atom random amplitude and
+phase, so consecutive frames are smoothly related (the regime where
+warm-starting pays) while the whole sequence explores a genuine range of
+geometries.  The lattice is common to all frames, which keeps the
+plane-wave basis and FFT grid — and therefore every cached FFT plan —
+shared across the batch.
+
+:func:`frame_fingerprint` hashes the full physical and numerical identity
+of one frame; the batch engine uses it to detect *identical* repeated
+structures and replay their results bit-identically instead of recomputing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+
+from repro.pw.cell import UnitCell
+from repro.utils.validation import require
+
+__all__ = ["frame_fingerprint", "perturbed_trajectory"]
+
+
+def perturbed_trajectory(
+    cell: UnitCell,
+    n_frames: int,
+    *,
+    amplitude: float = 0.02,
+    period: float = 16.0,
+    seed: int = 0,
+) -> list[UnitCell]:
+    """Phonon-like synthetic trajectory around a reference cell.
+
+    Atom ``a`` moves as ``r_a(t) = r_a + A_a sin(2 pi t / period + phi_a)``
+    with ``A_a ~ amplitude * N(0, 1)`` per Cartesian direction and a random
+    phase, for ``t = 0 .. n_frames - 1``.  Frame 0 is *not* the reference
+    cell (the sine starts at the random phase), so no frame is privileged.
+
+    Parameters
+    ----------
+    amplitude:
+        Displacement scale in Bohr.  The default 0.02 gives consecutive-
+        frame displacements typical of few-femtosecond MD sampling.
+    period:
+        Oscillation period in frames; larger = smoother trajectory.
+    seed:
+        Seeds the per-atom amplitudes and phases (the trajectory is a
+        deterministic function of ``(cell, n_frames, amplitude, period,
+        seed)``).
+    """
+    require(n_frames >= 1, f"n_frames must be >= 1, got {n_frames}")
+    require(amplitude >= 0, f"amplitude must be >= 0, got {amplitude}")
+    require(period > 0, f"period must be positive, got {period}")
+    n_atoms = len(cell.species)
+    require(n_atoms > 0, "cell must contain at least one atom")
+
+    rng = np.random.default_rng(seed)
+    amp = amplitude * rng.standard_normal((n_atoms, 3))
+    phase = 2.0 * np.pi * rng.random((n_atoms, 3))
+    inv_lattice = np.linalg.inv(cell.lattice)
+
+    frames = []
+    for t in range(n_frames):
+        disp = amp * np.sin(2.0 * np.pi * t / period + phase)
+        fractional = (cell.fractional_positions + disp @ inv_lattice) % 1.0
+        frames.append(UnitCell(cell.lattice, cell.species, fractional))
+    return frames
+
+
+def frame_fingerprint(cell: UnitCell, *payloads) -> str:
+    """Hex digest identifying one frame's full calculation input.
+
+    Hashes the exact float bytes of the lattice and positions, the species
+    tuple, and any extra JSON-serializable payloads (config dicts).  Two
+    frames with equal fingerprints produce bit-identical results, which is
+    what licenses the batch engine's identical-frame replay.
+    """
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(cell.lattice, dtype=float).tobytes())
+    h.update("|".join(cell.species).encode())
+    h.update(np.ascontiguousarray(cell.fractional_positions, dtype=float).tobytes())
+    for payload in payloads:
+        h.update(json.dumps(payload, sort_keys=True, default=repr).encode())
+    return h.hexdigest()

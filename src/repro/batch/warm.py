@@ -1,0 +1,206 @@
+"""Warm-start state carried between consecutive batch frames.
+
+:class:`BatchWarmState` watches the stream of completed frames and turns
+them into warm-start payloads for the next one:
+
+* **SCF** — the starting density is an extrapolation of the previous
+  converged densities (quadratic over the last three frames when
+  available, linear over two, otherwise a plain carry), clipped to be
+  non-negative and renormalized to the electron count.  The previous
+  frame's real orbitals seed the first LOBPCG band solve, and a residual
+  hint (the RMS extrapolation correction, floored) lets the adaptive
+  eigensolver tolerance start tight instead of burning a loose first
+  solve at ``1e-3``.
+* **K-Means** — the previous frame's converged centroids seed the next
+  selection, collapsing the iteration count from tens to a handful.
+* **ISDF** — the previous interpolation points are carried forward
+  *unchanged* while the candidate-assignment drift stays below a
+  threshold, skipping point selection entirely; past the threshold the
+  centroids still warm-start a fresh selection.
+* **Casida LOBPCG** — the previous frame's excitation eigenvectors seed
+  the iterative eigensolve when the pair-space shape matches.
+
+Mixer state is deliberately *not* carried: Anderson history encodes the
+previous structure's response curvature, and measurements show reusing it
+across a geometry change lengthens the SCF (stale quasi-Newton directions
+mislead the extrapolation).  See ``docs/batching.md``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.driver import TDDFTWarmStart
+from repro.core.kmeans import classify_points
+from repro.dft.scf import SCFWarmStart
+from repro.utils.validation import require
+
+__all__ = ["BatchWarmState", "assignment_drift"]
+
+#: Candidate pruning threshold of ``select_points_kmeans`` — the drift check
+#: must prune with the same rule to compare like with like.
+_PRUNE_THRESHOLD = 1e-6
+
+
+def assignment_drift(
+    candidate_indices: np.ndarray,
+    labels: np.ndarray,
+    new_candidate_indices: np.ndarray,
+    new_labels: np.ndarray,
+) -> float:
+    """Fraction of the candidate union whose cluster membership changed.
+
+    Counts candidates that (a) appear in only one of the two pruned sets,
+    or (b) appear in both but moved to a different cluster, over the union
+    of both sets.  0 means the clustering structure is unchanged; 1 means
+    nothing survived.
+    """
+    common, in_new, in_old = np.intersect1d(
+        new_candidate_indices, candidate_indices, return_indices=True
+    )
+    changed = int((new_labels[in_new] != labels[in_old]).sum())
+    union = int(candidate_indices.size + new_candidate_indices.size - common.size)
+    if union == 0:
+        return 0.0
+    return float(changed + (union - common.size)) / union
+
+
+class BatchWarmState:
+    """Rolling warm-start state over a sequence of related frames.
+
+    Parameters
+    ----------
+    density_extrapolation:
+        ``"quadratic"`` (default), ``"linear"``, or ``"none"`` (carry the
+        previous density unmodified).
+    isdf_drift_threshold:
+        Reuse the previous interpolation points while the assignment
+        drift (see :func:`assignment_drift`) stays at or below this
+        fraction; 0 reselects whenever anything drifted at all, 1 reuses
+        always.
+    residual_hint_floor:
+        Lower bound on the SCF residual hint, guarding against a zero
+        hint when consecutive frames coincide.
+    """
+
+    def __init__(
+        self,
+        *,
+        density_extrapolation: str = "quadratic",
+        isdf_drift_threshold: float = 0.1,
+        residual_hint_floor: float = 3e-5,
+    ) -> None:
+        require(
+            density_extrapolation in ("none", "linear", "quadratic"),
+            f"density_extrapolation must be none/linear/quadratic, "
+            f"got {density_extrapolation!r}",
+        )
+        require(
+            0.0 <= isdf_drift_threshold <= 1.0,
+            f"isdf_drift_threshold must be in [0, 1], got {isdf_drift_threshold}",
+        )
+        self.density_extrapolation = density_extrapolation
+        self.isdf_drift_threshold = float(isdf_drift_threshold)
+        self.residual_hint_floor = float(residual_hint_floor)
+        self._densities: list[np.ndarray] = []  # newest last, keeps <= 3
+        self._ground_state = None
+        self._tddft = None
+        self._centroids: np.ndarray | None = None
+        self._candidate_indices: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+        self._isdf_indices: np.ndarray | None = None
+
+    # -- producing warm starts ---------------------------------------------
+
+    def scf_warm_start(self) -> SCFWarmStart | None:
+        """Warm start for the next frame's SCF (``None`` on the first)."""
+        gs = self._ground_state
+        if gs is None:
+            return None
+        hist = self._densities
+        if self.density_extrapolation == "quadratic" and len(hist) >= 3:
+            rho = 3.0 * hist[-1] - 3.0 * hist[-2] + hist[-3]
+        elif self.density_extrapolation != "none" and len(hist) >= 2:
+            rho = 2.0 * hist[-1] - hist[-2]
+        else:
+            rho = hist[-1].copy()
+        rho = np.maximum(rho, 0.0)
+        n_electrons = gs.n_electrons
+        dv = gs.basis.grid.dv
+        norm = float(rho.sum()) * dv
+        require(norm > 0.0, "extrapolated density vanished")
+        rho *= n_electrons / norm
+
+        delta = rho - hist[-1]
+        hint = float(np.sqrt((delta * delta).sum() * dv) / max(n_electrons, 1.0))
+        return SCFWarmStart(
+            density=rho,
+            orbitals_real=gs.orbitals_real,
+            residual_hint=max(hint, self.residual_hint_floor),
+        )
+
+    def tddft_warm_start(self, solver) -> TDDFTWarmStart | None:
+        """Warm start for the next frame's LR-TDDFT solve.
+
+        ``solver`` is the *new* frame's :class:`~repro.core.driver.
+        LRTDDFTSolver`: its transition-space orbitals decide whether the
+        previous interpolation points still describe the pair-density
+        support (the drift check), which needs only a single
+        classification pass — far cheaper than reselection.
+        """
+        if self._centroids is None:
+            return None
+        x0 = None if self._tddft is None else self._tddft.wavefunctions
+        drift = self._current_drift(solver)
+        if (
+            drift is not None
+            and drift <= self.isdf_drift_threshold
+            and self._isdf_indices is not None
+        ):
+            return TDDFTWarmStart(isdf_indices=self._isdf_indices, x0=x0)
+        return TDDFTWarmStart(kmeans_centroids=self._centroids, x0=x0)
+
+    def _current_drift(self, solver) -> float | None:
+        """Assignment drift of the new frame against the stored clustering."""
+        if self._candidate_indices is None or self._labels is None:
+            return None
+        from repro.core.pair_products import pair_weights
+
+        weights = pair_weights(solver.psi_v, solver.psi_c)
+        w_max = float(weights.max())
+        if w_max <= 0.0:
+            return None
+        keep = np.flatnonzero(weights >= _PRUNE_THRESHOLD * w_max)
+        if keep.size == 0:
+            return None
+        grid_points = solver.ground_state.basis.grid.cartesian_points
+        new_labels = classify_points(grid_points[keep], self._centroids)
+        return assignment_drift(
+            self._candidate_indices, self._labels, keep, new_labels
+        )
+
+    # -- observing completed frames ----------------------------------------
+
+    def observe(self, ground_state, tddft_result=None) -> None:
+        """Record one completed frame as the new warm-start source."""
+        self._ground_state = ground_state
+        self._densities.append(ground_state.density)
+        if len(self._densities) > 3:
+            self._densities.pop(0)
+        if tddft_result is None:
+            return
+        self._tddft = tddft_result
+        isdf = tddft_result.isdf
+        if isdf is None:
+            return
+        self._isdf_indices = isdf.indices
+        info = isdf.selection_info
+        if info is not None and getattr(info, "centroids", None) is not None:
+            # Fresh selection ran: adopt its clustering as the reference.
+            self._centroids = info.centroids
+            self._candidate_indices = info.candidate_indices
+            self._labels = info.labels
+        # On index reuse (selection skipped) the previous clustering stays
+        # the drift reference — drift accumulates against the last *actual*
+        # selection, not the last frame, so slow monotonic geometry drift
+        # still triggers reselection eventually.

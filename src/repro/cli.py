@@ -18,6 +18,12 @@ Commands
 ``bench-spmd``
     Thread vs process SPMD backend comparison (wall time, speedup, and
     the zero-copy/pickled transport split); writes ``BENCH_spmd.json``.
+``batch``
+    Warm-started SCF + LR-TDDFT over a perturbed trajectory of a built-in
+    system; prints the per-frame reuse table.
+``bench-batch``
+    Warm vs cold trajectory benchmark (the batch engine); writes
+    ``BENCH_batch.json``.
 ``lint``
     Run the project's AST lint passes (``repro.lint``) over source paths;
     exits nonzero when findings remain.
@@ -253,6 +259,55 @@ def cmd_bench_spmd(args) -> int:
     return 0
 
 
+def cmd_batch(args) -> int:
+    from repro.api import BatchConfig, SCFConfig, TDDFTConfig, run_batch
+    from repro.batch import perturbed_trajectory
+    from repro.constants import HARTREE_TO_EV
+
+    cell = _builtin_systems()[args.system]()
+    frames = perturbed_trajectory(
+        cell,
+        args.frames,
+        amplitude=args.amplitude,
+        period=args.period,
+        seed=args.seed,
+    )
+    config = BatchConfig(
+        scf=SCFConfig(ecut=args.ecut, n_bands=args.bands, tol=args.tol, seed=0),
+        tddft=TDDFTConfig(n_excitations=args.n_excitations, seed=0),
+        warm_start=not args.cold,
+        n_ranks=args.ranks,
+        spmd_backend=args.backend,
+        store_results=False,
+    )
+    result = run_batch(frames, config, resilience=_resilience_from(args))
+    print(result.summary())
+    last = result.records[-1]
+    print("last frame excitations (eV):",
+          ", ".join(f"{w * HARTREE_TO_EV:.4f}" for w in last.excitation_energies))
+    return 0
+
+
+def cmd_bench_batch(args) -> int:
+    from repro.perf.batch_bench import (
+        format_summary,
+        run_batch_bench,
+        write_report,
+    )
+
+    report = run_batch_bench(
+        smoke=args.smoke,
+        n_frames=args.frames,
+        repeats=args.repeats,
+        amplitude=args.amplitude,
+    )
+    print(format_summary(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def cmd_lint(args) -> int:
     from repro.lint import format_findings, get_rules, lint_paths
 
@@ -342,6 +397,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_bs.add_argument("--out", default=None,
                       help="write the JSON report here (e.g. BENCH_spmd.json)")
 
+    p_batch = sub.add_parser("batch",
+                             help="warm-started pipeline over a trajectory")
+    p_batch.add_argument("--system", choices=sorted(_builtin_systems()),
+                         default="si2")
+    p_batch.add_argument("--frames", type=int, default=6,
+                         help="trajectory length")
+    p_batch.add_argument("--amplitude", type=float, default=0.012,
+                         help="displacement scale (Bohr)")
+    p_batch.add_argument("--period", type=float, default=16.0,
+                         help="oscillation period in frames")
+    p_batch.add_argument("--seed", type=int, default=7,
+                         help="trajectory seed")
+    p_batch.add_argument("--ecut", type=float, default=10.0, help="cutoff (Ha)")
+    p_batch.add_argument("--bands", type=int, default=10)
+    p_batch.add_argument("--tol", type=float, default=1e-6)
+    p_batch.add_argument("-k", "--n-excitations", type=int, default=4)
+    p_batch.add_argument("--cold", action="store_true",
+                         help="disable all cross-frame reuse")
+    p_batch.add_argument("--ranks", type=int, default=1,
+                         help="SPMD ranks to shard frames over")
+    p_batch.add_argument("--backend", choices=("thread", "process"),
+                         default=None, help="SPMD backend for --ranks > 1")
+    add_resilience_args(p_batch)
+
+    p_bbt = sub.add_parser("bench-batch",
+                           help="benchmark warm vs cold trajectory batching")
+    p_bbt.add_argument("--smoke", action="store_true",
+                       help="tiny workload for CI (seconds, not minutes)")
+    p_bbt.add_argument("--frames", type=int, default=None,
+                       help="trajectory length (default: 4 smoke / 10 full)")
+    p_bbt.add_argument("--repeats", type=int, default=None,
+                       help="cold+warm pairs; minimum is reported")
+    p_bbt.add_argument("--amplitude", type=float, default=0.012,
+                       help="displacement scale (Bohr)")
+    p_bbt.add_argument("--out", default=None,
+                       help="write the JSON report here (e.g. BENCH_batch.json)")
+
     p_lint = sub.add_parser("lint", help="run the repro.lint AST passes")
     p_lint.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
@@ -365,6 +457,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "rt": cmd_rt,
         "bench-backend": cmd_bench_backend,
         "bench-spmd": cmd_bench_spmd,
+        "batch": cmd_batch,
+        "bench-batch": cmd_bench_batch,
         "lint": cmd_lint,
     }
     return handlers[args.command](args)

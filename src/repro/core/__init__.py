@@ -23,7 +23,12 @@ from repro.core.casida import (
     transition_diagonal,
 )
 from repro.core.qrcp import QRCPResult, select_points_qrcp
-from repro.core.kmeans import KMeansResult, select_points_kmeans, weighted_kmeans
+from repro.core.kmeans import (
+    KMeansResult,
+    classify_points,
+    select_points_kmeans,
+    weighted_kmeans,
+)
 from repro.core.fitting import coefficient_matrix, fit_interpolation_vectors
 from repro.core.isdf import ISDFDecomposition, isdf_decompose
 from repro.core.isdf_hamiltonian import build_isdf_hamiltonian, project_kernel
@@ -37,6 +42,7 @@ from repro.core.driver import (
     METHODS,
     LRTDDFTResult,
     LRTDDFTSolver,
+    TDDFTWarmStart,
 )
 from repro.core.spectra import oscillator_strengths, transition_dipoles
 
@@ -53,6 +59,7 @@ __all__ = [
     "select_points_qrcp",
     "KMeansResult",
     "weighted_kmeans",
+    "classify_points",
     "select_points_kmeans",
     "coefficient_matrix",
     "fit_interpolation_vectors",
@@ -65,6 +72,7 @@ __all__ = [
     "build_full_casida_matrix",
     "solve_full_casida_dense",
     "LRTDDFTSolver",
+    "TDDFTWarmStart",
     "LRTDDFTResult",
     "METHODS",
     "transition_dipoles",

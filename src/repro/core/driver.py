@@ -60,6 +60,33 @@ METHODS: tuple[str, ...] = (
 _UNSET = object()
 
 
+@dataclass(frozen=True)
+class TDDFTWarmStart:
+    """Cross-calculation reuse state for :meth:`LRTDDFTSolver.solve`.
+
+    Carried between nearby structures by :mod:`repro.batch`; every field
+    is optional and ``None`` falls back to the cold path.
+
+    Attributes
+    ----------
+    isdf_indices:
+        Interpolation points reused verbatim (selection is skipped and only
+        the least-squares fit re-runs).  Takes precedence over
+        ``kmeans_centroids``.
+    kmeans_centroids:
+        Warm-start centroids for the K-Means selection — iteration counts
+        collapse to the few steps needed to track the perturbation.
+    x0:
+        ``(N_cv, k)`` eigensolver starting block (the previous frame's
+        converged excitation vectors).  Used only when the shape matches
+        the requested solve; otherwise ignored.
+    """
+
+    isdf_indices: np.ndarray | None = None
+    kmeans_centroids: np.ndarray | None = None
+    x0: np.ndarray | None = None
+
+
 @dataclass
 class LRTDDFTResult(SerializableResult):
     """Excitation energies and wavefunction coefficients.
@@ -162,6 +189,7 @@ class LRTDDFTSolver:
             self.basis, ground_state.density, include_xc=include_xc, spin=spin
         )
         self._seed = seed
+        self._warm: TDDFTWarmStart | None = None
         self._selection_fallback: str | None = None
         self._isdf_checkpoint = None
         self._lobpcg_checkpoint = None
@@ -197,6 +225,7 @@ class LRTDDFTSolver:
         tda: bool = _UNSET,
         isdf_kwargs: dict | None = _UNSET,
         resilience=None,
+        warm: TDDFTWarmStart | None = None,
     ) -> LRTDDFTResult:
         """Solve for the lowest excitations with the chosen Table 4 version.
 
@@ -227,6 +256,11 @@ class LRTDDFTSolver:
             is set, stage checkpoints for the ISDF pipeline (tag ``isdf``)
             and iteration snapshots for the LOBPCG solve (tag ``lobpcg``)
             with ``restart`` resuming both.
+        warm:
+            Optional :class:`TDDFTWarmStart` carrying interpolation points,
+            K-Means centroids and an eigensolver starting block from a
+            nearby converged solve; ``None`` (default) is the cold path,
+            bit-identical to previous releases.
         """
         legacy = {
             k: v
@@ -274,6 +308,7 @@ class LRTDDFTSolver:
         require(method in METHODS, f"unknown method {method!r}; choose from {METHODS}")
         timers = TimerRegistry()
         isdf_kwargs = dict(isdf_kwargs or {})
+        self._warm = warm
         self._configure_resilience(resilience)
         # Fresh generator per solve: every method sees identical ISDF points
         # and starting blocks, so cross-version comparisons are exact.
@@ -359,6 +394,14 @@ class LRTDDFTSolver:
         grid_points = (
             self.basis.grid.cartesian_points if selection == "kmeans" else None
         )
+        warm = self._warm
+        if warm is not None:
+            if warm.isdf_indices is not None:
+                isdf_kwargs = dict(isdf_kwargs, indices=warm.isdf_indices)
+            elif warm.kmeans_centroids is not None and selection == "kmeans":
+                isdf_kwargs = dict(
+                    isdf_kwargs, initial_centroids=warm.kmeans_centroids
+                )
         return isdf_decompose(
             self.psi_v,
             self.psi_c,
@@ -497,6 +540,11 @@ class LRTDDFTSolver:
         the right subspace.  A small random admixture avoids exact-zero
         couplings in symmetric systems.
         """
+        warm = self._warm
+        if warm is not None and warm.x0 is not None and warm.x0.shape == (
+            self.n_pairs, k
+        ):
+            return np.array(warm.x0, dtype=float)
         diag = pair_energies(self.eps_v, self.eps_c)
         lowest = np.argsort(diag)[:k]
         x0 = np.zeros((self.n_pairs, k))

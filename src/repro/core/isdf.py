@@ -189,6 +189,7 @@ def isdf_decompose(
     timers: TimerRegistry | None = None,
     fallback: str | None = None,
     checkpoint=None,
+    indices: np.ndarray | None = None,
     **selection_kwargs,
 ) -> ISDFDecomposition:
     """Run point selection + least-squares fit.
@@ -201,6 +202,13 @@ def isdf_decompose(
         ``(N_r, 3)`` Cartesian grid coordinates; required for K-Means.
     n_mu:
         Rank; defaults to :func:`default_rank` with ``rank_factor``.
+    indices:
+        Explicit interpolation-point indices — skips point selection
+        entirely and only runs the least-squares fit against the new
+        orbitals.  This is the cross-calculation reuse path: for a small
+        structural perturbation the selected points barely move, so a batch
+        engine carries them forward until a drift check says otherwise.
+        A checkpoint resume (below) takes precedence.
     fallback:
         ``"qrcp"`` re-selects points with randomized QRCP when the K-Means
         clustering fails to converge (or raises) — the graceful-degradation
@@ -229,6 +237,15 @@ def isdf_decompose(
         f"unknown selection fallback {fallback!r}; only 'qrcp' is supported",
     )
 
+    reused = indices
+    if reused is not None:
+        reused = np.asarray(reused, dtype=np.int64)
+        require(reused.ndim == 1 and reused.size > 0, "indices must be 1-D, non-empty")
+        require(
+            int(reused.min()) >= 0 and int(reused.max()) < n_r,
+            f"indices out of range for N_r={n_r}",
+        )
+
     indices = theta = info = None
     method_used = method
     resumed = checkpoint.resume() if checkpoint is not None else None
@@ -238,6 +255,9 @@ def isdf_decompose(
         method_used = str(state["method"])
         if state.get("theta") is not None:
             theta = np.array(state["theta"])
+
+    if indices is None and reused is not None:
+        indices = np.sort(np.unique(reused))
 
     if indices is None:
         if method == "kmeans":

@@ -61,23 +61,35 @@ class HxcKernel:
         self.include_hartree = include_hartree
         self.include_xc = include_xc
         if include_hartree:
+            # Kernel + half-spectrum slice come from the process-wide plan
+            # cache: repeat kernel constructions (one HxcKernel per
+            # trajectory frame) reuse the same arrays.  The truncation
+            # radius is resolved *before* keying so "auto" and its explicit
+            # value share a plan only when they actually coincide.
+            from repro.pw.fft import default_plan_cache
+
             if coulomb_truncation is None:
-                self._coulomb_g = coulomb_kernel(basis)
+                plan = default_plan_cache().get(
+                    "coulomb", basis.fft, lambda: coulomb_kernel(basis)
+                )
             else:
                 from repro.dft.hartree import truncated_coulomb_kernel
 
                 radius = (
-                    None if coulomb_truncation == "auto" else float(coulomb_truncation)
+                    0.5 * float(basis.cell.lengths.min())
+                    if coulomb_truncation == "auto"
+                    else float(coulomb_truncation)
                 )
-                self._coulomb_g = truncated_coulomb_kernel(basis, radius)
+                plan = default_plan_cache().get(
+                    f"coulomb-truncated:{radius!r}",
+                    basis.fft,
+                    lambda: truncated_coulomb_kernel(basis, radius),
+                )
+            self._coulomb_g = plan.kernel
+            self._coulomb_half = plan.kernel_half
         else:
             self._coulomb_g = None
-        # Half-spectrum copy for the engine's rfftn fast path, cut once.
-        self._coulomb_half = (
-            basis.fft.half_kernel(self._coulomb_g)
-            if self._coulomb_g is not None
-            else None
-        )
+            self._coulomb_half = None
         if include_xc:
             if spin == "triplet":
                 from repro.dft.xc_spin import lda_kernel_triplet

@@ -232,12 +232,33 @@ def _classify_tiled(
     return labels, d2_near, d2_second
 
 
+def classify_points(
+    points: np.ndarray,
+    centroids: np.ndarray,
+    *,
+    tile_bytes: int = DEFAULT_TILE_BYTES,
+) -> np.ndarray:
+    """Nearest-centroid labels for ``points`` (one tiled classification).
+
+    The assignment half of a single Lloyd iteration, exposed for drift
+    checks: warm-start consumers compare these labels against the labels
+    stored with a previous clustering to decide whether interpolation
+    points must be re-selected.
+    """
+    require(points.ndim == 2, "points must be (n, d)")
+    require(centroids.ndim == 2, "centroids must be (k, d)")
+    points_sq = np.einsum("ij,ij->i", points, points)
+    labels, _, _ = _classify_tiled(points, points_sq, centroids, None, tile_bytes)
+    return labels
+
+
 def weighted_kmeans(
     points: np.ndarray,
     weights: np.ndarray,
     n_clusters: int,
     *,
     init: str = "greedy-weight",
+    initial_centroids: np.ndarray | None = None,
     max_iter: int = 100,
     tol: float = 0.0,
     rng: np.random.Generator | None = None,
@@ -252,6 +273,13 @@ def weighted_kmeans(
 
     Parameters
     ----------
+    initial_centroids:
+        ``(n_clusters, d)`` starting centroids (``init="warm"`` is implied
+        when given).  This is the cross-calculation warm start: seeding from
+        a nearby converged clustering collapses the iteration count to the
+        few steps needed to track the perturbation, and the first iteration
+        classifies every point, so the Hamerly bounds are re-seeded
+        consistently.
     algorithm:
         ``"hamerly"`` (default) skips the ``N_mu``-way classification for
         points whose distance bounds prove the assignment is unchanged;
@@ -271,13 +299,23 @@ def weighted_kmeans(
     require(tile_bytes > 0, "tile_bytes must be positive")
 
     rng = rng or default_rng()
-    if init == "greedy-weight":
-        seed_idx = _init_greedy_weight(points, weights, n_clusters)
+    if initial_centroids is not None or init == "warm":
+        require(
+            initial_centroids is not None,
+            "init='warm' needs initial_centroids",
+        )
+        centroids = np.array(initial_centroids, dtype=float, copy=True)
+        require(
+            centroids.shape == (n_clusters, points.shape[1]),
+            f"initial_centroids must be ({n_clusters}, {points.shape[1]}), "
+            f"got {centroids.shape}",
+        )
+    elif init == "greedy-weight":
+        centroids = points[_init_greedy_weight(points, weights, n_clusters)].copy()
     elif init == "plusplus":
-        seed_idx = _init_plusplus(points, weights, n_clusters, rng)
+        centroids = points[_init_plusplus(points, weights, n_clusters, rng)].copy()
     else:
         raise ValueError(f"unknown init {init!r}")
-    centroids = points[seed_idx].copy()
 
     labels = np.full(n, -1, dtype=np.int64)
     inertia = np.inf
@@ -376,6 +414,7 @@ def select_points_kmeans(
     grid_points: np.ndarray,
     prune_threshold: float = 1e-6,
     init: str = "greedy-weight",
+    initial_centroids: np.ndarray | None = None,
     max_iter: int = 100,
     rng: np.random.Generator | None = None,
     algorithm: str = "hamerly",
@@ -393,6 +432,10 @@ def select_points_kmeans(
     prune_threshold:
         Relative weight cutoff; points with ``w < threshold * max(w)`` are
         excluded from clustering (the paper's low-rank weight observation).
+    initial_centroids:
+        Warm-start centroids from a previous, nearby selection (see
+        :func:`weighted_kmeans`); the pruning and representative-point
+        extraction are unchanged.
     """
     weights_full = pair_weights(psi_v, psi_c)
     w_max = float(weights_full.max())
@@ -408,7 +451,8 @@ def select_points_kmeans(
     weights = weights_full[keep]
 
     centroids, labels, inertia, n_iter, converged = weighted_kmeans(
-        candidates, weights, n_mu, init=init, max_iter=max_iter, rng=rng,
+        candidates, weights, n_mu, init=init,
+        initial_centroids=initial_centroids, max_iter=max_iter, rng=rng,
         algorithm=algorithm, tile_bytes=tile_bytes,
     )
 

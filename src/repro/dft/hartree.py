@@ -57,9 +57,17 @@ def hartree_potential(density: np.ndarray, basis: PlaneWaveBasis) -> np.ndarray:
 
     Routed through the FFT engine's real-field convolution fast path
     (``4 pi / G^2`` is inversion symmetric, so the half-spectrum product is
-    exact).
+    exact).  The kernel and its half-spectrum slice come from the
+    process-wide :func:`~repro.pw.fft.default_plan_cache`, so the per-SCF-
+    iteration calls (and consecutive trajectory frames sharing a lattice)
+    build them exactly once.
     """
-    return basis.fft.convolve_real(density, coulomb_kernel(basis))
+    from repro.pw.fft import default_plan_cache
+
+    plan = default_plan_cache().get(
+        "coulomb", basis.fft, lambda: coulomb_kernel(basis)
+    )
+    return plan.apply(density)
 
 
 def hartree_energy(density: np.ndarray, basis: PlaneWaveBasis) -> float:

@@ -49,6 +49,42 @@ class SCFOptions:
     restart: bool = False  #: resume from the newest snapshot when present
 
 
+@dataclass(frozen=True)
+class SCFWarmStart:
+    """Initial state carried over from a nearby converged calculation.
+
+    The cross-calculation warm start used by :mod:`repro.batch`: seeding
+    the loop with the previous frame's (possibly extrapolated) density and
+    converged orbitals skips the atomic-guess/random-coefficient cold start
+    and lets Anderson mixing begin inside the convergence basin.
+
+    Attributes
+    ----------
+    density:
+        ``(N_r,)`` starting density (should integrate to the electron
+        count; a linear extrapolation of the two previous frames is the
+        usual choice for smooth trajectories).
+    orbitals_real:
+        Optional ``(n_bands, N_r)`` real-gauge orbitals used as the LOBPCG
+        starting block (``GroundState.orbitals_real`` of the previous
+        frame).  ``None`` falls back to random coefficients.
+    residual_hint:
+        Estimated initial density residual (per electron).  Sets the first
+        iteration's adaptive eigensolver tolerance; without it the first
+        band solve runs at the loosest tolerance (1e-3), which floors the
+        first measured residual and wastes the quality of a good guess.
+    mixer_state:
+        Optional ``state_dict`` of the previous run's mixer; carrying the
+        Anderson history across frames preserves the built-up quasi-Newton
+        curvature information.
+    """
+
+    density: np.ndarray
+    orbitals_real: np.ndarray | None = None
+    residual_hint: float | None = None
+    mixer_state: dict | None = None
+
+
 @dataclass
 class SCFResultInfo:
     """Convergence diagnostics of one SCF run."""
@@ -116,12 +152,17 @@ def run_scf(
     *,
     timers: TimerRegistry | None = None,
     checkpoint=None,
+    warm_start: SCFWarmStart | None = None,
     **overrides,
 ) -> GroundState:
     """Run a Gamma-point SCF and return the converged :class:`GroundState`.
 
     Keyword overrides are applied on top of ``options``:
     ``run_scf(cell, ecut=8.0, n_bands=12)``.
+
+    ``warm_start`` seeds the loop from a nearby converged calculation (see
+    :class:`SCFWarmStart`); a checkpoint restart, when present, takes
+    precedence since it resumes *this* run's own state.
 
     Checkpoint/restart: pass a
     :class:`~repro.resilience.checkpoint.LoopCheckpointer` (or set
@@ -159,11 +200,6 @@ def run_scf(
     )
     ham = KohnShamHamiltonian(basis)
     rng = default_rng(opts.seed)
-    coeffs = basis.random_coefficients(n_bands, rng)
-
-    with timers.scope("scf/guess"):
-        density = atomic_guess_density(basis)
-    e_ii = ewald_energy(cell)
 
     mixer = (
         AndersonMixer(opts.mixing_beta, opts.mixing_history)
@@ -177,6 +213,33 @@ def run_scf(
     occupations = np.zeros(n_bands)
     residual = np.inf
     start_iteration = 0
+
+    if warm_start is not None:
+        require(
+            warm_start.density.shape == (basis.n_r,),
+            f"warm-start density must have shape ({basis.n_r},), "
+            f"got {warm_start.density.shape}",
+        )
+        with timers.scope("scf/guess"):
+            density = np.array(warm_start.density, dtype=float)
+        if warm_start.orbitals_real is not None:
+            require(
+                warm_start.orbitals_real.shape == (n_bands, basis.n_r),
+                f"warm-start orbitals must be ({n_bands}, {basis.n_r}), "
+                f"got {warm_start.orbitals_real.shape}",
+            )
+            coeffs = basis.to_recip(warm_start.orbitals_real.astype(complex))
+        else:
+            coeffs = basis.random_coefficients(n_bands, rng)
+        if warm_start.residual_hint is not None:
+            residual = float(warm_start.residual_hint)
+        if warm_start.mixer_state is not None:
+            mixer.load_state_dict(warm_start.mixer_state)
+    else:
+        coeffs = basis.random_coefficients(n_bands, rng)
+        with timers.scope("scf/guess"):
+            density = atomic_guess_density(basis)
+    e_ii = ewald_energy(cell)
 
     resumed = checkpoint.resume() if checkpoint is not None else None
     if resumed is not None:

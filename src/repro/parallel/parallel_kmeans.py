@@ -32,6 +32,7 @@ def distributed_kmeans(
     dist: BlockDistribution1D,
     *,
     max_iter: int = 100,
+    initial_centroids: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray, float, int, bool]:
     """Weighted Lloyd iterations over row-distributed candidate points.
 
@@ -41,6 +42,13 @@ def distributed_kmeans(
         This rank's slab of the candidate set (``dist`` describes the split).
     n_clusters:
         Number of clusters N_mu.
+    initial_centroids:
+        ``(n_clusters, d)`` warm-start centroids, replicated on every rank
+        (e.g. the converged centroids of the previous trajectory frame).
+        Skips the gather + greedy seeding entirely; the Lloyd loop is
+        otherwise unchanged, so the result stays bit-identical to the
+        serial :func:`~repro.core.kmeans.weighted_kmeans` warm start and
+        across SPMD backends.
 
     Returns
     -------
@@ -57,13 +65,22 @@ def distributed_kmeans(
     require(0 < n_clusters <= n_total, f"n_clusters must be in [1, {n_total}]")
     my_offset = dist.displacement(comm.rank)
 
-    # --- initialization: greedy weight seeding on the gathered candidate set.
-    # The candidate set is already pruned (N_r' << N_r), so gathering it for
-    # seeding is cheap; the Lloyd loop below never gathers points again.
-    all_points = np.concatenate(comm.allgather(local_points), axis=0)
-    all_weights = np.concatenate(comm.allgather(local_weights))
-    seed_idx = _init_greedy_weight(all_points, all_weights, n_clusters)
-    centroids = all_points[seed_idx].copy()
+    if initial_centroids is not None:
+        require(
+            initial_centroids.shape == (n_clusters, local_points.shape[1]),
+            f"initial_centroids must be ({n_clusters}, "
+            f"{local_points.shape[1]}), got {initial_centroids.shape}",
+        )
+        centroids = np.array(initial_centroids, dtype=float, copy=True)
+    else:
+        # --- initialization: greedy weight seeding on the gathered candidate
+        # set.  The candidate set is already pruned (N_r' << N_r), so
+        # gathering it for seeding is cheap; the Lloyd loop below never
+        # gathers points again.
+        all_points = np.concatenate(comm.allgather(local_points), axis=0)
+        all_weights = np.concatenate(comm.allgather(local_weights))
+        seed_idx = _init_greedy_weight(all_points, all_weights, n_clusters)
+        centroids = all_points[seed_idx].copy()
 
     labels = np.full(local_points.shape[0], -1, dtype=np.int64)
     inertia = np.inf

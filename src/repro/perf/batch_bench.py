@@ -1,0 +1,194 @@
+"""Warm vs cold trajectory benchmark (``repro bench-batch``).
+
+Runs the same perturbed trajectory twice through :func:`repro.batch.
+run_batch` — once cold (``warm_start=False``: every frame a standalone
+calculation, the status quo before the batch engine) and once warm (full
+cross-frame reuse) — and emits ``BENCH_batch.json`` with honest per-frame
+accounting:
+
+* wall seconds per frame and per stage (SCF vs LR-TDDFT), cold and warm;
+* per-frame SCF / K-Means / Casida-LOBPCG iteration counts, showing the
+  *mechanism* of the speedup (iteration collapse), not just the outcome;
+* ISDF reselection events under the drift threshold;
+* the end-to-end warm-vs-cold throughput ratio, plus equivalence checks:
+  the maximum ground-state energy and excitation-energy deviation between
+  the two passes (bounded by the SCF tolerance — documented, not hidden),
+  and the bit-identity of frame 0 (which receives no warm information, so
+  any deviation there would indicate a correctness bug, not a tolerance).
+
+Both passes run in-process back to back on the same workload, so the
+comparison shares every process-level cache (FFT plans warm up during the
+cold pass — which *helps cold*, making the reported ratio conservative).
+``repeats > 1`` runs the whole cold+warm pair several times and reports
+the per-pass minimum totals, the standard defence against single-core
+timing noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+import numpy as np
+
+__all__ = ["format_summary", "run_batch_bench", "write_report"]
+
+
+def _records_payload(result) -> list[dict]:
+    return [r.to_dict() for r in result.records]
+
+
+def _run_pass(frames, config):
+    from repro.batch import run_batch
+
+    t0 = time.perf_counter()
+    result = run_batch(frames, config)
+    seconds = time.perf_counter() - t0
+    return result, seconds
+
+
+def run_batch_bench(
+    *,
+    smoke: bool = False,
+    n_frames: int | None = None,
+    amplitude: float = 0.012,
+    period: float = 16.0,
+    seed: int = 7,
+    repeats: int | None = None,
+) -> dict:
+    """Benchmark warm vs cold batching; returns a JSON-ready dict.
+
+    Smoke mode shrinks the trajectory and basis so the whole thing runs
+    in seconds (CI / the perf-regression gate); full mode uses the
+    committed-report workload (>= 8 frames at production-ish settings).
+    """
+    from repro.api import BatchConfig, SCFConfig, TDDFTConfig
+    from repro.atoms import silicon_primitive_cell
+    from repro.batch import perturbed_trajectory
+
+    if smoke:
+        n_frames = 4 if n_frames is None else n_frames
+        repeats = 1 if repeats is None else repeats
+        scf = SCFConfig(ecut=6.0, n_bands=8, tol=1e-6, seed=0)
+        tddft = TDDFTConfig(n_excitations=3, seed=0)
+    else:
+        n_frames = 10 if n_frames is None else n_frames
+        repeats = 3 if repeats is None else repeats
+        scf = SCFConfig(ecut=10.0, n_bands=10, tol=1e-6, seed=0)
+        tddft = TDDFTConfig(n_excitations=4, seed=0)
+
+    cell = silicon_primitive_cell()
+    frames = perturbed_trajectory(
+        cell, n_frames, amplitude=amplitude, period=period, seed=seed
+    )
+    warm_config = BatchConfig(scf=scf, tddft=tddft, warm_start=True)
+    cold_config = warm_config.replace(warm_start=False)
+
+    best: dict[str, dict] = {}
+    for _ in range(max(1, repeats)):
+        for mode, config in (("cold", cold_config), ("warm", warm_config)):
+            result, seconds = _run_pass(frames, config)
+            if mode not in best or seconds < best[mode]["wall_seconds"]:
+                best[mode] = {
+                    "wall_seconds": seconds,
+                    "result": result,
+                }
+
+    cold = best["cold"]["result"]
+    warm = best["warm"]["result"]
+    cold_s = best["cold"]["wall_seconds"]
+    warm_s = best["warm"]["wall_seconds"]
+
+    d_energy = float(np.abs(cold.total_energies - warm.total_energies).max())
+    d_excite = float(
+        np.abs(cold.excitation_energies - warm.excitation_energies).max()
+    )
+    frame0_bit_identical = bool(
+        cold.records[0].total_energy == warm.records[0].total_energy
+        and cold.records[0].excitation_energies
+        == warm.records[0].excitation_energies
+    )
+    reselections = [r.index for r in warm.records if r.isdf_reselected]
+
+    return {
+        "meta": {
+            "mode": "smoke" if smoke else "full",
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count() or 1,
+            "system": "si2",
+            "n_frames": n_frames,
+            "amplitude_bohr": amplitude,
+            "period_frames": period,
+            "trajectory_seed": seed,
+            "repeats": repeats,
+            "timing": "minimum over repeats (per pass)",
+            "scf": scf.to_dict(),
+            "tddft": tddft.to_dict(),
+            "warm": {
+                "density_extrapolation": warm_config.density_extrapolation,
+                "isdf_drift_threshold": warm_config.isdf_drift_threshold,
+            },
+        },
+        "cold": {
+            "wall_seconds": cold_s,
+            "frames": _records_payload(cold),
+        },
+        "warm": {
+            "wall_seconds": warm_s,
+            "frames": _records_payload(warm),
+        },
+        "speedup_end_to_end": cold_s / warm_s,
+        "isdf_reselection_frames": sorted(reselections),
+        "equivalence": {
+            "max_total_energy_delta_ha": d_energy,
+            "max_excitation_delta_ha": d_excite,
+            "tolerance_bound_ha": 10.0 * scf.tol,
+            "within_tolerance": bool(
+                d_energy <= 10.0 * scf.tol and d_excite <= 10.0 * scf.tol
+            ),
+            "frame0_bit_identical": frame0_bit_identical,
+        },
+    }
+
+
+def format_summary(report: dict) -> str:
+    """Terse human-readable digest of :func:`run_batch_bench` output."""
+    meta = report["meta"]
+    lines = [
+        f"batch bench ({meta['mode']} mode, {meta['n_frames']} frames, "
+        f"{meta['cpu_count']} cpu(s), best of {meta['repeats']})",
+        "  frame   cold[s]  warm[s]   scf c/w   km c/w  eig c/w  reuse",
+    ]
+    for c, w in zip(report["cold"]["frames"], report["warm"]["frames"]):
+        reuse = "idx" if not w["isdf_reselected"] else "sel"
+        lines.append(
+            f"  {c['index']:5d}  {c['seconds_scf'] + c['seconds_tddft']:8.3f}"
+            f" {w['seconds_scf'] + w['seconds_tddft']:8.3f}"
+            f"   {c['scf_iterations']:3d}/{w['scf_iterations']:<3d}"
+            f"  {c['kmeans_iterations']:3d}/{w['kmeans_iterations']:<3d}"
+            f"  {c['eigensolver_iterations']:3d}/{w['eigensolver_iterations']:<3d}"
+            f"   {reuse}"
+        )
+    eq = report["equivalence"]
+    lines.append(
+        f"  end-to-end: cold {report['cold']['wall_seconds']:.2f}s, "
+        f"warm {report['warm']['wall_seconds']:.2f}s, "
+        f"speedup {report['speedup_end_to_end']:.2f}x"
+    )
+    lines.append(
+        f"  equivalence: dE={eq['max_total_energy_delta_ha']:.1e} Ha, "
+        f"dW={eq['max_excitation_delta_ha']:.1e} Ha "
+        f"(bound {eq['tolerance_bound_ha']:.0e}), "
+        f"within={eq['within_tolerance']}, "
+        f"frame0_bit_identical={eq['frame0_bit_identical']}"
+    )
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -24,6 +24,8 @@ dominating the Coulomb apply of the paper's Algorithm 1.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -115,3 +117,106 @@ class FourierGrid:
         f_g = self.forward(fields.astype(complex))
         f_g *= kernel
         return self.backward(f_g).real
+
+
+class ConvolutionPlan:
+    """A prepared G-diagonal convolution: kernel plus its half-spectrum cut.
+
+    Bundles everything :meth:`FourierGrid.convolve_real` can precompute for
+    a fixed ``(grid, kernel)`` pair — currently the ``rfftn`` half-spectrum
+    slice of the kernel — so repeat appliers (the SCF Hartree solve runs one
+    per iteration, the f_Hxc Coulomb half one per operator application) pay
+    the slice exactly once.  Plans are immutable after construction and safe
+    to share across threads: ``apply`` only reads.
+    """
+
+    __slots__ = ("fourier", "kernel", "kernel_half")
+
+    def __init__(self, fourier: FourierGrid, kernel: np.ndarray) -> None:
+        self.fourier = fourier
+        self.kernel = np.asarray(kernel, dtype=float)
+        self.kernel_half = fourier.half_kernel(self.kernel)
+
+    def apply(self, fields: np.ndarray) -> np.ndarray:
+        """Convolve real ``(..., N_r)`` fields with the planned kernel."""
+        return self.fourier.convolve_real(
+            fields, self.kernel, kernel_half=self.kernel_half
+        )
+
+
+class PlanCache:
+    """Process-wide LRU cache of :class:`ConvolutionPlan` objects.
+
+    Keyed by ``(tag, grid shape, lattice bytes, engine name)`` so plans are
+    reused across *calculations* — consecutive trajectory frames that share
+    a lattice and cutoff hit the same plan even though each frame builds a
+    fresh basis — while any change that alters the kernel values (different
+    lattice, different grid, a kernel-variant tag such as a truncation
+    radius) or the transform layout (engine switch) misses and rebuilds.
+
+    Thread-safe: lookups and insertions hold a lock; the ``build`` callback
+    runs outside it, so two threads may race to build the same plan, in
+    which case the last insert wins (both plans are correct — the kernels
+    are deterministic functions of the key).
+    """
+
+    def __init__(self, max_plans: int = 16) -> None:
+        if max_plans < 1:
+            raise ValueError(f"max_plans must be >= 1, got {max_plans}")
+        self.max_plans = int(max_plans)
+        self._lock = threading.Lock()
+        self._plans: OrderedDict[tuple, ConvolutionPlan] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, tag: str, fourier: FourierGrid, build) -> ConvolutionPlan:
+        """Return the cached plan for ``tag`` on this grid, building on miss.
+
+        ``build`` is a zero-argument callable returning the full-spectrum
+        kernel array; it is only invoked when the cache misses.
+        """
+        grid = fourier.grid
+        key = (
+            tag,
+            grid.shape,
+            grid.cell.lattice.tobytes(),
+            fourier.fft_engine.name,
+        )
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self._hits += 1
+                return plan
+            self._misses += 1
+        plan = ConvolutionPlan(fourier, build())
+        with self._lock:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.max_plans:
+                self._plans.popitem(last=False)
+        return plan
+
+    def stats(self) -> dict[str, int]:
+        """Current occupancy and hit/miss counters."""
+        with self._lock:
+            return {
+                "plans": len(self._plans),
+                "hits": self._hits,
+                "misses": self._misses,
+            }
+
+    def clear(self) -> None:
+        """Drop every cached plan and reset the counters."""
+        with self._lock:
+            self._plans.clear()
+            self._hits = 0
+            self._misses = 0
+
+
+_DEFAULT_PLAN_CACHE = PlanCache()
+
+
+def default_plan_cache() -> PlanCache:
+    """The process-wide plan cache used by the Hartree and f_Hxc appliers."""
+    return _DEFAULT_PLAN_CACHE

@@ -20,7 +20,7 @@ def tiny_gs():
 
 
 @pytest.mark.parametrize(
-    "cls", [api.SCFConfig, api.TDDFTConfig, api.ResilienceConfig]
+    "cls", [api.SCFConfig, api.TDDFTConfig, api.ResilienceConfig, api.BatchConfig]
 )
 class TestRoundTrip:
     def test_default_round_trip(self, cls):
@@ -65,6 +65,35 @@ class TestValidation:
     def test_resilience_bad_fallback(self):
         with pytest.raises(ValueError, match="selection_fallback"):
             api.ResilienceConfig(selection_fallback="prayer")
+
+    def test_batch_nested_configs_rehydrate(self):
+        cfg = api.BatchConfig(
+            scf=api.SCFConfig(ecut=6.0, tol=1e-7),
+            tddft=api.TDDFTConfig(n_excitations=3),
+            n_ranks=2,
+            spmd_backend="thread",
+        )
+        back = api.BatchConfig.from_dict(cfg.to_dict())
+        assert back == cfg
+        assert isinstance(back.scf, api.SCFConfig)
+        assert isinstance(back.tddft, api.TDDFTConfig)
+        assert back.scf.ecut == 6.0
+
+    def test_batch_bad_extrapolation(self):
+        with pytest.raises(ValueError, match="density_extrapolation"):
+            api.BatchConfig(density_extrapolation="cubic")
+
+    def test_batch_bad_drift_threshold(self):
+        with pytest.raises(ValueError, match="isdf_drift_threshold"):
+            api.BatchConfig(isdf_drift_threshold=2.0)
+
+    def test_batch_bad_backend(self):
+        with pytest.raises(ValueError, match="spmd_backend"):
+            api.BatchConfig(spmd_backend="mpi")
+
+    def test_batch_scf_must_be_config(self):
+        with pytest.raises(ValueError, match="scf"):
+            api.BatchConfig(scf={"ecut": 6.0})
 
     def test_replace(self):
         cfg = api.TDDFTConfig()

@@ -1,0 +1,79 @@
+"""Trajectory generation and frame fingerprinting for the batch engine."""
+
+import numpy as np
+import pytest
+
+from repro.atoms import silicon_primitive_cell
+from repro.batch import frame_fingerprint, perturbed_trajectory
+
+
+@pytest.fixture(scope="module")
+def cell():
+    return silicon_primitive_cell()
+
+
+class TestPerturbedTrajectory:
+    def test_deterministic(self, cell):
+        a = perturbed_trajectory(cell, 5, amplitude=0.02, seed=3)
+        b = perturbed_trajectory(cell, 5, amplitude=0.02, seed=3)
+        for fa, fb in zip(a, b):
+            np.testing.assert_array_equal(
+                fa.fractional_positions, fb.fractional_positions
+            )
+
+    def test_shared_lattice_and_species(self, cell):
+        frames = perturbed_trajectory(cell, 4, seed=0)
+        assert len(frames) == 4
+        for frame in frames:
+            np.testing.assert_array_equal(frame.lattice, cell.lattice)
+            assert tuple(frame.species) == tuple(cell.species)
+            assert np.all(frame.fractional_positions >= 0.0)
+            assert np.all(frame.fractional_positions < 1.0)
+
+    def test_consecutive_frames_close_but_distinct(self, cell):
+        frames = perturbed_trajectory(cell, 3, amplitude=0.01, period=16.0, seed=1)
+        d01 = np.abs(frames[1].fractional_positions - frames[0].fractional_positions)
+        assert d01.max() > 0.0
+        # Smooth trajectory: per-frame steps stay well under the amplitude
+        # scale (sin increments over 1/16 of a period).
+        assert d01.max() < 0.05
+
+    def test_zero_amplitude_freezes_atoms(self, cell):
+        frames = perturbed_trajectory(cell, 3, amplitude=0.0, seed=0)
+        np.testing.assert_array_equal(
+            frames[0].fractional_positions, frames[2].fractional_positions
+        )
+
+    def test_seed_changes_trajectory(self, cell):
+        a = perturbed_trajectory(cell, 2, seed=0)[1]
+        b = perturbed_trajectory(cell, 2, seed=1)[1]
+        assert np.abs(a.fractional_positions - b.fractional_positions).max() > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(n_frames=0), dict(n_frames=2, amplitude=-0.1),
+         dict(n_frames=2, period=0.0)],
+    )
+    def test_validation(self, cell, kwargs):
+        n_frames = kwargs.pop("n_frames")
+        with pytest.raises(ValueError):
+            perturbed_trajectory(cell, n_frames, **kwargs)
+
+
+class TestFrameFingerprint:
+    def test_equal_inputs_equal_digest(self, cell):
+        frames = perturbed_trajectory(cell, 2, seed=5)
+        again = perturbed_trajectory(cell, 2, seed=5)
+        assert frame_fingerprint(frames[0]) == frame_fingerprint(again[0])
+
+    def test_sensitive_to_positions(self, cell):
+        frames = perturbed_trajectory(cell, 2, amplitude=0.01, seed=5)
+        assert frame_fingerprint(frames[0]) != frame_fingerprint(frames[1])
+
+    def test_sensitive_to_payloads(self, cell):
+        assert frame_fingerprint(cell, {"ecut": 10.0}) != frame_fingerprint(
+            cell, {"ecut": 12.0}
+        )
+        assert frame_fingerprint(cell, {"ecut": 10.0}) == frame_fingerprint(
+            cell, {"ecut": 10.0}
+        )

@@ -1,0 +1,198 @@
+"""Unit tests for the cross-frame warm-start state machine.
+
+These run on small synthetic arrays (no SCF); the end-to-end behaviour of
+the warm starts inside real pipelines is covered by
+``tests/batch/test_engine.py``.
+"""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.batch import BatchWarmState, assignment_drift
+from repro.core.driver import TDDFTWarmStart
+from repro.core.kmeans import classify_points
+
+
+class TestAssignmentDrift:
+    def test_identical_clustering_is_zero(self):
+        idx = np.array([0, 2, 5, 7])
+        labels = np.array([0, 0, 1, 1])
+        assert assignment_drift(idx, labels, idx, labels) == 0.0
+
+    def test_disjoint_candidate_sets_is_one(self):
+        assert assignment_drift(
+            np.array([0, 1]), np.array([0, 0]),
+            np.array([2, 3]), np.array([0, 0]),
+        ) == 1.0
+
+    def test_label_changes_count(self):
+        idx = np.array([0, 1, 2, 3])
+        old = np.array([0, 0, 1, 1])
+        new = np.array([0, 1, 1, 1])  # candidate 1 moved clusters
+        assert assignment_drift(idx, old, idx, new) == pytest.approx(0.25)
+
+    def test_membership_changes_count(self):
+        # Same labels on the common part, but the new set dropped candidate 3
+        # and picked up candidate 4: 2 changed members over a union of 5.
+        old_idx = np.array([0, 1, 2, 3])
+        old = np.array([0, 0, 1, 1])
+        new_idx = np.array([0, 1, 2, 4])
+        new = np.array([0, 0, 1, 1])
+        assert assignment_drift(old_idx, old, new_idx, new) == pytest.approx(0.4)
+
+    def test_empty_union_is_zero(self):
+        empty_i = np.array([], dtype=int)
+        empty_l = np.array([], dtype=int)
+        assert assignment_drift(empty_i, empty_l, empty_i, empty_l) == 0.0
+
+
+def _fake_gs(density, *, dv=1.0, orbitals="orb"):
+    density = np.asarray(density, dtype=float)
+    return SimpleNamespace(
+        density=density,
+        n_electrons=float(density.sum()) * dv,
+        basis=SimpleNamespace(grid=SimpleNamespace(dv=dv)),
+        orbitals_real=orbitals,
+    )
+
+
+class TestBatchWarmStateSCF:
+    def test_no_warm_start_before_first_frame(self):
+        state = BatchWarmState()
+        assert state.scf_warm_start() is None
+        assert state.tddft_warm_start(solver=None) is None
+
+    def test_carry_mode_returns_previous_density(self):
+        state = BatchWarmState(density_extrapolation="none")
+        rho = np.array([1.0, 2.0, 3.0])
+        state.observe(_fake_gs(rho))
+        warm = state.scf_warm_start()
+        np.testing.assert_array_equal(warm.density, rho)
+        assert warm.orbitals_real == "orb"
+        assert warm.residual_hint == pytest.approx(state.residual_hint_floor)
+
+    def test_linear_extrapolation(self):
+        state = BatchWarmState(density_extrapolation="linear")
+        r1 = np.array([1.0, 2.0, 3.0])
+        r2 = np.array([1.5, 2.0, 2.5])  # same norm: renormalization is a no-op
+        state.observe(_fake_gs(r1))
+        state.observe(_fake_gs(r2))
+        warm = state.scf_warm_start()
+        np.testing.assert_allclose(warm.density, 2.0 * r2 - r1)
+
+    def test_quadratic_extrapolation_needs_three_frames(self):
+        state = BatchWarmState(density_extrapolation="quadratic")
+        r1 = np.array([1.0, 2.0, 3.0])
+        r2 = np.array([1.5, 2.0, 2.5])
+        r3 = np.array([2.0, 2.0, 2.0])
+        state.observe(_fake_gs(r1))
+        state.observe(_fake_gs(r2))
+        # Two frames so far: falls back to linear.
+        np.testing.assert_allclose(state.scf_warm_start().density, 2.0 * r2 - r1)
+        state.observe(_fake_gs(r3))
+        np.testing.assert_allclose(
+            state.scf_warm_start().density, 3.0 * r3 - 3.0 * r2 + r1
+        )
+
+    def test_extrapolation_clips_and_renormalizes(self):
+        state = BatchWarmState(density_extrapolation="linear")
+        r1 = np.array([4.0, 1.0, 1.0])
+        r2 = np.array([1.0, 2.0, 3.0])  # 2*r2 - r1 = [-2, 3, 5] goes negative
+        state.observe(_fake_gs(r1))
+        gs2 = _fake_gs(r2)
+        state.observe(gs2)
+        warm = state.scf_warm_start()
+        assert np.all(warm.density >= 0.0)
+        assert warm.density.sum() == pytest.approx(gs2.n_electrons)
+
+    def test_residual_hint_scales_with_extrapolation_step(self):
+        state = BatchWarmState(density_extrapolation="linear")
+        state.observe(_fake_gs(np.array([1.0, 2.0, 3.0])))
+        state.observe(_fake_gs(np.array([2.0, 2.0, 2.0])))
+        warm = state.scf_warm_start()
+        assert warm.residual_hint > state.residual_hint_floor
+
+    def test_history_window_is_three(self):
+        state = BatchWarmState()
+        for k in range(5):
+            state.observe(_fake_gs(np.full(3, 1.0 + k)))
+        assert len(state._densities) == 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(density_extrapolation="cubic"), dict(isdf_drift_threshold=1.5),
+         dict(isdf_drift_threshold=-0.1)],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            BatchWarmState(**kwargs)
+
+
+def _fake_solver(psi_v, psi_c, grid_points):
+    return SimpleNamespace(
+        psi_v=np.asarray(psi_v, dtype=float),
+        psi_c=np.asarray(psi_c, dtype=float),
+        ground_state=SimpleNamespace(
+            basis=SimpleNamespace(
+                grid=SimpleNamespace(cartesian_points=np.asarray(grid_points))
+            )
+        ),
+    )
+
+
+class TestBatchWarmStateTDDFT:
+    """Drift-gated interpolation-point reuse, on a hand-built clustering."""
+
+    n_grid = 10
+
+    def _seeded_state(self, threshold=0.1):
+        state = BatchWarmState(isdf_drift_threshold=threshold)
+        points = self._grid_points()
+        centroids = np.array([[2.0, 0.0, 0.0], [7.0, 0.0, 0.0]])
+        state._centroids = centroids
+        state._candidate_indices = np.arange(self.n_grid)
+        state._labels = classify_points(points, centroids)
+        state._isdf_indices = np.array([2, 7])
+        return state
+
+    def _grid_points(self):
+        points = np.zeros((self.n_grid, 3))
+        points[:, 0] = np.arange(self.n_grid, dtype=float)
+        return points
+
+    def test_reuses_indices_when_drift_below_threshold(self):
+        state = self._seeded_state()
+        solver = _fake_solver(
+            np.ones((2, self.n_grid)), np.ones((2, self.n_grid)),
+            self._grid_points(),
+        )
+        warm = state.tddft_warm_start(solver)
+        assert isinstance(warm, TDDFTWarmStart)
+        np.testing.assert_array_equal(warm.isdf_indices, [2, 7])
+        assert warm.kmeans_centroids is None
+
+    def test_reselects_when_candidate_set_shrinks(self):
+        state = self._seeded_state()
+        psi = np.ones((2, self.n_grid))
+        psi[:, 5:] = 0.0  # half the old candidates fall out of the pruned set
+        solver = _fake_solver(psi, psi, self._grid_points())
+        warm = state.tddft_warm_start(solver)
+        assert warm.isdf_indices is None
+        np.testing.assert_array_equal(warm.kmeans_centroids, state._centroids)
+
+    def test_threshold_one_always_reuses(self):
+        state = self._seeded_state(threshold=1.0)
+        psi = np.ones((2, self.n_grid))
+        psi[:, 5:] = 0.0
+        solver = _fake_solver(psi, psi, self._grid_points())
+        assert state.tddft_warm_start(solver).isdf_indices is not None
+
+    def test_threshold_zero_reuses_only_on_exact_match(self):
+        state = self._seeded_state(threshold=0.0)
+        solver = _fake_solver(
+            np.ones((2, self.n_grid)), np.ones((2, self.n_grid)),
+            self._grid_points(),
+        )
+        assert state.tddft_warm_start(solver).isdf_indices is not None

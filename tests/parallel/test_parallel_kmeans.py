@@ -91,3 +91,46 @@ def test_communication_is_small(workload):
     # Per-iteration allreduce payload: (10 clusters x 5 stats x 8 bytes).
     assert lloyd_bytes < 200 * 10 * 5 * 8 * 4  # generous iteration bound
     assert gather_bytes > 0  # the one-time seeding gather happened
+
+
+def test_warm_start_converges_faster(workload, serial_result):
+    """Centroid warm starts (the batch engine's K-Means reuse) must cut the
+    iteration count and still land on the same fixed point."""
+    points, weights = workload
+    c_ref, _, _, n_ref, _ = serial_result
+    dist = BlockDistribution1D(len(points), 2)
+
+    def prog(comm):
+        sl = dist.local_slice(comm.rank)
+        return distributed_kmeans(
+            comm, points[sl], weights[sl], 20, dist, initial_centroids=c_ref
+        )
+
+    results = spmd_run(2, prog)
+    centroids, _, _, n_iter, converged = results[0]
+    assert converged
+    assert n_iter < n_ref
+    np.testing.assert_allclose(centroids, c_ref, atol=1e-12)
+
+
+@pytest.mark.process_backend
+def test_warm_start_bit_identical_across_backends(workload, serial_result):
+    """A warm-started distributed selection must return byte-for-byte the
+    same clustering on the thread and process SPMD backends."""
+    points, weights = workload
+    c_ref = serial_result[0]
+    dist = BlockDistribution1D(len(points), 2)
+
+    def prog(comm):
+        sl = dist.local_slice(comm.rank)
+        return distributed_kmeans(
+            comm, points[sl], weights[sl], 20, dist, initial_centroids=c_ref
+        )
+
+    thread = spmd_run(2, prog, backend="thread")
+    process = spmd_run(2, prog, backend="process")
+    for t, p in zip(thread, process):
+        np.testing.assert_array_equal(t[0], p[0])  # centroids
+        np.testing.assert_array_equal(t[1], p[1])  # labels
+        assert t[2] == p[2]  # inertia, exact
+        assert t[3:] == p[3:]  # n_iter, converged

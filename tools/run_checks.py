@@ -16,7 +16,12 @@ Runs, in order:
    ``/dev/shm`` residue (skipped where ``fork`` is unavailable),
 6. **public API snapshot** — ``tools/check_public_api.py``,
 7. **bytecode guard** — ``tools/check_no_pyc.py``,
-8. **tier-1 tests** — ``pytest -x -q`` (skip with ``--no-tests`` for the
+8. **bench gate** — ``tools/check_bench.py``: validates the committed
+   ``BENCH_*.json`` reports and re-runs the smoke benchmarks, gating on
+   correctness flags and dimensionless ratios (never raw seconds); skip
+   with ``--no-bench`` for the fast loop, refresh the committed reports
+   with ``python tools/check_bench.py --update-bench``,
+9. **tier-1 tests** — ``pytest -x -q`` (skip with ``--no-tests`` for the
    fast pre-commit loop).
 
 Exit status is nonzero if any mandatory stage fails.  Optional tools that
@@ -146,6 +151,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--no-tests", action="store_true",
                         help="skip the tier-1 pytest stage (fast loop)")
+    parser.add_argument("--no-bench", action="store_true",
+                        help="skip the perf-regression bench gate (fast loop)")
     args = parser.parse_args(argv)
 
     gate = Gate()
@@ -158,6 +165,11 @@ def main(argv: list[str] | None = None) -> int:
     gate.run("process-smoke", [sys.executable, "-c", _PROCESS_SMOKE])
     gate.run("public-api", [sys.executable, os.path.join("tools", "check_public_api.py")])
     gate.run("no-pyc", [sys.executable, os.path.join("tools", "check_no_pyc.py")])
+    if not args.no_bench:
+        gate.run("bench-gate", [sys.executable, os.path.join("tools", "check_bench.py")])
+    else:
+        print("-- bench-gate: SKIP (--no-bench)")
+        gate.results.append(("bench-gate", "SKIP", 0.0))
     if not args.no_tests:
         gate.run("tier1-tests", [sys.executable, "-m", "pytest", "-x", "-q"])
     else:
