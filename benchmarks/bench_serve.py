@@ -1,0 +1,52 @@
+"""Measured job-server cache / warm-start benchmark (repro.serve).
+
+Submits the same SCF request twice (second must be a bit-identical,
+zero-iteration cache hit), a near-duplicate perturbed-geometry request
+(must warm-start from the nearest cached ground state in measurably fewer
+SCF iterations than an isolated cold run), and an LR-TDDFT request on the
+cached structure (must skip its ground-state stage entirely), then writes
+a machine-readable report (default ``BENCH_serve.json`` at the repo root).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--smoke] [--amplitude A] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+
+def main(argv=None) -> int:
+    from repro.perf.serve_bench import (
+        format_summary,
+        run_serve_bench,
+        write_report,
+    )
+
+    default_out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload for CI (seconds, not minutes)")
+    parser.add_argument("--amplitude", type=float, default=0.012,
+                        help="perturbation scale in Bohr for the "
+                             "near-duplicate request")
+    parser.add_argument("--seed", type=int, default=11,
+                        help="perturbation seed")
+    parser.add_argument("--out", default=str(default_out),
+                        help=f"JSON report path (default: {default_out})")
+    args = parser.parse_args(argv)
+
+    report = run_serve_bench(
+        smoke=args.smoke, amplitude=args.amplitude, seed=args.seed
+    )
+    print(format_summary(report))
+    write_report(report, args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

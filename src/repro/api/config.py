@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.utils.validation import require
 
-__all__ = ["BatchConfig", "ResilienceConfig", "SCFConfig", "TDDFTConfig"]
+__all__ = ["BatchConfig", "RTConfig", "ResilienceConfig", "SCFConfig", "TDDFTConfig"]
 
 
 @dataclass(frozen=True)
@@ -93,6 +93,63 @@ class TDDFTConfig(_ConfigBase):
             f"spin must be 'singlet' or 'triplet', got {self.spin!r}",
         )
         require(self.max_iter >= 1, f"max_iter must be >= 1, got {self.max_iter}")
+
+
+@dataclass(frozen=True)
+class RTConfig(_ConfigBase):
+    """Real-time TDDFT propagation parameters (mirrors :func:`repro.api.run_rt`).
+
+    Attributes
+    ----------
+    dt / n_steps:
+        Propagation time step (atomic units) and number of steps.
+    kick_strength / kick_direction:
+        Initial delta-kick perturbation; a zero strength skips the kick.
+    krylov_dim:
+        Krylov subspace dimension of the exponential propagator.
+    etrs:
+        Enforced time-reversal-symmetry propagator (vs plain exponential
+        midpoint).
+    record_every:
+        Record dipole/norm observables every N-th step.
+    self_consistent:
+        Update the Hamiltonian from the propagated density each step.
+    """
+
+    dt: float = 0.2
+    n_steps: int = 600
+    kick_strength: float = 1e-3
+    kick_direction: tuple[float, float, float] = (0.0, 0.0, 1.0)
+    krylov_dim: int = 10
+    etrs: bool = True
+    record_every: int = 1
+    self_consistent: bool = True
+
+    def __post_init__(self) -> None:
+        require(self.dt > 0, f"dt must be positive, got {self.dt}")
+        require(self.n_steps >= 1, f"n_steps must be >= 1, got {self.n_steps}")
+        require(
+            self.krylov_dim >= 2,
+            f"krylov_dim must be >= 2, got {self.krylov_dim}",
+        )
+        require(
+            self.record_every >= 1,
+            f"record_every must be >= 1, got {self.record_every}",
+        )
+        direction = tuple(float(c) for c in self.kick_direction)
+        require(
+            len(direction) == 3,
+            f"kick_direction must have 3 components, got {len(direction)}",
+        )
+        object.__setattr__(self, "kick_direction", direction)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RTConfig":
+        """Round-trip-exact construction; the direction may be a list."""
+        payload = dict(data)
+        if isinstance(payload.get("kick_direction"), list):
+            payload["kick_direction"] = tuple(payload["kick_direction"])
+        return super().from_dict(payload)
 
 
 @dataclass(frozen=True)

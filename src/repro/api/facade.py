@@ -1,25 +1,39 @@
-"""The unified typed entry points: ``run_scf`` / ``solve_tddft`` / ``run_rt``.
+"""Legacy entry points: ``run_scf`` / ``solve_tddft`` / ``run_rt`` / ``run_batch``.
 
-Every pipeline stage is driven by a frozen config object
-(:class:`~repro.api.config.SCFConfig`, :class:`~repro.api.config.TDDFTConfig`)
-plus an optional :class:`~repro.api.config.ResilienceConfig` that switches on
-checkpoint/restart and the graceful-degradation policies (FFT backend
-fallback, K-Means -> QRCP selection fallback, iterative -> dense eigensolver
-fallback).  The old kwarg signatures keep working through deprecation shims
-that warn exactly once per process.
+These four functions predate the unified request API.  Each is now a thin
+shim that builds a :class:`~repro.api.request.CalculationRequest` and
+executes it through the one shared path (:func:`~repro.api.request.
+execute_request`) — the same path the job server (:mod:`repro.serve`) runs,
+so legacy callers and served requests are bit-identical.  Every shim warns
+exactly once per process via the existing deprecation machinery; new code
+should build a request::
+
+    from repro import api
+
+    request = api.CalculationRequest(
+        kind="scf", structure=cell, scf=api.SCFConfig(ecut=10.0)
+    )
+    gs = request.compute()                 # synchronous, in-process
+    handle = request.submit()              # async, cached, warm-started
+
+:func:`load_result` and :func:`install_fft_fallback` are not deprecated —
+they have no request equivalent.
 """
 
 from __future__ import annotations
 
 import os
 
-from repro.api.config import BatchConfig, ResilienceConfig, SCFConfig, TDDFTConfig
+from repro.api.config import BatchConfig, ResilienceConfig, RTConfig, SCFConfig, TDDFTConfig
+from repro.api.request import (
+    CalculationRequest,
+    execute_request,
+    install_fft_fallback,
+)
 from repro.batch.results import BatchResult
-from repro.core.driver import LRTDDFTResult, LRTDDFTSolver
+from repro.core.driver import LRTDDFTResult
 from repro.dft.groundstate import GroundState
-from repro.dft.scf import SCFOptions
-from repro.dft.scf import run_scf as _run_scf_core
-from repro.rt.tddft import RealTimeTDDFT, RTResult
+from repro.rt.tddft import RTResult
 from repro.utils.deprecation import reset_deprecation_warnings, warn_once
 from repro.utils.serialization import SerializationError, load_payload
 from repro.utils.timers import TimerRegistry
@@ -40,25 +54,6 @@ __all__ = [
 SCFResult = GroundState
 
 
-def install_fft_fallback():
-    """Wrap the process-wide FFT engine in the scipy -> numpy fallback.
-
-    Idempotent: an already-resilient default is returned unchanged.
-    """
-    from repro.backend.fft_engine import default_fft_engine, set_default_fft_engine
-    from repro.resilience.policies import ResilientFFTEngine
-
-    engine = default_fft_engine()
-    if isinstance(engine, ResilientFFTEngine):
-        return engine
-    return set_default_fft_engine(ResilientFFTEngine(engine))
-
-
-def _apply_resilience_process_policies(resilience: ResilienceConfig | None) -> None:
-    if resilience is not None and resilience.fft_fallback:
-        install_fft_fallback()
-
-
 def run_scf(
     cell,
     config: SCFConfig | None = None,
@@ -67,42 +62,30 @@ def run_scf(
     timers: TimerRegistry | None = None,
     **legacy,
 ) -> GroundState:
-    """Ground-state SCF from an :class:`~repro.api.config.SCFConfig`.
+    """Ground-state SCF (deprecated shim over :class:`CalculationRequest`).
 
-    ``run_scf(cell, ecut=8.0, ...)`` (bare keywords instead of a config)
-    is the legacy signature — still supported, but it emits a one-time
-    ``DeprecationWarning``.
+    Equivalent to ``CalculationRequest(kind="scf", structure=cell,
+    scf=config, resilience=resilience).compute()``.  Bare option keywords
+    (``run_scf(cell, ecut=8.0)``) are the oldest signature and are folded
+    into the config.  Warns once per process.
     """
+    warn_once(
+        "api.run_scf",
+        "repro.api.run_scf() is deprecated; build a repro.api."
+        "CalculationRequest(kind='scf', structure=cell, scf=SCFConfig(...)) "
+        "and call .compute() (or .submit() for the cached job server)",
+    )
     if legacy:
-        if config is None:
-            warn_once(
-                "api.run_scf:kwargs",
-                "passing SCF options as keywords to repro.api.run_scf() is "
-                "deprecated; build a repro.api.SCFConfig instead",
-            )
-            config = SCFConfig.from_dict(legacy)
-        else:
-            require(
-                False,
-                "run_scf(cell, config) does not accept additional option "
-                f"keywords (got {sorted(legacy)}); use config.replace(...)",
-            )
-    config = config or SCFConfig()
-    _apply_resilience_process_policies(resilience)
-    checkpoint = resilience.checkpointer("scf") if resilience is not None else None
-    opts = SCFOptions(**config.to_dict())
-    return _run_scf_core(cell, opts, timers=timers, checkpoint=checkpoint)
-
-
-def _dense_equivalent(method: str) -> str:
-    """The dense-diagonalization twin of an iterative method string."""
-    m = method
-    if m.startswith("implicit-"):
-        m = m[len("implicit-"):]
-    for suffix in ("-lobpcg", "-davidson"):
-        if m.endswith(suffix):
-            m = m[: -len(suffix)]
-    return m
+        require(
+            config is None,
+            "run_scf(cell, config) does not accept additional option "
+            f"keywords (got {sorted(legacy)}); use config.replace(...)",
+        )
+        config = SCFConfig.from_dict(legacy)
+    request = CalculationRequest(
+        kind="scf", structure=cell, scf=config, resilience=resilience
+    )
+    return execute_request(request, timers=timers).result
 
 
 def solve_tddft(
@@ -112,80 +95,34 @@ def solve_tddft(
     resilience: ResilienceConfig | None = None,
     **legacy,
 ) -> LRTDDFTResult:
-    """LR-TDDFT excitations from a :class:`~repro.api.config.TDDFTConfig`.
+    """LR-TDDFT excitations (deprecated shim over :class:`CalculationRequest`).
 
-    With a :class:`~repro.api.config.ResilienceConfig` the solve gains
-    checkpoint/restart (ISDF stages + LOBPCG iterations) and graceful
-    degradation; in particular, an iterative eigensolve that does *not*
-    converge within its budget is transparently re-run with the dense
-    eigensolver whenever the pair space is small enough
-    (``dense_fallback_max_pairs``).
+    Builds a ``kind="tddft"`` request on the ground state's cell and
+    executes it with the supplied ``ground_state`` (the SCF stage is
+    skipped, exactly as before).  The request path carries the same
+    dense-eigensolver degradation policy.  Warns once per process —
+    build a ``CalculationRequest`` with a ``TDDFTConfig`` instead.
     """
+    warn_once(
+        "api.solve_tddft",
+        "repro.api.solve_tddft() is deprecated; build a repro.api."
+        "CalculationRequest(kind='tddft', structure=cell, "
+        "tddft=TDDFTConfig(...)) and call .compute() (or .submit())",
+    )
     if legacy:
-        if config is None:
-            warn_once(
-                "api.solve_tddft:kwargs",
-                "passing solver options as keywords to repro.api.solve_tddft() "
-                "is deprecated; build a repro.api.TDDFTConfig instead",
-            )
-            config = TDDFTConfig.from_dict(legacy)
-        else:
-            require(
-                False,
-                "solve_tddft(gs, config) does not accept additional option "
-                f"keywords (got {sorted(legacy)}); use config.replace(...)",
-            )
-    config = config or TDDFTConfig()
-    _apply_resilience_process_policies(resilience)
-
-    solver = LRTDDFTSolver(
-        ground_state,
-        n_valence=config.n_valence,
-        n_conduction=config.n_conduction,
-        include_xc=config.include_xc,
-        spin=config.spin,
-        seed=config.seed,
+        require(
+            config is None,
+            "solve_tddft(gs, config) does not accept additional option "
+            f"keywords (got {sorted(legacy)}); use config.replace(...)",
+        )
+        config = TDDFTConfig.from_dict(legacy)
+    request = CalculationRequest(
+        kind="tddft",
+        structure=ground_state.basis.cell,
+        tddft=config,
+        resilience=resilience,
     )
-    result = solver.solve(config, resilience=resilience)
-
-    if (
-        resilience is not None
-        and not result.converged
-        and 0 < solver.n_pairs <= resilience.dense_fallback_max_pairs
-    ):
-        dense_method = _dense_equivalent(config.method)
-        if dense_method != config.method:
-            # Fresh (non-restart) solve: the dense path must not consume the
-            # iterative run's checkpoints.
-            dense_resilience = resilience.replace(checkpoint_dir=None)
-            result = solver.solve(
-                config.replace(method=dense_method),
-                resilience=dense_resilience,
-            )
-    return result
-
-
-def run_batch(
-    cells,
-    config: BatchConfig | None = None,
-    *,
-    resilience: ResilienceConfig | None = None,
-    on_result=None,
-) -> BatchResult:
-    """Warm-started pipeline over an ordered sequence of related structures.
-
-    Each frame runs SCF -> K-Means/ISDF -> LR-TDDFT; consecutive frames
-    reuse converged densities/orbitals, K-Means centroids, ISDF
-    interpolation points (under a drift threshold) and Casida
-    eigenvectors.  See :func:`repro.batch.run_batch` for semantics and
-    ``docs/batching.md`` for the reuse policy.
-    """
-    from repro.batch.engine import run_batch as _run_batch_core
-
-    _apply_resilience_process_policies(resilience)
-    return _run_batch_core(
-        cells, config, resilience=resilience, on_result=on_result
-    )
+    return execute_request(request, ground_state=ground_state).result
 
 
 def run_rt(
@@ -201,20 +138,59 @@ def run_rt(
     self_consistent: bool = True,
     resilience: ResilienceConfig | None = None,
 ) -> RTResult:
-    """Kick-and-propagate real-time TDDFT run (checkpointable)."""
-    _apply_resilience_process_policies(resilience)
-    checkpoint = resilience.checkpointer("rt") if resilience is not None else None
-    rt = RealTimeTDDFT(ground_state, self_consistent=self_consistent)
-    if kick_strength:
-        rt.kick(kick_strength, kick_direction)
-    return rt.propagate(
-        dt,
-        n_steps,
-        krylov_dim=krylov_dim,
-        etrs=etrs,
-        record_every=record_every,
-        checkpoint=checkpoint,
+    """Real-time TDDFT (deprecated shim over :class:`CalculationRequest`).
+
+    The bare keywords become an :class:`~repro.api.config.RTConfig` on a
+    ``kind="rt"`` request executed with the supplied ground state.  Warns
+    once per process.
+    """
+    warn_once(
+        "api.run_rt",
+        "repro.api.run_rt() is deprecated; build a repro.api."
+        "CalculationRequest(kind='rt', structure=cell, rt=RTConfig(...)) "
+        "and call .compute() (or .submit())",
     )
+    request = CalculationRequest(
+        kind="rt",
+        structure=ground_state.basis.cell,
+        rt=RTConfig(
+            dt=dt,
+            n_steps=n_steps,
+            kick_strength=kick_strength,
+            kick_direction=tuple(kick_direction),
+            krylov_dim=krylov_dim,
+            etrs=etrs,
+            record_every=record_every,
+            self_consistent=self_consistent,
+        ),
+        resilience=resilience,
+    )
+    return execute_request(request, ground_state=ground_state).result
+
+
+def run_batch(
+    cells,
+    config: BatchConfig | None = None,
+    *,
+    resilience: ResilienceConfig | None = None,
+    on_result=None,
+) -> BatchResult:
+    """Warm-started batch pipeline (deprecated shim over :class:`CalculationRequest`).
+
+    Equivalent to ``CalculationRequest(kind="batch", structure=tuple(cells),
+    batch=config, resilience=resilience).compute()`` plus the streaming
+    ``on_result`` callback.  Warns once per process.
+    """
+    warn_once(
+        "api.run_batch",
+        "repro.api.run_batch() is deprecated; build a repro.api."
+        "CalculationRequest(kind='batch', structure=cells, "
+        "batch=BatchConfig(...)) and call .compute() (or .submit())",
+    )
+    request = CalculationRequest(
+        kind="batch", structure=tuple(cells), batch=config, resilience=resilience
+    )
+    return execute_request(request, on_result=on_result).result
 
 
 #: Result classes :func:`load_result` can dispatch to, by class tag.

@@ -97,17 +97,32 @@ def _solve_frame(index, cell, config, resilience, state, rank):
     return FrameResult(record, gs, result)
 
 
-def _run_chunk(chunk, config, resilience, rank=0, on_result=None):
-    """Run one rank's contiguous chunk with its own warm chain."""
-    state = (
-        BatchWarmState(
-            density_extrapolation=config.density_extrapolation,
-            isdf_drift_threshold=config.isdf_drift_threshold,
-            residual_hint_floor=config.residual_hint_floor,
-        )
-        if config.warm_start
-        else None
+def _warm_state(config, seed_ground_state=None):
+    """A fresh warm chain, optionally pre-seeded with a cached ground state.
+
+    Seeding observes ``seed_ground_state`` before any frame runs, so the
+    chunk head starts from the cached density/orbitals instead of cold —
+    the job-server cache reusing the batch machinery (ROADMAP item 5
+    follow-up).  The seed must be *compatible* with frame 0 (same lattice,
+    species, cutoff and band count — :func:`repro.serve.store.
+    warm_compatible` is the canonical check); an incompatible seed fails
+    loudly inside the SCF warm-start validation.
+    """
+    if not config.warm_start:
+        return None
+    state = BatchWarmState(
+        density_extrapolation=config.density_extrapolation,
+        isdf_drift_threshold=config.isdf_drift_threshold,
+        residual_hint_floor=config.residual_hint_floor,
     )
+    if seed_ground_state is not None:
+        state.observe(seed_ground_state)
+    return state
+
+
+def _run_chunk(chunk, config, resilience, rank=0, on_result=None, seed_ground_state=None):
+    """Run one rank's contiguous chunk with its own warm chain."""
+    state = _warm_state(config, seed_ground_state)
     out = []
     for index, cell in chunk:
         frame = _solve_frame(index, cell, config, resilience, state, rank)
@@ -121,14 +136,25 @@ def _strip(frame: FrameResult) -> FrameResult:
     return FrameResult(frame.record, None, None)
 
 
-def _rank_program(comm, chunks, config, resilience):
+def _rank_program(comm, chunks, config, resilience, seed_payload=None):
     """SPMD rank body: run this rank's chunk, return serialized payloads.
 
     Results cross the rank boundary as ``to_dict`` payloads so the thread
     and process backends return byte-for-byte the same thing (the process
-    backend must serialize anyway).
+    backend must serialize anyway).  The seed ground state (if any) also
+    crosses as a payload and only rank 0 uses it — rank 0 owns frame 0,
+    the only chunk head adjacent to the cached structure.
     """
-    frames = _run_chunk(chunks[comm.rank], config, resilience, rank=comm.rank)
+    seed = None
+    if seed_payload is not None and comm.rank == 0:
+        seed = GroundState.from_dict(seed_payload)
+    frames = _run_chunk(
+        chunks[comm.rank],
+        config,
+        resilience,
+        rank=comm.rank,
+        seed_ground_state=seed,
+    )
     payload = []
     for frame in frames:
         payload.append(
@@ -153,7 +179,14 @@ def _contiguous_chunks(items, n_ranks):
     return chunks
 
 
-def run_batch(cells, config=None, *, resilience=None, on_result=None) -> BatchResult:
+def run_batch(
+    cells,
+    config=None,
+    *,
+    resilience=None,
+    on_result=None,
+    seed_ground_state=None,
+) -> BatchResult:
     """Run a sequence of related structures with cross-frame reuse.
 
     Parameters
@@ -172,6 +205,13 @@ def run_batch(cells, config=None, *, resilience=None, on_result=None) -> BatchRe
         Streaming callback receiving each :class:`FrameResult` as it
         completes.  Serial runs stream in frame order; SPMD runs invoke
         the callback after the final gather (still in frame order).
+    seed_ground_state:
+        Optional converged :class:`~repro.dft.GroundState` used to seed
+        frame 0's warm chain (e.g. the job server's nearest cached ground
+        state), so the first frame no longer runs cold.  Must be
+        warm-compatible with frame 0 (same lattice, species, cutoff, band
+        count); ignored when ``warm_start`` is off.  With ``n_ranks > 1``
+        only rank 0's chunk head is seeded.
 
     Returns
     -------
@@ -221,15 +261,7 @@ def run_batch(cells, config=None, *, resilience=None, on_result=None) -> BatchRe
     if config.n_ranks == 1:
         # Serial: stream strictly in frame order, replaying duplicates
         # inline (aliases only ever point backward).
-        warm_state = (
-            BatchWarmState(
-                density_extrapolation=config.density_extrapolation,
-                isdf_drift_threshold=config.isdf_drift_threshold,
-                residual_hint_floor=config.residual_hint_floor,
-            )
-            if config.warm_start
-            else None
-        )
+        warm_state = _warm_state(config, seed_ground_state)
         ordered: list[FrameResult] = []
         for i, cell in enumerate(cells):
             if i in alias:
@@ -245,12 +277,16 @@ def run_batch(cells, config=None, *, resilience=None, on_result=None) -> BatchRe
         from repro.parallel.executor import spmd_run
 
         chunks = _contiguous_chunks(work, config.n_ranks)
+        seed_payload = (
+            seed_ground_state.to_dict() if seed_ground_state is not None else None
+        )
         per_rank = spmd_run(
             config.n_ranks,
             _rank_program,
             chunks,
             config,
             resilience,
+            seed_payload,
             backend=config.spmd_backend,
         )
         for rank_payload in per_rank:

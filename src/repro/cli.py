@@ -24,6 +24,11 @@ Commands
 ``bench-batch``
     Warm vs cold trajectory benchmark (the batch engine); writes
     ``BENCH_batch.json``.
+``serve``
+    Demo of the async job server: submits duplicate and near-duplicate
+    requests and prints the per-job cache-hit / warm-start table.
+``bench-serve``
+    Job-server cache / warm-start benchmark; writes ``BENCH_serve.json``.
 ``lint``
     Run the project's AST lint passes (``repro.lint``) over source paths;
     exits nonzero when findings remain.
@@ -84,7 +89,7 @@ def _resilience_from(args) -> "object | None":
 
 
 def _run_scf_for(args) -> "object":
-    from repro.api import SCFConfig, run_scf
+    from repro.api import CalculationRequest, SCFConfig
 
     if getattr(args, "xyz", None):
         from repro.atoms import read_xyz
@@ -100,7 +105,10 @@ def _run_scf_for(args) -> "object":
         smearing_width=0.01 if needs_smearing else 0.0,
         seed=0,
     )
-    return run_scf(cell, config, resilience=_resilience_from(args))
+    request = CalculationRequest(
+        kind="scf", structure=cell, scf=config, resilience=_resilience_from(args)
+    )
+    return request.compute()
 
 
 def cmd_info(args) -> int:
@@ -126,7 +134,7 @@ def cmd_scf(args) -> int:
 
 
 def cmd_tddft(args) -> int:
-    from repro.api import TDDFTConfig, solve_tddft
+    from repro.api import CalculationRequest, TDDFTConfig, execute_request
 
     gs = _run_scf_for(args)
     n_pairs = gs.n_occupied * (gs.n_bands - gs.n_occupied)
@@ -137,7 +145,13 @@ def cmd_tddft(args) -> int:
         spin="triplet" if args.triplet else "singlet",
         seed=0,
     )
-    result = solve_tddft(gs, config, resilience=_resilience_from(args))
+    request = CalculationRequest(
+        kind="tddft",
+        structure=gs.basis.cell,
+        tddft=config,
+        resilience=_resilience_from(args),
+    )
+    result = execute_request(request, ground_state=gs).result
     kind = "triplet" if args.triplet else "singlet"
     form = "full Casida" if args.full_casida else "TDA"
     print(f"{kind} excitations ({form}, method={args.method}, "
@@ -201,17 +215,17 @@ def cmd_scaling(args) -> int:
 
 
 def cmd_rt(args) -> int:
-    from repro.api import run_rt
+    from repro.api import CalculationRequest, RTConfig, execute_request
     from repro.rt import dipole_spectrum, find_peaks
 
     gs = _run_scf_for(args)
-    result = run_rt(
-        gs,
-        dt=args.dt,
-        n_steps=args.steps,
-        kick_strength=args.kick,
+    request = CalculationRequest(
+        kind="rt",
+        structure=gs.basis.cell,
+        rt=RTConfig(dt=args.dt, n_steps=args.steps, kick_strength=args.kick),
         resilience=_resilience_from(args),
     )
+    result = execute_request(request, ground_state=gs).result
     omega, spectrum = dipole_spectrum(
         result.times, result.dipole_along_kick(), result.kick_strength,
         damping=args.damping,
@@ -260,7 +274,12 @@ def cmd_bench_spmd(args) -> int:
 
 
 def cmd_batch(args) -> int:
-    from repro.api import BatchConfig, SCFConfig, TDDFTConfig, run_batch
+    from repro.api import (
+        BatchConfig,
+        CalculationRequest,
+        SCFConfig,
+        TDDFTConfig,
+    )
     from repro.batch import perturbed_trajectory
     from repro.constants import HARTREE_TO_EV
 
@@ -280,7 +299,13 @@ def cmd_batch(args) -> int:
         spmd_backend=args.backend,
         store_results=False,
     )
-    result = run_batch(frames, config, resilience=_resilience_from(args))
+    request = CalculationRequest(
+        kind="batch",
+        structure=frames,
+        batch=config,
+        resilience=_resilience_from(args),
+    )
+    result = request.compute()
     print(result.summary())
     last = result.records[-1]
     print("last frame excitations (eV):",
@@ -301,6 +326,71 @@ def cmd_bench_batch(args) -> int:
         repeats=args.repeats,
         amplitude=args.amplitude,
     )
+    print(format_summary(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Demo the job server: duplicates hit the cache, neighbors warm-start."""
+    from repro.api import CalculationRequest, SCFConfig
+    from repro.batch import perturbed_trajectory
+    from repro.serve import CalculationServer, ResultStore
+
+    cell = _builtin_systems()[args.system]()
+    frames = perturbed_trajectory(
+        cell, args.requests, amplitude=args.amplitude, seed=args.seed
+    )
+    config = SCFConfig(ecut=args.ecut, n_bands=args.bands, tol=args.tol, seed=0)
+    store = ResultStore(args.store_dir) if args.store_dir else ResultStore()
+
+    # Workload: each perturbed geometry once (near-duplicates warm-start
+    # off each other), then the first one again — the replay must come
+    # back as a zero-work, bit-identical cache hit.
+    requests = [
+        CalculationRequest(kind="scf", structure=frame, scf=config)
+        for frame in frames
+    ]
+
+    with CalculationServer(store, n_workers=args.workers) as server:
+        handles = [
+            request.submit(server, tenant=f"tenant-{i % args.tenants}")
+            for i, request in enumerate(requests)
+        ]
+        for handle in handles:
+            handle.result(timeout=600)
+        handles.append(requests[0].submit(server, tenant="tenant-0"))
+        print(f"{'job':>10s} {'tenant':>9s} {'status':>9s} {'hit':>5s} "
+              f"{'warm':>5s} {'rms[b]':>8s} {'scf':>4s} {'E [Ha]':>13s}")
+        for handle in handles:
+            result = handle.result(timeout=600)
+            rec = handle.record()
+            rms = f"{rec['warm_rms']:.4f}" if rec["warm_rms"] is not None else "-"
+            print(f"{rec['id']:>10s} {rec['tenant']:>9s} {rec['status']:>9s} "
+                  f"{str(rec['cache_hit']):>5s} {str(rec['warm']):>5s} "
+                  f"{rms:>8s} {rec['scf_iterations']:4d} "
+                  f"{result.total_energy:13.8f}")
+        stats = server.stats()
+    print(f"stats: {stats['submitted']} submitted, "
+          f"{stats['cache_hits']} cache hit(s), "
+          f"{stats['warm_starts']} warm start(s), "
+          f"{stats['deduplicated']} deduplicated")
+    if args.store_dir:
+        print(f"result store persisted under {args.store_dir} "
+              f"({len(store)} entr{'y' if len(store) == 1 else 'ies'})")
+    return 0
+
+
+def cmd_bench_serve(args) -> int:
+    from repro.perf.serve_bench import (
+        format_summary,
+        run_serve_bench,
+        write_report,
+    )
+
+    report = run_serve_bench(smoke=args.smoke, amplitude=args.amplitude)
     print(format_summary(report))
     if args.out:
         write_report(report, args.out)
@@ -434,6 +524,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_bbt.add_argument("--out", default=None,
                        help="write the JSON report here (e.g. BENCH_batch.json)")
 
+    p_srv = sub.add_parser("serve",
+                           help="demo the async job server + result cache")
+    p_srv.add_argument("--system", choices=sorted(_builtin_systems()),
+                       default="si2")
+    p_srv.add_argument("--requests", type=int, default=3,
+                       help="distinct near-duplicate geometries to submit "
+                            "(the first is then submitted again)")
+    p_srv.add_argument("--amplitude", type=float, default=0.012,
+                       help="geometry perturbation scale (Bohr)")
+    p_srv.add_argument("--seed", type=int, default=7,
+                       help="perturbation seed")
+    p_srv.add_argument("--ecut", type=float, default=10.0, help="cutoff (Ha)")
+    p_srv.add_argument("--bands", type=int, default=10)
+    p_srv.add_argument("--tol", type=float, default=1e-6)
+    p_srv.add_argument("--workers", type=int, default=1,
+                       help="server worker threads")
+    p_srv.add_argument("--tenants", type=int, default=2,
+                       help="spread submissions over this many tenants")
+    p_srv.add_argument("--store-dir", default=None,
+                       help="persist the result store in this directory "
+                            "(rerunning then serves everything from cache)")
+
+    p_bsv = sub.add_parser("bench-serve",
+                           help="benchmark the job-server cache/warm tiers")
+    p_bsv.add_argument("--smoke", action="store_true",
+                       help="tiny workload for CI (seconds, not minutes)")
+    p_bsv.add_argument("--amplitude", type=float, default=0.012,
+                       help="near-duplicate perturbation scale (Bohr)")
+    p_bsv.add_argument("--out", default=None,
+                       help="write the JSON report here (e.g. BENCH_serve.json)")
+
     p_lint = sub.add_parser("lint", help="run the repro.lint AST passes")
     p_lint.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
@@ -459,6 +580,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "bench-spmd": cmd_bench_spmd,
         "batch": cmd_batch,
         "bench-batch": cmd_bench_batch,
+        "serve": cmd_serve,
+        "bench-serve": cmd_bench_serve,
         "lint": cmd_lint,
     }
     return handlers[args.command](args)

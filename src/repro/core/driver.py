@@ -226,6 +226,7 @@ class LRTDDFTSolver:
         isdf_kwargs: dict | None = _UNSET,
         resilience=None,
         warm: TDDFTWarmStart | None = None,
+        progress=None,
     ) -> LRTDDFTResult:
         """Solve for the lowest excitations with the chosen Table 4 version.
 
@@ -261,6 +262,12 @@ class LRTDDFTSolver:
             K-Means centroids and an eigensolver starting block from a
             nearby converged solve; ``None`` (default) is the cold path,
             bit-identical to previous releases.
+        progress:
+            Optional per-iteration observer for the iterative eigensolve
+            (LOBPCG versions): called with ``{"iteration": i,
+            "eigenvalues": (...), "max_residual": r}`` after every
+            Rayleigh-Ritz step — the partial-spectrum stream of the job
+            server.  Dense and Davidson paths emit no events.
         """
         legacy = {
             k: v
@@ -309,6 +316,7 @@ class LRTDDFTSolver:
         timers = TimerRegistry()
         isdf_kwargs = dict(isdf_kwargs or {})
         self._warm = warm
+        self._progress = progress
         self._configure_resilience(resilience)
         # Fresh generator per solve: every method sees identical ISDF points
         # and starting blocks, so cross-version comparisons are exact.
@@ -333,6 +341,23 @@ class LRTDDFTSolver:
         result.method = method
         result.timings = timers.as_dict()
         return result
+
+    def _eigensolver_callback(self):
+        """LOBPCG ``callback`` adapter for the solve's ``progress`` hook."""
+        progress = getattr(self, "_progress", None)
+        if progress is None:
+            return None
+
+        def callback(iteration, theta, residual_norms):
+            progress(
+                {
+                    "iteration": int(iteration),
+                    "eigenvalues": tuple(float(t) for t in theta),
+                    "max_residual": float(residual_norms.max()),
+                }
+            )
+
+        return callback
 
     def _configure_resilience(self, resilience) -> None:
         """Translate a ResilienceConfig into the solver-side hooks."""
@@ -464,6 +489,7 @@ class LRTDDFTSolver:
                     res = lobpcg(
                         lambda x: h @ x, x0, preconditioner=precond, tol=tol,
                         max_iter=max_iter, checkpoint=self._lobpcg_checkpoint,
+                        callback=self._eigensolver_callback(),
                     )
             evals, evecs = res.eigenvalues, res.eigenvectors
             iterations = res.iterations
@@ -516,6 +542,7 @@ class LRTDDFTSolver:
                 res = lobpcg(
                     op.apply, x0, preconditioner=op.preconditioner, tol=tol,
                     max_iter=max_iter, checkpoint=self._lobpcg_checkpoint,
+                    callback=self._eigensolver_callback(),
                 )
         evals = res.eigenvalues
         if not tda:

@@ -153,6 +153,7 @@ def run_scf(
     timers: TimerRegistry | None = None,
     checkpoint=None,
     warm_start: SCFWarmStart | None = None,
+    progress=None,
     **overrides,
 ) -> GroundState:
     """Run a Gamma-point SCF and return the converged :class:`GroundState`.
@@ -163,6 +164,13 @@ def run_scf(
     ``warm_start`` seeds the loop from a nearby converged calculation (see
     :class:`SCFWarmStart`); a checkpoint restart, when present, takes
     precedence since it resumes *this* run's own state.
+
+    ``progress`` is an optional per-iteration callback receiving
+    ``{"iteration": i, "residual": r, "e_total": e, "converged": bool}``
+    after each completed SCF iteration — the job server's event stream
+    (:mod:`repro.serve.events`) hangs off this hook.  It observes only;
+    exceptions propagate (a broken subscriber should fail loudly, not
+    corrupt a silent result).
 
     Checkpoint/restart: pass a
     :class:`~repro.resilience.checkpoint.LoopCheckpointer` (or set
@@ -286,6 +294,15 @@ def run_scf(
         )
         if opts.verbose:  # pragma: no cover - console path
             print(f"SCF {iteration:3d}: residual={residual:.3e}, E={e_total:.8f} Ha")
+        if progress is not None:
+            progress(
+                {
+                    "iteration": iteration,
+                    "residual": residual,
+                    "e_total": e_total,
+                    "converged": residual < opts.tol,
+                }
+            )
 
         if residual < opts.tol:
             info.converged = True

@@ -49,6 +49,7 @@ def lobpcg(
     max_iter: int = 200,
     verbose: bool = False,
     checkpoint=None,
+    callback=None,
 ) -> EigenResult:
     """Find the lowest-``k`` eigenpairs of a Hermitian operator.
 
@@ -76,6 +77,12 @@ def lobpcg(
         checkpointer resumes from the newest snapshot — continuing
         *bit-identically* to the uninterrupted run, since every quantity
         the remaining iterations consume round-trips exactly.
+    callback:
+        Optional per-iteration observer ``callback(iteration, theta,
+        residual_norms)`` invoked after each Rayleigh-Ritz step with the
+        current eigenvalue estimates — this is how the job server streams
+        partial spectra while a solve is still running.  Purely
+        observational: it must not mutate its arguments.
 
     Notes
     -----
@@ -125,6 +132,8 @@ def lobpcg(
         residual_norms = np.linalg.norm(residual, axis=0)
         max_residual = float(residual_norms.max())
         history.append(max_residual)
+        if callback is not None:
+            callback(iteration, theta, residual_norms)
         active = residual_norms > tol * np.maximum(1.0, np.abs(theta))
         if verbose:  # pragma: no cover - diagnostic path
             print(

@@ -1,0 +1,190 @@
+"""Job-server cache / warm-start benchmark (``repro bench-serve``).
+
+Exercises the three reuse tiers of :class:`repro.serve.CalculationServer`
+on one system and emits ``BENCH_serve.json`` with the evidence for each:
+
+* **cache hit** — the same SCF request submitted twice: the second must be
+  served from the content-addressed store with **zero** SCF iterations and
+  a **bit-identical** result (same energy, same density and orbital
+  arrays), in effectively zero wall time;
+* **warm start** — a near-duplicate request (same lattice/species/config,
+  perturbed positions): the nearest cached ground state seeds the SCF,
+  which must converge in *measurably fewer* iterations than the identical
+  request on a cold, warm-start-disabled server — to the same physics
+  (energy agreement bounded by the SCF tolerance);
+* **SCF-subrequest hit** — an LR-TDDFT request on the already-cached
+  structure: its embedded ground-state stage is skipped outright
+  (``scf_iterations == 0``) and only the excitation solve runs.
+
+Both the warm and the reference cold pass run in-process back to back, so
+process-level caches (FFT plans) are shared; the plans warm up during the
+*cold* passes, which biases wall-clock numbers against the cache — the
+reported ratios are conservative.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+import numpy as np
+
+__all__ = ["format_summary", "run_serve_bench", "write_report"]
+
+
+def _perturbed(cell, amplitude: float, seed: int):
+    """The reference cell with every atom displaced by ``~N(0, amplitude)``."""
+    from repro.pw.cell import UnitCell
+    from repro.utils.rng import default_rng
+
+    rng = default_rng(seed)
+    lattice = np.asarray(cell.lattice, dtype=float)
+    cart = rng.normal(0.0, amplitude, size=(len(cell.species), 3))
+    frac = np.asarray(cell.fractional_positions, dtype=float) + cart @ np.linalg.inv(
+        lattice
+    )
+    return UnitCell(lattice, cell.species, frac)
+
+
+def _submit_timed(server, request):
+    t0 = time.perf_counter()
+    handle = request.submit(server)
+    result = handle.result(timeout=600)
+    return handle, result, time.perf_counter() - t0
+
+
+def run_serve_bench(
+    *,
+    smoke: bool = False,
+    amplitude: float = 0.012,
+    seed: int = 11,
+) -> dict:
+    """Benchmark the server's reuse tiers; returns a JSON-ready dict."""
+    from repro.api import CalculationRequest, SCFConfig, TDDFTConfig
+    from repro.atoms import silicon_primitive_cell
+    from repro.serve import CalculationServer
+
+    if smoke:
+        scf = SCFConfig(ecut=6.0, n_bands=8, tol=1e-6, seed=0)
+        tddft = TDDFTConfig(n_excitations=3, seed=0)
+    else:
+        scf = SCFConfig(ecut=10.0, n_bands=10, tol=1e-6, seed=0)
+        tddft = TDDFTConfig(n_excitations=4, seed=0)
+
+    cell_a = silicon_primitive_cell()
+    cell_b = _perturbed(cell_a, amplitude, seed)
+    req_a = CalculationRequest(kind="scf", structure=cell_a, scf=scf)
+    req_b = CalculationRequest(kind="scf", structure=cell_b, scf=scf)
+    req_td = CalculationRequest(
+        kind="tddft", structure=cell_a, scf=scf, tddft=tddft
+    )
+
+    with CalculationServer() as server:
+        h_cold, gs_cold, s_cold = _submit_timed(server, req_a)
+        h_hit, gs_hit, s_hit = _submit_timed(server, req_a)
+        h_warm, gs_warm, s_warm = _submit_timed(server, req_b)
+        h_td, td_result, s_td = _submit_timed(server, req_td)
+        stats = server.stats()
+
+    # Independent cold reference for the perturbed structure: a fresh
+    # server with warm starts disabled (nothing cached can leak in).
+    with CalculationServer(warm_start=False) as reference:
+        h_ref, gs_ref, s_ref = _submit_timed(reference, req_b)
+
+    bit_identical = bool(
+        gs_hit is gs_cold
+        or (
+            gs_hit.total_energy == gs_cold.total_energy
+            and np.array_equal(gs_hit.density, gs_cold.density)
+            and np.array_equal(gs_hit.orbitals_real, gs_cold.orbitals_real)
+        )
+    )
+    rec_warm = h_warm.record()
+    rec_ref = h_ref.record()
+    d_energy = float(abs(gs_warm.total_energy - gs_ref.total_energy))
+
+    return {
+        "meta": {
+            "mode": "smoke" if smoke else "full",
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count() or 1,
+            "system": "si2",
+            "amplitude_bohr": amplitude,
+            "perturbation_seed": seed,
+            "scf": scf.to_dict(),
+            "tddft": tddft.to_dict(),
+            "request_key_a": req_a.cache_key(),
+            "request_key_b": req_b.cache_key(),
+        },
+        "cache_hit": {
+            "cold_wall_seconds": s_cold,
+            "hit_wall_seconds": s_hit,
+            "speedup": s_cold / max(s_hit, 1e-9),
+            "scf_iterations_cold": h_cold.record()["scf_iterations"],
+            "scf_iterations_hit": h_hit.record()["scf_iterations"],
+            "cache_hit_flag": h_hit.cache_hit,
+            "bit_identical": bit_identical,
+        },
+        "warm_start": {
+            "rms_displacement_bohr": rec_warm["warm_rms"],
+            "warm_flag": h_warm.warm,
+            "scf_iterations_warm": rec_warm["scf_iterations"],
+            "scf_iterations_cold": rec_ref["scf_iterations"],
+            "iterations_saved": rec_ref["scf_iterations"]
+            - rec_warm["scf_iterations"],
+            "warm_wall_seconds": s_warm,
+            "cold_wall_seconds": s_ref,
+            "equivalence": {
+                "total_energy_delta_ha": d_energy,
+                "tolerance_bound_ha": 10.0 * scf.tol,
+                "within_tolerance": bool(d_energy <= 10.0 * scf.tol),
+            },
+        },
+        "scf_subrequest": {
+            "tddft_scf_iterations": h_td.record()["scf_iterations"],
+            "tddft_eigensolver_iterations": h_td.record()[
+                "eigensolver_iterations"
+            ],
+            "tddft_wall_seconds": s_td,
+        },
+        "server_stats": stats,
+    }
+
+
+def format_summary(report: dict) -> str:
+    """Terse human-readable digest of :func:`run_serve_bench` output."""
+    meta = report["meta"]
+    hit = report["cache_hit"]
+    warm = report["warm_start"]
+    sub = report["scf_subrequest"]
+    eq = warm["equivalence"]
+    return "\n".join(
+        [
+            f"serve bench ({meta['mode']} mode, {meta['system']}, "
+            f"{meta['cpu_count']} cpu(s))",
+            f"  cache hit: cold {hit['cold_wall_seconds']:.3f}s "
+            f"({hit['scf_iterations_cold']} scf iters) -> hit "
+            f"{hit['hit_wall_seconds'] * 1e3:.2f}ms "
+            f"({hit['scf_iterations_hit']} iters), "
+            f"bit_identical={hit['bit_identical']}",
+            f"  warm start: rms {warm['rms_displacement_bohr']:.4f} bohr, "
+            f"scf iters {warm['scf_iterations_cold']} cold -> "
+            f"{warm['scf_iterations_warm']} warm "
+            f"(saved {warm['iterations_saved']}), "
+            f"dE={eq['total_energy_delta_ha']:.1e} Ha "
+            f"(bound {eq['tolerance_bound_ha']:.0e}, "
+            f"within={eq['within_tolerance']})",
+            f"  tddft on cached structure: scf iters "
+            f"{sub['tddft_scf_iterations']} (ground state reused), "
+            f"eig iters {sub['tddft_eigensolver_iterations']}",
+        ]
+    )
+
+
+def write_report(report: dict, path) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,0 +1,68 @@
+"""A small client over the job server's wire-format boundary.
+
+:class:`ServeClient` talks to a :class:`~repro.serve.server.
+CalculationServer` exclusively through JSON-able payloads and job-id
+strings — never through shared Python objects on the request path.  Every
+submission round-trips the request through its canonical JSON
+(``to_dict -> json -> from_dict``) before it reaches the server, which
+
+* proves the wire format is complete (anything lost in serialization
+  would change the result), and
+* guarantees a network transport added later cannot change cache keys:
+  the server hashes exactly what a remote client would have sent.
+
+The transport itself is in-process by design; see ``docs/serving.md`` for
+the scope discussion.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.api.request import CalculationRequest
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Submit / inspect / fetch / cancel jobs by id through payloads."""
+
+    def __init__(self, server) -> None:
+        self._server = server
+
+    def submit(
+        self,
+        request: CalculationRequest | dict,
+        *,
+        tenant: str = "default",
+        priority: int = 0,
+    ) -> str:
+        """Submit a request (object or ``to_dict`` payload); returns job id.
+
+        Raises :class:`~repro.serve.queue.AdmissionError` when the server
+        refuses the submission (inspect ``.reason``).
+        """
+        if isinstance(request, CalculationRequest):
+            payload = request.canonical_json()
+        else:
+            payload = json.dumps(request)
+        # The wire boundary: the server only ever sees the re-parsed copy.
+        wire_request = CalculationRequest.from_dict(json.loads(payload))
+        handle = self._server.submit(wire_request, tenant=tenant, priority=priority)
+        return handle.id
+
+    def status(self, job_id: str) -> dict:
+        """JSON-able status record (state, cache_hit, warm, iteration counts)."""
+        return self._server.handle(job_id).record()
+
+    def result(self, job_id: str, timeout: float | None = None):
+        """Block for the job's result object (raises on failed/cancelled)."""
+        return self._server.handle(job_id).result(timeout=timeout)
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation; see :meth:`CalculationServer.cancel`."""
+        return self._server.handle(job_id).cancel()
+
+    def events(self, job_id: str) -> list[dict]:
+        """The job's event history as JSON-able dicts."""
+        return [e.to_dict() for e in self._server.handle(job_id).history()]

@@ -1,0 +1,159 @@
+"""Per-job event channels: ordered history plus live subscriptions.
+
+Every job owns one channel.  The server publishes lifecycle events
+(``queued``, ``running``, ``done``, ...) and per-iteration progress events
+(SCF residuals, partial LOBPCG spectra) into it; clients either read the
+accumulated :meth:`EventChannel.history` after the fact or
+:meth:`EventChannel.subscribe` while the job runs.
+
+Subscriptions replay the existing history first, then stream live events,
+so a late subscriber sees exactly the same ordered sequence as an early
+one.  A channel *finishes* when a terminal event (``done`` / ``failed`` /
+``cancelled``) is published; iteration over a subscription ends there.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["EventChannel", "JobEvent", "Subscription", "TERMINAL_EVENTS"]
+
+#: Event types that end a job's stream.
+TERMINAL_EVENTS = frozenset({"done", "failed", "cancelled"})
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One immutable event in a job's ordered stream.
+
+    Attributes
+    ----------
+    seq:
+        Position in the job's stream (0-based, dense).
+    job_id:
+        Owning job.
+    type:
+        ``"queued"`` / ``"running"`` / ``"progress"`` / ``"cache_hit"`` /
+        ``"warm_start"`` / ``"done"`` / ``"failed"`` / ``"cancelled"``.
+    payload:
+        Event-specific primitives (e.g. an SCF iteration's residual, or
+        the current partial spectrum from the eigensolver).
+    """
+
+    seq: int
+    job_id: str
+    type: str
+    payload: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "job_id": self.job_id,
+            "type": self.type,
+            "payload": dict(self.payload),
+        }
+
+
+class Subscription:
+    """A live, iterable view of one job's event stream.
+
+    Iterating yields :class:`JobEvent` in order and stops after a terminal
+    event (or after :meth:`close`).  :meth:`get` offers non-blocking /
+    timed access for pollers.
+    """
+
+    _CLOSED = object()
+
+    def __init__(self) -> None:
+        self._queue: queue.Queue = queue.Queue()
+        self._finished = False
+
+    def _push(self, event: JobEvent) -> None:
+        self._queue.put(event)
+
+    def get(self, timeout: float | None = None) -> JobEvent | None:
+        """Next event, or ``None`` if the stream ended / timed out."""
+        if self._finished:
+            return None
+        try:
+            item = self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+        if item is self._CLOSED:
+            self._finished = True
+            return None
+        if item.type in TERMINAL_EVENTS:
+            self._finished = True
+        return item
+
+    def close(self) -> None:
+        """End iteration for any consumer blocked on this subscription."""
+        self._queue.put(self._CLOSED)
+
+    def __iter__(self):
+        while True:
+            event = self.get()
+            if event is None:
+                return
+            yield event
+            if event.type in TERMINAL_EVENTS:
+                return
+
+
+class EventChannel:
+    """Ordered event log for one job, with replaying subscriptions."""
+
+    def __init__(self, job_id: str) -> None:
+        self.job_id = job_id
+        self._lock = threading.Lock()
+        self._events: list[JobEvent] = []
+        self._subscribers: list[Subscription] = []
+        self._finished = False
+
+    @property
+    def finished(self) -> bool:
+        """Whether a terminal event has been published."""
+        return self._finished
+
+    def publish(self, type: str, payload: dict | None = None) -> JobEvent:
+        """Append one event and fan it out to live subscribers.
+
+        Publishing after a terminal event is a programming error and
+        raises — a finished job must stay finished.
+        """
+        with self._lock:
+            if self._finished:
+                raise RuntimeError(
+                    f"job {self.job_id}: channel already finished, "
+                    f"cannot publish {type!r}"
+                )
+            event = JobEvent(
+                seq=len(self._events),
+                job_id=self.job_id,
+                type=type,
+                payload=dict(payload or {}),
+            )
+            self._events.append(event)
+            if type in TERMINAL_EVENTS:
+                self._finished = True
+            subscribers = list(self._subscribers)
+        for sub in subscribers:
+            sub._push(event)
+        return event
+
+    def history(self) -> tuple[JobEvent, ...]:
+        """All events published so far, in order."""
+        with self._lock:
+            return tuple(self._events)
+
+    def subscribe(self) -> Subscription:
+        """New subscription; replays history, then streams live events."""
+        sub = Subscription()
+        with self._lock:
+            for event in self._events:
+                sub._push(event)
+            if not self._finished:
+                self._subscribers.append(sub)
+        return sub

@@ -1,0 +1,164 @@
+"""The job queue: tenant fairness, in-tenant priority, bounded admission.
+
+Scheduling model:
+
+* each *tenant* (a named submitter — a user, a pipeline, a CI lane) owns
+  its own sub-queue, ordered by ``priority`` (lower runs sooner) and FIFO
+  among equals;
+* workers drain tenants **round-robin**, so one tenant queueing a thousand
+  jobs cannot starve another's single job — the wait to first service is
+  bounded by the number of active tenants, not the queue depth;
+* admission control is explicit and machine-readable: a full queue or an
+  over-quota tenant raises :class:`AdmissionError` with a ``reason`` of
+  ``"queue_full"`` or ``"tenant_quota"`` — the server never silently
+  drops or unboundedly buffers work.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from collections import OrderedDict
+
+__all__ = ["AdmissionError", "JobQueue"]
+
+
+class AdmissionError(RuntimeError):
+    """A submission the queue refused to accept.
+
+    Attributes
+    ----------
+    reason:
+        Machine-readable cause: ``"queue_full"`` (total depth bound hit)
+        or ``"tenant_quota"`` (this tenant's bound hit).
+    """
+
+    def __init__(self, reason: str, message: str) -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class JobQueue:
+    """Bounded multi-tenant priority queue with round-robin fairness.
+
+    Parameters
+    ----------
+    max_depth:
+        Total queued-item bound across all tenants.
+    max_per_tenant:
+        Per-tenant bound; ``None`` leaves only the total bound.
+
+    Notes
+    -----
+    Thread-safe.  :meth:`pop` blocks (optionally with timeout) until an
+    item is available or the queue is closed; a closed queue pops ``None``
+    immediately and rejects new pushes with reason ``"closed"``.
+    """
+
+    def __init__(self, max_depth: int = 64, max_per_tenant: int | None = None):
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if max_per_tenant is not None and max_per_tenant < 1:
+            raise ValueError(
+                f"max_per_tenant must be >= 1 or None, got {max_per_tenant}"
+            )
+        self.max_depth = int(max_depth)
+        self.max_per_tenant = max_per_tenant
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        # tenant -> heap of (priority, seq, item); OrderedDict preserves
+        # round-robin rotation order (first-seen first).
+        self._tenants: "OrderedDict[str, list]" = OrderedDict()
+        self._size = 0
+        self._seq = 0
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._size
+
+    def depth_of(self, tenant: str) -> int:
+        """Queued items currently held by ``tenant``."""
+        with self._lock:
+            return len(self._tenants.get(tenant, ()))
+
+    def push(self, item, *, tenant: str = "default", priority: int = 0) -> None:
+        """Enqueue ``item``; raises :class:`AdmissionError` when refused."""
+        with self._not_empty:
+            if self._closed:
+                raise AdmissionError("closed", "queue is closed")
+            if self._size >= self.max_depth:
+                raise AdmissionError(
+                    "queue_full",
+                    f"queue depth {self._size} is at the bound "
+                    f"({self.max_depth}); retry later",
+                )
+            heap = self._tenants.get(tenant)
+            if (
+                self.max_per_tenant is not None
+                and heap is not None
+                and len(heap) >= self.max_per_tenant
+            ):
+                raise AdmissionError(
+                    "tenant_quota",
+                    f"tenant {tenant!r} already has {len(heap)} queued "
+                    f"jobs (quota {self.max_per_tenant}); retry later",
+                )
+            if heap is None:
+                heap = []
+                self._tenants[tenant] = heap
+            heapq.heappush(heap, (priority, self._seq, item))
+            self._seq += 1
+            self._size += 1
+            self._not_empty.notify()
+
+    def pop(self, timeout: float | None = None):
+        """Next item under the fairness policy, or ``None`` on timeout/close.
+
+        Round-robin: the serving tenant is moved to the back of the
+        rotation, so consecutive pops alternate across tenants with queued
+        work; within a tenant the lowest ``priority`` (FIFO among equals)
+        pops first.
+        """
+        with self._not_empty:
+            while self._size == 0:
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout=timeout):
+                    return None
+            # First tenant in rotation with queued work serves next.
+            for tenant, heap in self._tenants.items():
+                if heap:
+                    break
+            _, _, item = heapq.heappop(heap)
+            self._size -= 1
+            # Rotate: served tenant goes to the back.
+            self._tenants.move_to_end(tenant)
+            if not heap:
+                del self._tenants[tenant]
+            return item
+
+    def remove(self, match) -> bool:
+        """Remove the first queued item with ``match(item)`` true.
+
+        Used to cancel a queued job without executing it.  Returns whether
+        anything was removed.
+        """
+        with self._lock:
+            for tenant, heap in self._tenants.items():
+                for i, (_, _, item) in enumerate(heap):
+                    if match(item):
+                        heap[i] = heap[-1]
+                        heap.pop()
+                        heapq.heapify(heap)
+                        self._size -= 1
+                        if not heap:
+                            del self._tenants[tenant]
+                        return True
+        return False
+
+    def close(self) -> None:
+        """Refuse new work and wake every blocked :meth:`pop` with ``None``."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()

@@ -1,0 +1,500 @@
+"""The calculation server: async jobs, content-addressed cache, warm starts.
+
+:class:`CalculationServer` accepts :class:`~repro.api.CalculationRequest`
+submissions and executes them on worker threads through the same
+:func:`repro.api.execute_request` path the synchronous facade uses, layered
+with three reuse mechanisms (cheapest first):
+
+1. **Exact cache hit** — the request's :meth:`~repro.api.
+   CalculationRequest.cache_key` is already in the :class:`~repro.serve.
+   store.ResultStore`: the stored result is returned bit-identically, the
+   job completes at submission time, zero SCF iterations run.
+2. **In-flight dedup** — an identical request is *currently running or
+   queued*: the new submission attaches to the existing job instead of
+   queueing a duplicate.
+3. **Warm start** — a *different* request whose structure is
+   warm-compatible with a cached ground state (same lattice/species/
+   cutoff/bands, perturbed positions): the nearest cached ground state
+   seeds the SCF (density + orbitals + a displacement-derived residual
+   hint), generalizing the batch engine's frame-to-frame warm chain to
+   arbitrary submission order.  A tddft/rt request whose *embedded SCF
+   subrequest* hits exactly skips its ground-state stage entirely.
+
+Scheduling is delegated to :class:`~repro.serve.queue.JobQueue` (tenant
+round-robin + priority + admission control); per-job progress streams
+through :class:`~repro.serve.events.EventChannel`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.api.request import CalculationRequest, execute_request, structure_to_dict
+from repro.dft.scf import SCFWarmStart
+from repro.serve.events import EventChannel
+from repro.serve.queue import JobQueue
+from repro.serve.store import ResultStore, resolved_n_bands
+
+__all__ = [
+    "CalculationServer",
+    "JobCancelled",
+    "JobFailed",
+    "JobHandle",
+    "JOB_STATES",
+]
+
+#: Legal job states, in lifecycle order (terminal: done/failed/cancelled).
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: Floor on the warm-start residual hint (matches the batch engine's
+#: ``residual_hint_floor`` default) — a zero hint would claim an exact
+#: restart the mixer has not earned.
+_WARM_HINT_FLOOR = 3e-5
+
+#: Conversion from RMS atomic displacement (bohr) to an expected initial
+#: density residual per electron.  Deliberately pessimistic (slope 1):
+#: overestimating the residual only costs one slightly-too-loose band
+#: solve, underestimating floors the convergence check.
+_WARM_HINT_SLOPE = 1.0
+
+
+class JobFailed(RuntimeError):
+    """Raised by :meth:`JobHandle.result` when the job's worker raised."""
+
+
+class JobCancelled(RuntimeError):
+    """Raised by :meth:`JobHandle.result` for a cancelled job; also used
+    internally as the cooperative cancellation signal inside workers."""
+
+
+class _Job:
+    """Internal mutable job record (guarded by the server lock)."""
+
+    def __init__(self, job_id, request, key, tenant, priority):
+        self.id = job_id
+        self.request = request
+        self.key = key
+        self.tenant = tenant
+        self.priority = priority
+        self.status = "queued"
+        self.result = None
+        self.error: str | None = None
+        self.cache_hit = False
+        self.warm = False
+        self.warm_rms: float | None = None
+        self.scf_iterations = 0
+        self.eigensolver_iterations = 0
+        self.submitted_at = time.time()
+        self.finished_at: float | None = None
+        self.cancel_requested = False
+        self.done = threading.Event()
+        self.channel = EventChannel(job_id)
+
+    def record(self) -> dict:
+        """JSON-able status snapshot (the client's ``status`` payload)."""
+        return {
+            "id": self.id,
+            "kind": self.request.kind,
+            "key": self.key,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "status": self.status,
+            "cache_hit": self.cache_hit,
+            "warm": self.warm,
+            "warm_rms": self.warm_rms,
+            "scf_iterations": self.scf_iterations,
+            "eigensolver_iterations": self.eigensolver_iterations,
+            "error": self.error,
+        }
+
+
+class JobHandle:
+    """The submitter's view of one job.
+
+    Cheap value object: multiple handles may reference the same underlying
+    job (in-flight dedup), and a handle stays valid after the job ends.
+    """
+
+    def __init__(self, server: "CalculationServer", job: _Job) -> None:
+        self._server = server
+        self._job = job
+
+    @property
+    def id(self) -> str:
+        return self._job.id
+
+    @property
+    def status(self) -> str:
+        return self._job.status
+
+    @property
+    def cache_hit(self) -> bool:
+        """Whether this request was served from the result store."""
+        return self._job.cache_hit
+
+    @property
+    def warm(self) -> bool:
+        """Whether a cached ground state warm-started the execution."""
+        return self._job.warm
+
+    def record(self) -> dict:
+        """JSON-able status snapshot."""
+        return self._job.record()
+
+    def result(self, timeout: float | None = None):
+        """Block until the job ends and return its result object.
+
+        Raises :class:`JobFailed` / :class:`JobCancelled` on those
+        terminal states, and :class:`TimeoutError` if ``timeout`` elapses
+        first.
+        """
+        if not self._job.done.wait(timeout=timeout):
+            raise TimeoutError(
+                f"job {self._job.id} still {self._job.status!r} "
+                f"after {timeout}s"
+            )
+        if self._job.status == "failed":
+            raise JobFailed(f"job {self._job.id}: {self._job.error}")
+        if self._job.status == "cancelled":
+            raise JobCancelled(f"job {self._job.id} was cancelled")
+        return self._job.result
+
+    def cancel(self) -> bool:
+        """Request cancellation; see :meth:`CalculationServer.cancel`."""
+        return self._server.cancel(self._job.id)
+
+    def events(self):
+        """Subscription over this job's event stream (history replayed)."""
+        return self._job.channel.subscribe()
+
+    def history(self) -> tuple:
+        """Events published so far."""
+        return self._job.channel.history()
+
+
+class CalculationServer:
+    """In-process async job server over the unified request API.
+
+    Parameters
+    ----------
+    store:
+        Result cache; defaults to a fresh in-memory
+        :class:`~repro.serve.store.ResultStore`.  Pass one with a
+        ``directory`` to persist across server lifetimes.
+    n_workers:
+        Worker threads executing jobs (each runs one job at a time).
+    max_depth / max_per_tenant:
+        Admission bounds, forwarded to :class:`~repro.serve.queue.JobQueue`.
+    warm_start:
+        Enable nearest-cached-ground-state warm starts (exact cache hits
+        and in-flight dedup are always on; they cannot change results).
+
+    Notes
+    -----
+    Use as a context manager or call :meth:`shutdown`; workers are
+    non-daemon threads and outstanding queued jobs are cancelled on
+    shutdown.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore | None = None,
+        *,
+        n_workers: int = 1,
+        max_depth: int = 64,
+        max_per_tenant: int | None = None,
+        warm_start: bool = True,
+    ) -> None:
+        self.store = store if store is not None else ResultStore()
+        self.warm_start = bool(warm_start)
+        self._queue = JobQueue(max_depth=max_depth, max_per_tenant=max_per_tenant)
+        self._lock = threading.Lock()
+        self._jobs: dict[str, _Job] = {}
+        #: cache key -> job currently queued/running under that key.
+        self._inflight: dict[str, _Job] = {}
+        self._counter = 0
+        self._stats = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "cache_hits": 0,
+            "deduplicated": 0,
+            "warm_starts": 0,
+        }
+        self._shutdown = False
+        self._workers = [
+            threading.Thread(target=self._worker_loop, name=f"serve-worker-{i}")
+            for i in range(max(1, int(n_workers)))
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(
+        self,
+        request: CalculationRequest,
+        *,
+        tenant: str = "default",
+        priority: int = 0,
+    ) -> JobHandle:
+        """Submit a request; returns immediately with a :class:`JobHandle`.
+
+        Raises :class:`~repro.serve.queue.AdmissionError` when the queue
+        refuses the job (never for cache hits or deduplicated submissions,
+        which consume no queue slot).
+        """
+        key = request.cache_key()
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("server is shut down")
+            self._stats["submitted"] += 1
+
+            cached = self.store.get(key)
+            if cached is not None:
+                # Exact hit: job is born done, serving the stored object.
+                job = self._new_job(request, key, tenant, priority)
+                job.status = "done"
+                job.result = cached.result
+                job.cache_hit = True
+                job.finished_at = time.time()
+                self._stats["cache_hits"] += 1
+                self._stats["completed"] += 1
+                job.channel.publish("cache_hit", {"key": key})
+                job.channel.publish("done", {"cache_hit": True, "scf_iterations": 0})
+                job.done.set()
+                return JobHandle(self, job)
+
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                # Identical request already queued/running: attach to it.
+                self._stats["deduplicated"] += 1
+                return JobHandle(self, inflight)
+
+            job = self._new_job(request, key, tenant, priority)
+            # Admission control may refuse — before any state is published.
+            try:
+                self._queue.push(job, tenant=tenant, priority=priority)
+            except Exception:
+                del self._jobs[job.id]
+                raise
+            self._inflight[key] = job
+            job.channel.publish(
+                "queued", {"tenant": tenant, "priority": priority, "key": key}
+            )
+            return JobHandle(self, job)
+
+    def _new_job(self, request, key, tenant, priority) -> _Job:
+        self._counter += 1
+        job = _Job(f"job-{self._counter:06d}", request, key, tenant, priority)
+        self._jobs[job.id] = job
+        return job
+
+    # -- inspection ---------------------------------------------------------
+
+    def handle(self, job_id: str) -> JobHandle:
+        """Re-attach to a job by id (the client transport uses this)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job id {job_id!r}")
+        return JobHandle(self, job)
+
+    def stats(self) -> dict:
+        """Counters snapshot (submitted/completed/cache_hits/...)."""
+        with self._lock:
+            return dict(self._stats)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job: immediate when queued, cooperative when running.
+
+        A queued job is pulled from the queue and terminally cancelled.  A
+        running job gets its cancel flag set and aborts at its next
+        progress point (SCF/eigensolver iteration boundary); kinds without
+        progress hooks run to completion (the result is then discarded
+        from the job but still cached — it is correct).  Returns whether
+        the job can still be affected.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise KeyError(f"unknown job id {job_id!r}")
+            if job.status == "queued":
+                removed = self._queue.remove(lambda item: item is job)
+                if removed:
+                    self._finish(job, "cancelled")
+                    return True
+                # Popped by a worker between our check and remove: fall
+                # through to the cooperative path.
+            if job.status == "running":
+                job.cancel_requested = True
+                return True
+        return False
+
+    # -- execution ----------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.pop(timeout=0.1)
+            if job is None:
+                if self._shutdown:
+                    return
+                continue
+            self._execute(job)
+
+    def _execute(self, job: _Job) -> None:
+        with self._lock:
+            if job.cancel_requested:
+                self._finish(job, "cancelled")
+                return
+            job.status = "running"
+        job.channel.publish("running", {})
+
+        def progress(info: dict) -> None:
+            if job.cancel_requested:
+                raise JobCancelled(job.id)
+            payload = dict(info)
+            stage = payload.pop("stage", "progress")
+            job.channel.publish("progress", {"stage": stage, **payload})
+
+        try:
+            outcome = self._run(job, progress)
+        except JobCancelled:
+            with self._lock:
+                self._finish(job, "cancelled")
+            return
+        except Exception as exc:  # repro-lint: disable=no-blind-except -- job isolation boundary: any worker failure must mark this job failed, never kill the worker thread or sibling jobs
+            with self._lock:
+                job.error = f"{type(exc).__name__}: {exc}"
+                self._finish(job, "failed", {"error": job.error})
+            return
+
+        with self._lock:
+            job.result = outcome.result
+            job.scf_iterations = outcome.scf_iterations
+            job.eigensolver_iterations = outcome.eigensolver_iterations
+            self._store_outcome(job, outcome)
+            self._finish(
+                job,
+                "done",
+                {
+                    "cache_hit": False,
+                    "warm": job.warm,
+                    "scf_iterations": outcome.scf_iterations,
+                },
+            )
+
+    def _run(self, job: _Job, progress):
+        """Execute one job with the best available reuse."""
+        request = job.request
+
+        if request.kind == "batch":
+            seed = self._nearest(structure_to_dict(request.structure[0]), request.batch.scf)
+            if seed is not None:
+                job.warm, job.warm_rms = True, seed[1]
+                job.channel.publish(
+                    "warm_start", {"rms_displacement": seed[1], "stage": "batch-seed"}
+                )
+            return execute_request(
+                request,
+                seed_ground_state=seed[0] if seed is not None else None,
+                progress=progress,
+            )
+
+        # scf/tddft/rt: try the embedded ground-state stage's exact key
+        # first, then the nearest warm-compatible geometry.
+        ground_state = None
+        scf_warm = None
+        if request.kind in ("tddft", "rt"):
+            sub = self.store.get(request.scf_subrequest().cache_key())
+            if sub is not None and sub.ground_state is not None:
+                ground_state = sub.ground_state
+                job.channel.publish("cache_hit", {"stage": "scf-subrequest"})
+        if ground_state is None:
+            found = self._nearest(structure_to_dict(request.structure), request.scf)
+            if found is not None:
+                gs, rms = found
+                scf_warm = SCFWarmStart(
+                    density=gs.density,
+                    orbitals_real=gs.orbitals_real,
+                    residual_hint=max(_WARM_HINT_SLOPE * rms, _WARM_HINT_FLOOR),
+                )
+                job.warm, job.warm_rms = True, rms
+                job.channel.publish("warm_start", {"rms_displacement": rms})
+
+        outcome = execute_request(
+            request,
+            ground_state=ground_state,
+            scf_warm=scf_warm,
+            progress=progress,
+        )
+        outcome.warm = outcome.warm or ground_state is not None
+        return outcome
+
+    def _nearest(self, structure: dict, scf_config):
+        if not self.warm_start or scf_config is None:
+            return None
+        return self.store.nearest_ground_state(structure, scf_config)
+
+    def _store_outcome(self, job: _Job, outcome) -> None:
+        """Cache the result, plus the ground state under its own SCF key."""
+        request = job.request
+        meta = {"kind": request.kind}
+        if request.kind != "batch" and outcome.ground_state is not None:
+            meta.update(
+                structure=structure_to_dict(request.structure),
+                ecut=float(request.scf.ecut),
+                n_bands=resolved_n_bands(request.scf, request.structure.species),
+            )
+        self.store.put(
+            job.key, outcome.result, ground_state=outcome.ground_state, meta=meta
+        )
+        if request.kind in ("tddft", "rt") and outcome.ground_state is not None:
+            sub_key = request.scf_subrequest().cache_key()
+            if sub_key not in self.store:
+                self.store.put(
+                    sub_key,
+                    outcome.ground_state,
+                    ground_state=outcome.ground_state,
+                    meta={**meta, "kind": "scf"},
+                )
+        if job.warm:
+            self._stats["warm_starts"] += 1
+
+    def _finish(self, job: _Job, status: str, payload: dict | None = None) -> None:
+        """Terminal transition (caller holds the lock)."""
+        job.status = status
+        job.finished_at = time.time()
+        self._inflight.pop(job.key, None)
+        key = {"done": "completed", "failed": "failed", "cancelled": "cancelled"}[
+            status
+        ]
+        self._stats[key] += 1
+        job.channel.publish(status, payload or {})
+        job.done.set()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work, cancel queued jobs, join the workers."""
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            while True:
+                job = self._queue.pop(timeout=0)
+                if job is None:
+                    break
+                self._finish(job, "cancelled")
+        self._queue.close()
+        if wait:
+            for worker in self._workers:
+                worker.join()
+
+    def __enter__(self) -> "CalculationServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

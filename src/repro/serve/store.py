@@ -1,0 +1,315 @@
+"""The content-addressed result store behind the job server.
+
+Entries are keyed by :meth:`repro.api.CalculationRequest.cache_key` — the
+sha256 of the request's canonical serialization — so *equal key means
+equal calculation* and a stored result can be served bit-identically with
+zero recomputation.
+
+Beyond exact hits, the store answers the *nearest-ground-state* query that
+powers warm starts: given a new structure and SCF config, find the cached
+converged ground state on the most similar geometry that is
+**warm-compatible** (identical lattice, species, cutoff and band count —
+the invariants that fix the array shapes and grids a warm start must
+match), ranked by minimum-image RMS cartesian displacement.
+
+Persistence is optional: with a ``directory`` the store writes each
+serializable result as one npz+json payload (atomic, pickle-free — see
+:mod:`repro.utils.serialization`) plus a small ``index.json`` of metadata,
+and a fresh store pointed at the same directory serves previous sessions'
+results without recomputing.  Results without a dict round-trip (batch
+containers) stay memory-only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.atoms.elements import valence_electron_count
+from repro.utils.serialization import load_payload, save_payload
+from repro.utils.validation import require
+
+__all__ = [
+    "ResultStore",
+    "StoreEntry",
+    "nearest_key",
+    "resolved_n_bands",
+    "rms_displacement",
+    "warm_compatible",
+]
+
+_INDEX_NAME = "index.json"
+
+
+def resolved_n_bands(scf_config, species) -> int:
+    """The band count an SCF run with this config will actually compute.
+
+    Mirrors the default rule in :func:`repro.dft.scf.run_scf`
+    (``n_occ + max(4, n_occ // 2)``), so two configs that differ only in
+    ``n_bands=None`` vs. the explicit default resolve identically.
+    """
+    n_electrons = valence_electron_count(tuple(species))
+    n_occ = int(np.ceil(n_electrons / 2.0))
+    if scf_config.n_bands is not None:
+        return int(scf_config.n_bands)
+    return n_occ + max(4, n_occ // 2)
+
+
+def rms_displacement(structure_a: dict, structure_b: dict) -> float:
+    """Minimum-image RMS cartesian displacement between two structures.
+
+    Both arguments are :func:`repro.api.structure_to_dict` payloads with
+    identical lattice and species ordering (callers check
+    :func:`warm_compatible` first).  Fractional deltas are wrapped into
+    ``[-0.5, 0.5)`` per axis before mapping to cartesian, so a position
+    that crossed a periodic boundary still counts as a small move.
+    """
+    lattice = np.asarray(structure_a["lattice"], dtype=float)
+    fa = np.asarray(structure_a["fractional_positions"], dtype=float)
+    fb = np.asarray(structure_b["fractional_positions"], dtype=float)
+    require(
+        fa.shape == fb.shape,
+        f"structures have different atom counts: {fa.shape} vs {fb.shape}",
+    )
+    delta = (fa - fb + 0.5) % 1.0 - 0.5
+    cart = delta @ lattice
+    return float(np.sqrt((cart * cart).sum(axis=1).mean()))
+
+
+def warm_compatible(meta: dict, structure: dict, ecut: float, n_bands: int) -> bool:
+    """Whether a cached ground state can warm-start this calculation.
+
+    Compatibility is *exact* on everything that fixes array shapes and
+    grids: lattice, species (count **and** order — orbitals are not
+    permutation-invariant), plane-wave cutoff, and resolved band count.
+    Only atomic positions may differ; their displacement is what
+    :meth:`ResultStore.nearest_ground_state` ranks on.
+    """
+    cached = meta.get("structure")
+    if cached is None:
+        return False
+    return (
+        cached["lattice"] == structure["lattice"]
+        and list(cached["species"]) == list(structure["species"])
+        and len(cached["fractional_positions"])
+        == len(structure["fractional_positions"])
+        and float(meta.get("ecut", -1.0)) == float(ecut)
+        and int(meta.get("n_bands", -1)) == int(n_bands)
+    )
+
+
+def nearest_key(entries: dict, structure: dict, ecut: float, n_bands: int):
+    """``(key, rms)`` of the closest warm-compatible entry, or ``None``.
+
+    ``entries`` maps cache key -> metadata dict.  Ties break on key order
+    so the choice is deterministic across runs.
+    """
+    best = None
+    for key in sorted(entries):
+        meta = entries[key]
+        if not warm_compatible(meta, structure, ecut, n_bands):
+            continue
+        rms = rms_displacement(meta["structure"], structure)
+        if best is None or rms < best[1]:
+            best = (key, rms)
+    return best
+
+
+@dataclass
+class StoreEntry:
+    """One cached calculation: the result plus reusable artifacts."""
+
+    key: str
+    result: object
+    ground_state: object | None = None
+    meta: dict = field(default_factory=dict)
+
+
+def _result_classes():
+    from repro.batch.results import BatchResult
+    from repro.core.driver import LRTDDFTResult
+    from repro.dft.groundstate import GroundState
+    from repro.rt.tddft import RTResult
+
+    return {
+        "GroundState": GroundState,
+        "LRTDDFTResult": LRTDDFTResult,
+        "RTResult": RTResult,
+        "BatchResult": BatchResult,
+    }
+
+
+class ResultStore:
+    """Content-addressed result cache (in-memory, optionally persistent).
+
+    Parameters
+    ----------
+    directory:
+        Optional persistence root.  Existing payloads under it are indexed
+        at construction and load lazily on first access.
+
+    Notes
+    -----
+    Thread-safe.  ``put`` is last-writer-wins, which is harmless here:
+    equal keys describe the same calculation, so concurrent writers store
+    interchangeable values.
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+        self._lock = threading.RLock()
+        self._entries: dict[str, StoreEntry] = {}
+        #: cache key -> metadata for entries not yet loaded from disk.
+        self._disk_index: dict[str, dict] = {}
+        self.directory = os.fspath(directory) if directory is not None else None
+        if self.directory is not None:
+            os.makedirs(self.directory, exist_ok=True)
+            index_path = os.path.join(self.directory, _INDEX_NAME)
+            if os.path.exists(index_path):
+                with open(index_path, encoding="utf-8") as fh:
+                    self._disk_index = json.load(fh)
+
+    # -- basic mapping interface -------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(set(self._entries) | set(self._disk_index))
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries or key in self._disk_index
+
+    def keys(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(set(self._entries) | set(self._disk_index)))
+
+    def put(
+        self,
+        key: str,
+        result,
+        *,
+        ground_state=None,
+        meta: dict | None = None,
+    ) -> StoreEntry:
+        """Store ``result`` (and optional ground state) under ``key``."""
+        entry = StoreEntry(
+            key=key,
+            result=result,
+            ground_state=ground_state,
+            meta=dict(meta or {}),
+        )
+        with self._lock:
+            self._entries[key] = entry
+            if self.directory is not None and hasattr(result, "to_dict"):
+                self._persist(entry)
+        return entry
+
+    def get(self, key: str) -> StoreEntry | None:
+        """The entry for ``key``, loading from disk on first access."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                return entry
+            if key in self._disk_index:
+                entry = self._load(key)
+                self._entries[key] = entry
+                return entry
+        return None
+
+    # -- warm-start lookup --------------------------------------------------
+
+    def nearest_ground_state(self, structure: dict, scf_config):
+        """Closest warm-compatible cached ground state, or ``None``.
+
+        Parameters
+        ----------
+        structure:
+            :func:`repro.api.structure_to_dict` payload of the *new*
+            calculation's structure.
+        scf_config:
+            Its :class:`~repro.api.SCFConfig` (decides cutoff/band count).
+
+        Returns
+        -------
+        ``(ground_state, rms_displacement)`` — the cached
+        :class:`~repro.dft.GroundState` on the most similar geometry, and
+        how far (bohr) its atoms sit from the requested ones.  An exact
+        hit returns ``rms == 0.0``; callers wanting bit-identical replay
+        should check the exact key first.
+        """
+        n_bands = resolved_n_bands(scf_config, structure["species"])
+        ecut = float(scf_config.ecut)
+        with self._lock:
+            metas = {
+                key: entry.meta
+                for key, entry in self._entries.items()
+                if entry.ground_state is not None
+            }
+            for key, meta in self._disk_index.items():
+                if key not in metas and meta.get("has_ground_state"):
+                    metas[key] = meta
+        best = nearest_key(metas, structure, ecut, n_bands)
+        if best is None:
+            return None
+        key, rms = best
+        entry = self.get(key)
+        if entry is None or entry.ground_state is None:  # pragma: no cover
+            return None
+        return entry.ground_state, rms
+
+    # -- persistence --------------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.npz")
+
+    def _persist(self, entry: StoreEntry) -> None:
+        # When the result IS the ground state (scf entries) don't write the
+        # same arrays twice; _load reunifies them.
+        gs = entry.ground_state
+        payload = {
+            "class": type(entry.result).__name__,
+            "data": entry.result.to_dict(),
+            "ground_state": (
+                gs.to_dict() if gs is not None and gs is not entry.result else None
+            ),
+            "meta": entry.meta,
+        }
+        save_payload(self._path(entry.key), payload)
+        self._disk_index[entry.key] = {
+            **entry.meta,
+            "has_ground_state": entry.ground_state is not None,
+        }
+        index_path = os.path.join(self.directory, _INDEX_NAME)
+        tmp = f"{index_path}.{os.getpid()}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(self._disk_index, fh, indent=0, sort_keys=True)
+        os.replace(tmp, index_path)
+
+    def _load(self, key: str) -> StoreEntry:
+        payload = load_payload(self._path(key))
+        classes = _result_classes()
+        cls = classes.get(payload.get("class"))
+        require(
+            cls is not None,
+            f"store entry {key} has unknown result class "
+            f"{payload.get('class')!r}",
+        )
+        gs_data = payload.get("ground_state")
+        ground_state = (
+            classes["GroundState"].from_dict(gs_data)
+            if gs_data is not None
+            else None
+        )
+        result = cls.from_dict(payload["data"])
+        # An SCF entry's result IS its ground state (written once, see
+        # _persist): reunify so a cache hit and a warm start hand out the
+        # identical arrays.
+        if payload.get("class") == "GroundState" and ground_state is None:
+            ground_state = result
+        meta = dict(payload.get("meta") or {})
+        return StoreEntry(
+            key=key, result=result, ground_state=ground_state, meta=meta
+        )

@@ -149,15 +149,22 @@ class TestDeprecationShims:
         with pytest.raises(ValueError, match="config"):
             api.solve_tddft(tiny_gs, api.TDDFTConfig(), n_excitations=2)
 
-    def test_config_path_does_not_warn(self, tiny_gs):
+    def test_config_path_warns_once_for_the_function(self, tiny_gs):
+        # Since the CalculationRequest redesign the *function itself* is the
+        # deprecated surface: even the config path warns (exactly once),
+        # pointing at CalculationRequest.
         reset_deprecation_warnings()
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
             api.solve_tddft(
                 tiny_gs, api.TDDFTConfig(method="naive", n_excitations=2)
             )
+            api.solve_tddft(
+                tiny_gs, api.TDDFTConfig(method="naive", n_excitations=2)
+            )
         dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
-        assert dep == []
+        assert len(dep) == 1
+        assert "CalculationRequest" in str(dep[0].message)
 
     def test_legacy_and_config_paths_agree(self, tiny_gs):
         reset_deprecation_warnings()

@@ -9,7 +9,8 @@ runs are module-scoped fixtures shared by the equivalence tests.
 import numpy as np
 import pytest
 
-from repro.api import BatchConfig, SCFConfig, TDDFTConfig, run_batch
+from repro.api import BatchConfig, CalculationRequest, SCFConfig, TDDFTConfig, run_batch
+from repro.batch import engine as batch_engine
 from repro.atoms import silicon_primitive_cell
 from repro.batch import perturbed_trajectory
 
@@ -164,3 +165,45 @@ class TestSharding:
         assert [strip_times(r) for r in sharded_process.records] == [
             strip_times(r) for r in sharded_thread.records
         ]
+
+
+class TestSeededBatch:
+    """A cached ground state can seed the warm chain's cold head."""
+
+    @pytest.fixture(scope="class")
+    def seed(self, trajectory):
+        request = CalculationRequest(
+            kind="scf",
+            structure=trajectory[0],
+            scf=SCFConfig(ecut=6.0, n_bands=8, tol=SCF_TOL, seed=0),
+        )
+        return request.compute()
+
+    def test_seed_warms_frame0(self, trajectory, warm, seed):
+        seeded = batch_engine.run_batch(
+            trajectory, _config(), seed_ground_state=seed
+        )
+        # The unseeded run's frame 0 is a cold head; the seeded run's is not.
+        assert not warm.records[0].warm
+        assert seeded.records[0].warm
+        assert (
+            seeded.records[0].scf_iterations < warm.records[0].scf_iterations
+        )
+        delta = np.abs(seeded.total_energies - warm.total_energies)
+        assert delta.max() < ENERGY_BOUND
+
+    def test_seed_respects_warm_start_switch(self, trajectory, seed):
+        seeded_cold = batch_engine.run_batch(
+            trajectory[:2], _config(warm_start=False), seed_ground_state=seed
+        )
+        assert not any(r.warm for r in seeded_cold.records)
+
+    def test_seed_crosses_the_spmd_boundary(self, trajectory, seed):
+        sharded = batch_engine.run_batch(
+            trajectory,
+            _config(n_ranks=2, spmd_backend="thread"),
+            seed_ground_state=seed,
+        )
+        # Rank 0's head frame is seeded; rank 1's still starts cold.
+        assert sharded.records[0].warm
+        assert not sharded.records[2].warm

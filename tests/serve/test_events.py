@@ -1,0 +1,96 @@
+"""Event channels: ordered history, replaying subscriptions, terminality."""
+
+import threading
+
+import pytest
+
+from repro.serve import EventChannel
+
+
+def test_history_is_ordered_and_dense():
+    ch = EventChannel("job-1")
+    ch.publish("queued")
+    ch.publish("running")
+    ch.publish("progress", {"iteration": 1, "residual": 0.5})
+    events = ch.history()
+    assert [e.type for e in events] == ["queued", "running", "progress"]
+    assert [e.seq for e in events] == [0, 1, 2]
+    assert all(e.job_id == "job-1" for e in events)
+    assert events[2].payload["residual"] == 0.5
+
+
+def test_late_subscriber_replays_full_history():
+    ch = EventChannel("job-1")
+    ch.publish("queued")
+    ch.publish("running")
+    sub = ch.subscribe()  # subscribes *after* two events
+    ch.publish("done")
+    assert [e.type for e in sub] == ["queued", "running", "done"]
+
+
+def test_early_and_late_subscribers_see_identical_streams():
+    ch = EventChannel("job-1")
+    early = ch.subscribe()
+    ch.publish("queued")
+    ch.publish("progress", {"iteration": 1})
+    ch.publish("done")
+    late = ch.subscribe()
+    early_types = [(e.seq, e.type) for e in early]
+    late_types = [(e.seq, e.type) for e in late]
+    assert early_types == late_types
+
+
+def test_iteration_ends_at_terminal_event():
+    ch = EventChannel("job-1")
+    ch.publish("running")
+    ch.publish("cancelled")
+    sub = ch.subscribe()
+    assert [e.type for e in sub] == ["running", "cancelled"]
+    # The stream is finished: further gets return None immediately.
+    assert sub.get(timeout=0.01) is None
+
+
+def test_publish_after_terminal_raises():
+    ch = EventChannel("job-1")
+    ch.publish("done")
+    assert ch.finished
+    with pytest.raises(RuntimeError, match="finished"):
+        ch.publish("progress")
+
+
+def test_event_to_dict_is_json_primitives():
+    ch = EventChannel("job-1")
+    event = ch.publish("progress", {"iteration": 3})
+    d = event.to_dict()
+    assert d == {
+        "seq": 0,
+        "job_id": "job-1",
+        "type": "progress",
+        "payload": {"iteration": 3},
+    }
+
+
+def test_live_streaming_across_threads():
+    ch = EventChannel("job-1")
+    sub = ch.subscribe()
+    seen = []
+
+    def consume():
+        for event in sub:
+            seen.append(event.type)
+
+    thread = threading.Thread(target=consume)
+    thread.start()
+    ch.publish("running")
+    ch.publish("done")
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+    assert seen == ["running", "done"]
+
+
+def test_subscription_close_unblocks_consumer():
+    ch = EventChannel("job-1")
+    sub = ch.subscribe()
+    ch.publish("running")
+    sub.close()
+    assert [e.type for e in sub] == ["running"]

@@ -1,4 +1,9 @@
-"""The exported ``repro.api`` surface must match the committed manifest."""
+"""The exported public surfaces must match the committed manifest.
+
+Covers every tracked module (``repro.api``, ``repro.serve``): exports,
+dataclass field defaults, function signatures, and public method
+signatures on classes (the job-server client surface).
+"""
 
 import importlib.util
 import json
@@ -23,11 +28,13 @@ class TestManifest:
         assert drift == [], "\n".join(drift)
 
     def test_manifest_covers_all_exports(self, tool):
-        from repro import api
+        from repro import api, serve
 
         with open(tool.MANIFEST_PATH) as fh:
             manifest = json.load(fh)
-        assert sorted(manifest) == sorted(api.__all__)
+        assert sorted(manifest) == sorted(tool.TRACKED_MODULES)
+        assert sorted(manifest["repro.api"]) == sorted(api.__all__)
+        assert sorted(manifest["repro.serve"]) == sorted(serve.__all__)
 
 
 class TestDescribe:
@@ -43,6 +50,25 @@ class TestDescribe:
         assert surface["run_scf"]["kind"] == "function"
         assert "resilience" in surface["run_scf"]["signature"]
 
+    def test_request_methods_are_covered(self, tool):
+        surface = tool.describe_api()
+        request = surface["CalculationRequest"]
+        assert request["kind"] == "dataclass"
+        assert "compute" in request["methods"]
+        assert "cache_key" in request["methods"]
+        assert "tenant" in request["methods"]["submit"]
+
+    def test_serve_client_surface_is_covered(self, tool):
+        surface = tool.describe_api("repro.serve")
+        client = surface["ServeClient"]
+        assert client["kind"] == "class"
+        for method in ("submit", "status", "result", "cancel", "events"):
+            assert method in client["methods"], method
+        assert "priority" in client["methods"]["submit"]
+        server = surface["CalculationServer"]
+        for method in ("submit", "handle", "cancel", "stats", "shutdown"):
+            assert method in server["methods"], method
+
     def test_diff_reports_removed_and_changed(self, tool):
         expected = {"a": {"kind": "class"}, "b": {"kind": "function", "signature": "()"}}
         actual = {"b": {"kind": "function", "signature": "(x)"}, "c": {"kind": "class"}}
@@ -57,7 +83,9 @@ class TestDescribe:
 
     def test_main_detects_drift(self, tool, capsys, tmp_path, monkeypatch):
         stale = tmp_path / "manifest.json"
-        stale.write_text(json.dumps({"Ghost": {"kind": "class"}}))
+        stale.write_text(
+            json.dumps({"repro.api": {"Ghost": {"kind": "class"}}, "repro.serve": {}})
+        )
         monkeypatch.setattr(tool, "MANIFEST_PATH", str(stale))
         assert tool.main([]) == 1
         out = capsys.readouterr().out

@@ -120,6 +120,39 @@ def check_committed_batch(min_full_speedup: float) -> None:
         _ok(f"BENCH_batch.json: committed speedup {speedup:.2f}x ({mode} mode)")
 
 
+def check_committed_serve() -> None:
+    report = _load(REPO / "BENCH_serve.json")
+    if report is None:
+        return
+    hit = report.get("cache_hit", {})
+    if not hit.get("bit_identical", False):
+        _fail("BENCH_serve.json: cache hit not bit-identical")
+    if hit.get("scf_iterations_hit", -1) != 0:
+        _fail(
+            "BENCH_serve.json: cache hit ran "
+            f"{hit.get('scf_iterations_hit')!r} SCF iterations (expected 0)"
+        )
+    warm = report.get("warm_start", {})
+    if not warm.get("equivalence", {}).get("within_tolerance", False):
+        _fail("BENCH_serve.json: warm-started result out of tolerance")
+    if int(warm.get("iterations_saved", -1)) < 1:
+        _fail(
+            "BENCH_serve.json: warm start saved "
+            f"{warm.get('iterations_saved')!r} SCF iterations (expected >= 1)"
+        )
+    sub = report.get("scf_subrequest", {})
+    if sub.get("tddft_scf_iterations", -1) != 0:
+        _fail(
+            "BENCH_serve.json: tddft on cached structure re-ran its SCF "
+            f"({sub.get('tddft_scf_iterations')!r} iterations, expected 0)"
+        )
+    if not _FAILURES:
+        _ok(
+            "BENCH_serve.json: cache hit bit-identical at 0 iterations, "
+            f"warm start saved {warm.get('iterations_saved')} iteration(s)"
+        )
+
+
 # -- fresh smoke re-runs ------------------------------------------------------
 
 
@@ -167,6 +200,38 @@ def rerun_batch_smoke(min_speedup: float) -> None:
         )
 
 
+def rerun_serve_smoke() -> None:
+    from repro.perf.serve_bench import run_serve_bench
+
+    report = run_serve_bench(smoke=True)
+    hit = report["cache_hit"]
+    if not hit["bit_identical"] or hit["scf_iterations_hit"] != 0:
+        _fail(
+            "fresh serve smoke: cache hit not bit-identical/zero-work "
+            f"(bit_identical={hit['bit_identical']}, "
+            f"iterations={hit['scf_iterations_hit']})"
+        )
+    warm = report["warm_start"]
+    if not warm["warm_flag"]:
+        _fail("fresh serve smoke: near-duplicate request did not warm-start")
+    if warm["scf_iterations_warm"] >= warm["scf_iterations_cold"]:
+        _fail(
+            "fresh serve smoke: warm SCF iterations "
+            f"({warm['scf_iterations_warm']}) not below cold "
+            f"({warm['scf_iterations_cold']})"
+        )
+    if not warm["equivalence"]["within_tolerance"]:
+        _fail("fresh serve smoke: warm-started result out of tolerance")
+    if report["scf_subrequest"]["tddft_scf_iterations"] != 0:
+        _fail("fresh serve smoke: tddft did not reuse the cached ground state")
+    if not _FAILURES:
+        _ok(
+            "fresh serve smoke: cache hit + warm start + subrequest reuse "
+            f"(scf iterations {warm['scf_iterations_cold']} -> "
+            f"{warm['scf_iterations_warm']})"
+        )
+
+
 def rerun_spmd_smoke() -> None:
     from repro.perf.spmd_bench import run_spmd_bench
 
@@ -195,6 +260,11 @@ def update_bench() -> None:
     write_batch(run_batch_bench(smoke=False), REPO / "BENCH_batch.json")
     print("check-bench: regenerating BENCH_spmd.json (full mode)...")
     write_spmd(run_spmd_bench(smoke=False), REPO / "BENCH_spmd.json")
+    from repro.perf.serve_bench import run_serve_bench
+    from repro.perf.serve_bench import write_report as write_serve
+
+    print("check-bench: regenerating BENCH_serve.json (full mode)...")
+    write_serve(run_serve_bench(smoke=False), REPO / "BENCH_serve.json")
     print(
         "check-bench: BENCH_backend.json is regenerated via "
         "'python benchmarks/bench_backend.py' (slow); not rerun here."
@@ -229,9 +299,11 @@ def main(argv=None) -> int:
     check_committed_spmd()
     check_committed_backend()
     check_committed_batch(args.min_full_speedup)
+    check_committed_serve()
     if not args.skip_rerun:
         rerun_batch_smoke(args.min_batch_speedup)
         rerun_spmd_smoke()
+        rerun_serve_smoke()
 
     if _FAILURES:
         print(f"check-bench: {len(_FAILURES)} failure(s)")

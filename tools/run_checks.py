@@ -14,15 +14,19 @@ Runs, in order:
 5. **process-backend smoke** — a 3-rank ``backend="process"`` run whose
    collectives must match the thread backend bit-for-bit and leave no
    ``/dev/shm`` residue (skipped where ``fork`` is unavailable),
-6. **public API snapshot** — ``tools/check_public_api.py``,
-7. **bytecode guard** — ``tools/check_no_pyc.py``,
-8. **bench gate** — ``tools/check_bench.py``: validates the committed
+6. **serve smoke** — an in-process job server handling a duplicate
+   request pair: the second submission must be a bit-identical,
+   zero-SCF-iteration cache hit, and a perturbed third request must
+   warm-start off the cached ground state,
+7. **public API snapshot** — ``tools/check_public_api.py``,
+8. **bytecode guard** — ``tools/check_no_pyc.py``,
+9. **bench gate** — ``tools/check_bench.py``: validates the committed
    ``BENCH_*.json`` reports and re-runs the smoke benchmarks, gating on
    correctness flags and dimensionless ratios (never raw seconds); skip
    with ``--no-bench`` for the fast loop, refresh the committed reports
    with ``python tools/check_bench.py --update-bench``,
-9. **tier-1 tests** — ``pytest -x -q`` (skip with ``--no-tests`` for the
-   fast pre-commit loop).
+10. **tier-1 tests** — ``pytest -x -q`` (skip with ``--no-tests`` for the
+    fast pre-commit loop).
 
 Exit status is nonzero if any mandatory stage fails.  Optional tools that
 are absent are reported as SKIP, never as failures — the repo must be
@@ -147,6 +151,44 @@ print("process smoke: ok (bit-identical, zero-copy, no shm residue)")
 """
 
 
+_SERVE_SMOKE = """
+import numpy as np
+from repro.api import CalculationRequest, SCFConfig
+from repro.pw.cell import UnitCell
+from repro.serve import CalculationServer
+
+cell = UnitCell(
+    10.0 * np.eye(3), ("H", "H"),
+    np.array([[0.5, 0.5, 0.43], [0.5, 0.5, 0.57]]),
+)
+config = SCFConfig(ecut=4.0, n_bands=4, tol=1e-6, seed=0)
+request = CalculationRequest(kind="scf", structure=cell, scf=config)
+
+with CalculationServer() as server:
+    first = request.submit(server)
+    gs1 = first.result(timeout=300)
+    assert not first.cache_hit and first.record()["scf_iterations"] > 0
+
+    # Duplicate: must be a bit-identical cache hit with zero work.
+    second = request.submit(server)
+    gs2 = second.result(timeout=300)
+    assert second.cache_hit, "duplicate request missed the cache"
+    assert second.record()["scf_iterations"] == 0
+    assert gs2.total_energy == gs1.total_energy
+    assert np.array_equal(gs2.density, gs1.density)
+
+    # Near-duplicate: must warm-start from the cached ground state.
+    moved = UnitCell(
+        cell.lattice, cell.species,
+        cell.fractional_positions + np.array([[0.0, 0.0, 1e-3]] * 2),
+    )
+    third = CalculationRequest(kind="scf", structure=moved, scf=config).submit(server)
+    gs3 = third.result(timeout=300)
+    assert not third.cache_hit and third.warm, "perturbed request did not warm-start"
+print("serve smoke: ok (cache hit bit-identical, warm start engaged)")
+"""
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--no-tests", action="store_true",
@@ -163,6 +205,7 @@ def main(argv: list[str] | None = None) -> int:
     gate.run("repro-lint", [sys.executable, "-m", "repro", "lint", "src"])
     gate.run("sanitizer-smoke", [sys.executable, "-c", _SANITIZER_SMOKE])
     gate.run("process-smoke", [sys.executable, "-c", _PROCESS_SMOKE])
+    gate.run("serve-smoke", [sys.executable, "-c", _SERVE_SMOKE])
     gate.run("public-api", [sys.executable, os.path.join("tools", "check_public_api.py")])
     gate.run("no-pyc", [sys.executable, os.path.join("tools", "check_no_pyc.py")])
     if not args.no_bench:
