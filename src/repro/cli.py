@@ -399,14 +399,33 @@ def cmd_bench_serve(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    from repro.lint import format_findings, get_rules, lint_paths
+    from repro.lint import (
+        all_project_rules,
+        all_rules,
+        check_suppressions,
+        format_findings,
+        lint_paths,
+        rule_inventory,
+    )
 
     if args.list_rules:
-        for rule in get_rules():
+        for rule in all_rules():
             print(f"{rule.name}: {rule.description}")
+        for rule in all_project_rules():
+            print(f"{rule.name} [project]: {rule.description}")
         return 0
-    findings = lint_paths(args.paths, rules=args.select or None)
-    output = format_findings(findings, fmt=args.format)
+    if args.check_suppressions:
+        findings = check_suppressions(args.paths)
+        rules_enabled = None
+    else:
+        findings = lint_paths(
+            args.paths, rules=args.select or None, project=not args.no_project
+        )
+        # Embed the active inventory only for a full run, where it is a
+        # faithful statement of what was checked (baseline tooling relies
+        # on it to catch silently-vanished rules).
+        rules_enabled = rule_inventory() if args.select is None else None
+    output = format_findings(findings, fmt=args.format, rules_enabled=rules_enabled)
     if output:
         print(output)
     return 1 if findings else 0
@@ -565,6 +584,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run only this rule (repeatable)")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="print the registered rules and exit")
+    p_lint.add_argument("--check-suppressions", action="store_true",
+                        help="audit for suppression comments that no longer "
+                             "match a live finding (stale-suppression)")
+    p_lint.add_argument("--no-project", action="store_true",
+                        help="skip the whole-program (call-graph) rules")
     return parser
 
 

@@ -1,11 +1,13 @@
-"""``repro.lint`` — AST lint passes for this codebase's parallel hazards.
+"""``repro.lint`` — whole-program lint passes for this codebase's hazards.
 
 The generic engine (rule registry, suppression comments, text/JSON output)
-lives in :mod:`repro.lint.engine`; the passes encoding the invariants the
-reproduction actually relies on live in :mod:`repro.lint.rules`:
+lives in :mod:`repro.lint.engine`.  Per-file passes encoding the
+invariants the reproduction relies on live in :mod:`repro.lint.rules`:
 
 * ``no-alloc-in-hot`` — per-call allocations inside hot kernels,
-* ``collective-in-branch`` — collectives guarded by ``if rank`` branches,
+* ``collective-in-branch`` — collectives guarded by rank-dependent
+  branches (``if``/``while``/conditional expressions/short-circuits/
+  comprehension filters),
 * ``nondeterminism-in-replay`` — wall-clock/global-RNG/dict-order inside
   checkpoint-replayed loops,
 * ``mutated-recv-buffer`` — in-place writes to arrays received through the
@@ -13,37 +15,60 @@ reproduction actually relies on live in :mod:`repro.lint.rules`:
 * ``no-blind-except`` — ``except Exception`` handlers that swallow
   everything.
 
+Whole-program passes run over the project call graph
+(:mod:`repro.lint.callgraph` + :mod:`repro.lint.flow`) and live in
+:mod:`repro.lint.project_rules`:
+
+* ``transitive-collective-in-branch`` — collectives reachable through
+  helper calls from rank-dependent branches,
+* ``impure-cache-key`` — nondeterminism reachable from
+  ``CalculationRequest`` serialization (the content-addressed cache key),
+* ``lock-order-cycle`` / ``blocking-under-lock`` — the static lock graph
+  of the serving layer.
+
 Run it via ``repro lint [paths]``, ``python tools/run_checks.py``, or the
-API below.  See ``docs/static-analysis.md`` for rule rationale and the
-suppression syntax.
+API below.  ``repro lint --check-suppressions`` audits for suppression
+comments that no longer match a live finding.  See
+``docs/static-analysis.md`` for rule rationale and suppression syntax.
 """
 
 from repro.lint.engine import (
     Finding,
     LintRule,
+    ProjectRule,
+    all_project_rules,
     all_rules,
+    check_suppressions,
     format_findings,
     get_rules,
     lint_file,
     lint_paths,
     lint_source,
+    register_project_rule,
     register_rule,
+    rule_inventory,
 )
 from repro.lint.hotpaths import HOT_DECORATORS, HOT_PATH_MANIFEST, hot_functions_for
 
-# Importing the rules module populates the registry.
+# Importing the rule modules populates both registries.
+from repro.lint import project_rules as _project_rules  # noqa: F401
 from repro.lint import rules as _rules  # noqa: F401  (registration side effect)
 
 __all__ = [
     "Finding",
     "LintRule",
+    "ProjectRule",
+    "all_project_rules",
     "all_rules",
+    "check_suppressions",
     "format_findings",
     "get_rules",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "register_project_rule",
     "register_rule",
+    "rule_inventory",
     "HOT_DECORATORS",
     "HOT_PATH_MANIFEST",
     "hot_functions_for",

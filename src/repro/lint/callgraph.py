@@ -1,0 +1,800 @@
+"""Project-wide symbol table and call graph for interprocedural rules.
+
+The per-file rules in :mod:`repro.lint.rules` see one AST at a time; the
+rules in :mod:`repro.lint.project_rules` need to answer questions like
+"does anything *reachable* from this branch enter a collective?" or "is
+every function reachable from ``CalculationRequest.to_dict`` pure?".
+This module builds what they query:
+
+* a **symbol table** per module — imports (with aliases), module-level
+  functions, classes with their methods, attribute type hints (dataclass
+  annotations and ``self.x = Ctor(...)`` assignments), module-level
+  function aliases and dict dispatch tables;
+* a :class:`FunctionInfo` for every function-like scope — methods, nested
+  defs, lambdas, and one synthetic ``<module>`` scope per file for
+  top-level code;
+* **call edges** between them, resolved through the table.
+
+Resolution policy (and its intentional dynamic-dispatch limits)
+---------------------------------------------------------------
+Resolved statically:
+
+* bare names through the lexical scope chain (nested defs -> enclosing
+  functions -> module functions/classes -> module aliases -> imports,
+  following ``from X import y as z`` and package re-exports);
+* ``self.m()`` / ``cls.m()`` through the class and its project-local
+  bases (bound methods), and ``ClassName.m(obj)`` (unbound methods);
+* ``self.attr.m()`` where ``attr``'s type is known from a dataclass /
+  ``AnnAssign`` annotation or a ``self.attr = ClassName(...)`` assignment;
+* ``local.m()`` where ``local = ClassName(...)`` earlier in the same
+  function;
+* ``module_alias.f()`` through the import table;
+* ``functools.partial(f, ...)`` — a ``ref`` edge to ``f``;
+* calls through module-level dict dispatch tables (``TABLE[key](...)``)
+  — one ``call`` edge per table value;
+* ``ClassName(...)`` — a ``call`` edge to ``__init__`` when defined.
+
+Out of scope (recorded in :attr:`Project.unresolved` by leaf name, so
+rules can still pattern-match on e.g. collective method names):
+
+* attribute calls on objects whose type is not statically known
+  (``comm.allreduce(...)`` where ``comm`` is a parameter) — exactly MPI's
+  duck-typed communicator, which is why collective detection also matches
+  leaf names;
+* calls through containers other than module-level dict literals,
+  ``getattr``/``setattr`` indirection, monkey-patching, and decorators
+  that *replace* rather than wrap (``@decorated`` callees resolve to the
+  undecorated def — correct for every decorator in this codebase);
+* ``@property`` access (an attribute load, not a call).
+
+Edge kinds: ``"call"`` (the expression invokes the callee) and ``"ref"``
+(the callee's object is taken — stored, passed, wrapped in ``partial``,
+or defined as a nested def/lambda).  Precision-first rules (collective
+consistency) follow only ``call`` edges; soundness-first rules
+(cache-key purity) follow both.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import PurePosixPath
+from typing import Iterable, Iterator, Sequence
+
+from repro.lint.engine import SourceModule, dotted_name
+
+__all__ = [
+    "CallEdge",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "Project",
+    "build_project",
+    "module_name_for_path",
+]
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_LOCK_ANCHORS = ("src",)
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a file path.
+
+    ``src/repro/serve/store.py`` -> ``repro.serve.store``; without a
+    ``src`` anchor, the longest identifier-only tail of the path is used
+    (stable for tmp-dir test fixtures), and ``__init__.py`` maps to its
+    package.
+    """
+    parts = list(PurePosixPath(path).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    for anchor in _LOCK_ANCHORS:
+        if anchor in parts:
+            parts = parts[parts.index(anchor) + 1 :]
+            break
+    else:
+        tail: list[str] = []
+        for part in reversed(parts):
+            if part.isidentifier():
+                tail.append(part)
+            else:
+                break
+        parts = list(reversed(tail)) or parts[-1:]
+    return ".".join(parts) or "<module>"
+
+
+@dataclasses.dataclass
+class FunctionInfo:
+    """One function-like scope (def, method, lambda, or module top level)."""
+
+    uid: str  #: globally unique: ``module:qualname``
+    module: str
+    path: str
+    qualname: str
+    name: str
+    lineno: int
+    node: ast.AST
+    class_name: str | None = None
+    parent_uid: str | None = None
+    decorators: tuple[str, ...] = ()
+    is_lambda: bool = False
+    #: immediate nested defs/lambdas: local name -> uid (lexical scope).
+    scope_defs: dict[str, str] = dataclasses.field(default_factory=dict)
+
+    @property
+    def is_module_scope(self) -> bool:
+        return self.qualname == "<module>"
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    """One class: methods, base names, and statically-known attribute types."""
+
+    name: str
+    module: str
+    node: ast.ClassDef
+    bases: tuple[str, ...] = ()
+    methods: dict[str, FunctionInfo] = dataclasses.field(default_factory=dict)
+    #: attribute -> candidate type names (from annotations / constructors).
+    attr_types: dict[str, list[str]] = dataclasses.field(default_factory=dict)
+    #: attribute -> the ``self.attr = Ctor(...)`` call node (lock discovery).
+    attr_ctors: dict[str, ast.Call] = dataclasses.field(default_factory=dict)
+
+    @property
+    def uid(self) -> str:
+        return f"{self.module}:{self.name}"
+
+
+@dataclasses.dataclass
+class ModuleInfo:
+    """Symbol table of one parsed module."""
+
+    name: str
+    source: SourceModule
+    imports: dict[str, str] = dataclasses.field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = dataclasses.field(default_factory=dict)
+    classes: dict[str, ClassInfo] = dataclasses.field(default_factory=dict)
+    #: module-level ``alias = existing_function`` assignments.
+    aliases: dict[str, str] = dataclasses.field(default_factory=dict)
+    #: module-level dict literals (dispatch tables): name -> value exprs.
+    tables: dict[str, list[ast.expr]] = dataclasses.field(default_factory=dict)
+
+    @property
+    def path(self) -> str:
+        return self.source.path
+
+
+@dataclasses.dataclass
+class CallEdge:
+    """One resolved edge of the call graph."""
+
+    caller: str
+    callee: str
+    kind: str  #: ``"call"`` or ``"ref"``
+    node: ast.AST  #: the call/reference site (line numbers)
+    via: str = ""  #: source-level spelling, for diagnostics
+
+
+class Project:
+    """The whole-program index the interprocedural rules run against."""
+
+    def __init__(self, modules: Sequence[SourceModule]) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.modules_by_path: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.edges_from: dict[str, list[CallEdge]] = {}
+        self.edges_to: dict[str, list[CallEdge]] = {}
+        #: caller uid -> [(leaf name, call node)] for unresolvable calls.
+        self.unresolved: dict[str, list[tuple[str, ast.Call]]] = {}
+        for source in modules:
+            self._index_module(source)
+        for info in list(self.functions.values()):
+            self._extract_edges(info)
+
+    # -- construction: symbol table ------------------------------------------
+
+    def _index_module(self, source: SourceModule) -> None:
+        name = module_name_for_path(source.path)
+        mod = ModuleInfo(name=name, source=source)
+        # Collisions (same module name from two paths): last writer wins,
+        # both remain reachable through modules_by_path.
+        self.modules[name] = mod
+        self.modules_by_path[source.path] = mod
+        self._collect_imports(mod, source.tree)
+        module_scope = self._add_function(
+            mod, source.tree, qualname="<module>", name="<module>", lineno=1
+        )
+        for child in source.tree.body:
+            self._index_statement(mod, module_scope, child)
+
+    def _collect_imports(self, mod: ModuleInfo, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.partition(".")[0]
+                    target = alias.name if alias.asname else alias.name.partition(".")[0]
+                    mod.imports[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    mod.imports[local] = f"{node.module}.{alias.name}"
+
+    def _add_function(
+        self,
+        mod: ModuleInfo,
+        node: ast.AST,
+        *,
+        qualname: str,
+        name: str,
+        lineno: int,
+        class_name: str | None = None,
+        parent: FunctionInfo | None = None,
+        is_lambda: bool = False,
+    ) -> FunctionInfo:
+        decorators: tuple[str, ...] = ()
+        if isinstance(node, _FUNC_NODES):
+            names = []
+            for dec in node.decorator_list:
+                target = dec.func if isinstance(dec, ast.Call) else dec
+                text = dotted_name(target)
+                if text:
+                    names.append(text)
+            decorators = tuple(names)
+        info = FunctionInfo(
+            uid=f"{mod.name}:{qualname}",
+            module=mod.name,
+            path=mod.source.path,
+            qualname=qualname,
+            name=name,
+            lineno=lineno,
+            node=node,
+            class_name=class_name,
+            parent_uid=parent.uid if parent is not None else None,
+            decorators=decorators,
+            is_lambda=is_lambda,
+        )
+        self.functions[info.uid] = info
+        if parent is not None and not is_lambda:
+            parent.scope_defs[name] = info.uid
+        return info
+
+    def _index_statement(
+        self, mod: ModuleInfo, scope: FunctionInfo, stmt: ast.stmt
+    ) -> None:
+        if isinstance(stmt, _FUNC_NODES):
+            self._index_def(mod, scope, stmt, class_name=None)
+        elif isinstance(stmt, ast.ClassDef):
+            self._index_class(mod, scope, stmt)
+        elif isinstance(stmt, ast.Assign) and scope.is_module_scope:
+            self._index_module_assign(mod, stmt)
+            self._recurse_statements(mod, scope, stmt)
+        else:
+            self._recurse_statements(mod, scope, stmt)
+
+    def _recurse_statements(
+        self, mod: ModuleInfo, scope: FunctionInfo, stmt: ast.stmt
+    ) -> None:
+        """Find defs/classes nested in compound statements (if/try/for/with)."""
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                self._index_statement(mod, scope, child)
+
+    def _index_def(
+        self,
+        mod: ModuleInfo,
+        scope: FunctionInfo,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        class_name: str | None,
+        class_info: ClassInfo | None = None,
+    ) -> None:
+        if class_name is not None:
+            qualname = f"{class_name}.{node.name}"
+        elif scope.is_module_scope:
+            qualname = node.name
+        else:
+            qualname = f"{scope.qualname}.{node.name}"
+        info = self._add_function(
+            mod,
+            node,
+            qualname=qualname,
+            name=node.name,
+            lineno=node.lineno,
+            class_name=class_name,
+            parent=None if scope.is_module_scope and class_name is None else scope,
+        )
+        if class_name is None and scope.is_module_scope:
+            mod.functions[node.name] = info
+        if class_info is not None:
+            class_info.methods[node.name] = info
+        for child in node.body:
+            self._index_statement(mod, info, child)
+
+    def _index_class(
+        self, mod: ModuleInfo, scope: FunctionInfo, node: ast.ClassDef
+    ) -> None:
+        info = ClassInfo(
+            name=node.name,
+            module=mod.name,
+            node=node,
+            bases=tuple(filter(None, (dotted_name(b) for b in node.bases))),
+        )
+        mod.classes[node.name] = info
+        self.classes[info.uid] = info
+        for child in node.body:
+            if isinstance(child, _FUNC_NODES):
+                self._index_def(
+                    mod, scope, child, class_name=node.name, class_info=info
+                )
+            elif isinstance(child, ast.AnnAssign) and isinstance(
+                child.target, ast.Name
+            ):
+                types = _annotation_type_names(child.annotation)
+                if types:
+                    info.attr_types.setdefault(child.target.id, []).extend(types)
+            elif isinstance(child, ast.ClassDef):
+                self._index_class(mod, scope, child)
+        self._collect_attr_assignments(info)
+
+    def _collect_attr_assignments(self, info: ClassInfo) -> None:
+        """``self.attr = <value>`` inside methods -> attribute types.
+
+        Candidate types come from constructor calls anywhere in the value
+        (covers ``x if cond else Ctor()``) and from annotated parameters
+        assigned through (``def __init__(self, store: ResultStore | None):
+        self.store = store``)."""
+        for method in info.methods.values():
+            if not isinstance(method.node, _FUNC_NODES):
+                continue
+            param_types: dict[str, list[str]] = {}
+            args = method.node.args
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+                if arg.annotation is not None:
+                    types = _annotation_type_names(arg.annotation)
+                    if types:
+                        param_types[arg.arg] = types
+            for node in ast.walk(method.node):
+                if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                    continue
+                target = node.targets[0]
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Call):
+                        ctor = dotted_name(sub.func)
+                        if ctor:
+                            if node.value is sub:
+                                info.attr_ctors.setdefault(target.attr, sub)
+                            leaf = ctor.rpartition(".")[2]
+                            if leaf[:1].isupper():
+                                info.attr_types.setdefault(
+                                    target.attr, []
+                                ).append(ctor)
+                    elif isinstance(sub, ast.Name) and sub.id in param_types:
+                        info.attr_types.setdefault(target.attr, []).extend(
+                            param_types[sub.id]
+                        )
+
+    def _index_module_assign(self, mod: ModuleInfo, stmt: ast.Assign) -> None:
+        if len(stmt.targets) != 1 or not isinstance(stmt.targets[0], ast.Name):
+            return
+        name = stmt.targets[0].id
+        if isinstance(stmt.value, ast.Dict):
+            mod.tables[name] = [v for v in stmt.value.values if v is not None]
+        elif isinstance(stmt.value, (ast.Name, ast.Attribute)):
+            text = dotted_name(stmt.value)
+            if text:
+                mod.aliases[name] = text
+
+    # -- construction: edges -------------------------------------------------
+
+    def _extract_edges(self, info: FunctionInfo) -> None:
+        mod = self.modules_by_path.get(info.path) or self.modules[info.module]
+        var_types = self._local_var_types(mod, info)
+        edges = self.edges_from.setdefault(info.uid, [])
+        unresolved = self.unresolved.setdefault(info.uid, [])
+        call_funcs: set[int] = set()
+
+        for node in self._scope_walk(info):
+            if isinstance(node, ast.Lambda):
+                lam = self._add_function(
+                    mod,
+                    node,
+                    qualname=f"{info.qualname}.<lambda:{node.lineno}>",
+                    name="<lambda>",
+                    lineno=node.lineno,
+                    class_name=info.class_name,
+                    parent=info,
+                    is_lambda=True,
+                )
+                edges.append(
+                    CallEdge(info.uid, lam.uid, "ref", node, via="<lambda>")
+                )
+                self._extract_edges(lam)
+            elif isinstance(node, ast.Call):
+                call_funcs.add(id(node.func))
+                self._resolve_call(mod, info, node, var_types, edges, unresolved)
+
+        # References: function objects taken without being called.
+        for node in self._scope_walk(info):
+            if id(node) in call_funcs:
+                continue
+            if isinstance(node, (ast.Name, ast.Attribute)) and isinstance(
+                getattr(node, "ctx", None), ast.Load
+            ):
+                targets = self._resolve_expr(mod, info, node, var_types)
+                for target in targets:
+                    edges.append(
+                        CallEdge(
+                            info.uid, target.uid, "ref", node, via=dotted_name(node)
+                        )
+                    )
+
+        # Nested defs are reachable from their definer (``ref``): a rule
+        # wanting soundness treats "defined inside" as "may run as part of".
+        for child_uid in info.scope_defs.values():
+            child = self.functions[child_uid]
+            edges.append(
+                CallEdge(info.uid, child_uid, "ref", child.node, via=child.name)
+            )
+
+    def _scope_walk(self, info: FunctionInfo) -> Iterator[ast.AST]:
+        """Walk ``info``'s own scope: skip nested def/lambda bodies (they
+        are separate :class:`FunctionInfo`), keep comprehension bodies
+        (they execute as part of this scope).  The module scope also skips
+        class bodies (methods are their own scopes; class-level constants
+        rarely call)."""
+        root = info.node
+
+        def walk(node: ast.AST) -> Iterator[ast.AST]:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (*_FUNC_NODES, ast.Lambda)):
+                    yield child  # the def itself (so lambdas are seen once)
+                    continue
+                if isinstance(child, ast.ClassDef):
+                    continue
+                yield child
+                yield from walk(child)
+
+        if isinstance(root, ast.Lambda):
+            yield from ast.walk(root.body)
+        else:
+            yield from walk(root)
+
+    def _local_var_types(
+        self, mod: ModuleInfo, info: FunctionInfo
+    ) -> dict[str, ClassInfo]:
+        """``x = ClassName(...)`` assignments in this scope -> {x: class}."""
+        types: dict[str, ClassInfo] = {}
+        for node in self._scope_walk(info):
+            if not (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+            ):
+                continue
+            cls = self._resolve_class(mod, dotted_name(node.value.func))
+            if cls is not None:
+                types[node.targets[0].id] = cls
+        return types
+
+    # -- resolution ----------------------------------------------------------
+
+    def _resolve_call(
+        self,
+        mod: ModuleInfo,
+        info: FunctionInfo,
+        call: ast.Call,
+        var_types: dict[str, ClassInfo],
+        edges: list[CallEdge],
+        unresolved: list[tuple[str, ast.Call]],
+    ) -> None:
+        func = call.func
+        via = dotted_name(func)
+
+        # functools.partial(f, ...): a reference to f.
+        if via.rpartition(".")[2] == "partial" and call.args:
+            for target in self._resolve_expr(mod, info, call.args[0], var_types):
+                edges.append(CallEdge(info.uid, target.uid, "ref", call, via=via))
+
+        # TABLE[key](...) through a module-level dispatch dict.
+        if isinstance(func, ast.Subscript):
+            values = self._resolve_table(mod, func.value)
+            if values is not None:
+                hit = False
+                for expr in values:
+                    for target in self._resolve_expr(mod, info, expr, var_types):
+                        hit = True
+                        edges.append(
+                            CallEdge(
+                                info.uid,
+                                target.uid,
+                                "call",
+                                call,
+                                via=f"{dotted_name(func.value)}[...]",
+                            )
+                        )
+                if hit:
+                    return
+            unresolved.append((via.rpartition(".")[2] or "<subscript>", call))
+            return
+
+        targets = self._resolve_expr(mod, info, func, var_types)
+        if targets:
+            for target in targets:
+                edges.append(CallEdge(info.uid, target.uid, "call", call, via=via))
+        else:
+            unresolved.append((via.rpartition(".")[2], call))
+
+    def _resolve_table(
+        self, mod: ModuleInfo, expr: ast.expr
+    ) -> list[ast.expr] | None:
+        text = dotted_name(expr)
+        if not text:
+            return None
+        if text in mod.tables:
+            return mod.tables[text]
+        head, _, leaf = text.rpartition(".")
+        if head and head in mod.imports:
+            target_mod = self.modules.get(mod.imports[head])
+            if target_mod is not None and leaf in target_mod.tables:
+                return target_mod.tables[leaf]
+        return None
+
+    def _resolve_expr(
+        self,
+        mod: ModuleInfo,
+        info: FunctionInfo,
+        expr: ast.expr,
+        var_types: dict[str, ClassInfo],
+    ) -> list[FunctionInfo]:
+        """Resolve a name-like expression to project functions (possibly
+        several candidates for union-typed attributes); empty = unknown."""
+        if isinstance(expr, ast.Name):
+            return self._resolve_bare_name(mod, info, expr.id)
+        if isinstance(expr, ast.Attribute):
+            return self._resolve_attribute(mod, info, expr, var_types)
+        return []
+
+    def _resolve_bare_name(
+        self, mod: ModuleInfo, info: FunctionInfo, name: str
+    ) -> list[FunctionInfo]:
+        # Lexical chain: this scope's nested defs, then enclosing scopes'.
+        scope: FunctionInfo | None = info
+        while scope is not None:
+            uid = scope.scope_defs.get(name)
+            if uid is not None:
+                return [self.functions[uid]]
+            scope = (
+                self.functions.get(scope.parent_uid)
+                if scope.parent_uid is not None
+                else None
+            )
+        if name in mod.functions:
+            return [mod.functions[name]]
+        if name in mod.classes:
+            return self._class_callable(mod.classes[name])
+        if name in mod.aliases:
+            resolved = self._resolve_bare_name(mod, info, mod.aliases[name])
+            if resolved:
+                return resolved
+            return self._resolve_dotted(mod.aliases[name])
+        if name in mod.imports:
+            return self._resolve_dotted(mod.imports[name])
+        return []
+
+    def _class_callable(self, cls: ClassInfo) -> list[FunctionInfo]:
+        """Calling a class invokes ``__init__`` (when the project defines
+        one, possibly on a base)."""
+        init = self._resolve_method(cls, "__init__")
+        return init if init else []
+
+    def _resolve_attribute(
+        self,
+        mod: ModuleInfo,
+        info: FunctionInfo,
+        expr: ast.Attribute,
+        var_types: dict[str, ClassInfo],
+    ) -> list[FunctionInfo]:
+        attr = expr.attr
+        base = expr.value
+        base_text = dotted_name(base)
+
+        # self.m() / cls.m(): the enclosing class's method table (+ bases).
+        if base_text in ("self", "cls") and info.class_name is not None:
+            cls = mod.classes.get(info.class_name) or self.classes.get(
+                f"{info.module}:{info.class_name}"
+            )
+            if cls is not None:
+                return self._resolve_method(cls, attr)
+            return []
+
+        # self.attr.m(): annotated / constructor-known attribute types.
+        if (
+            isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+            and base.value.id in ("self", "cls")
+            and info.class_name is not None
+        ):
+            cls = mod.classes.get(info.class_name)
+            if cls is not None:
+                out: list[FunctionInfo] = []
+                for type_name in cls.attr_types.get(base.attr, []):
+                    target_cls = self._resolve_class(mod, type_name)
+                    if target_cls is not None:
+                        out.extend(self._resolve_method(target_cls, attr))
+                return out
+            return []
+
+        if isinstance(base, ast.Name):
+            # local = ClassName(...); local.m()
+            if base.id in var_types:
+                return self._resolve_method(var_types[base.id], attr)
+            # ClassName.m (unbound) in this module or imported.
+            cls = self._resolve_class(mod, base.id)
+            if cls is not None:
+                return self._resolve_method(cls, attr)
+
+        # module_alias.f() / package.sub.f() through the import table.
+        if base_text:
+            expanded = self._expand_import_prefix(mod, base_text)
+            if expanded is not None:
+                resolved = self._resolve_dotted(f"{expanded}.{attr}")
+                if resolved:
+                    return resolved
+        return []
+
+    def _expand_import_prefix(self, mod: ModuleInfo, dotted: str) -> str | None:
+        head, _, rest = dotted.partition(".")
+        if head in mod.imports:
+            target = mod.imports[head]
+            return f"{target}.{rest}" if rest else target
+        if dotted in self.modules:
+            return dotted
+        return None
+
+    def _resolve_dotted(self, dotted: str, _depth: int = 0) -> list[FunctionInfo]:
+        """``pkg.mod.fn`` -> FunctionInfo, chasing package re-exports."""
+        if _depth > 6:
+            return []
+        head, _, leaf = dotted.rpartition(".")
+        mod = self.modules.get(head)
+        if mod is None:
+            return []
+        if leaf in mod.functions:
+            return [mod.functions[leaf]]
+        if leaf in mod.classes:
+            return self._class_callable(mod.classes[leaf])
+        if leaf in mod.aliases:
+            return self._resolve_dotted(f"{head}.{mod.aliases[leaf]}", _depth + 1)
+        if leaf in mod.imports:
+            return self._resolve_dotted(mod.imports[leaf], _depth + 1)
+        return []
+
+    def _resolve_class(self, mod: ModuleInfo, name: str) -> ClassInfo | None:
+        """A (possibly dotted / imported / annotated) name -> ClassInfo."""
+        if not name:
+            return None
+        leaf = name.rpartition(".")[2]
+        if name in mod.classes:
+            return mod.classes[name]
+        if leaf in mod.classes and name == leaf:
+            return mod.classes[leaf]
+        if name in mod.imports:
+            dotted = mod.imports[name]
+            head, _, cls_name = dotted.rpartition(".")
+            target = self.modules.get(head)
+            if target is not None and cls_name in target.classes:
+                return target.classes[cls_name]
+        head, _, cls_name = name.rpartition(".")
+        if head:
+            expanded = self._expand_import_prefix(mod, head)
+            if expanded is not None:
+                target = self.modules.get(expanded)
+                if target is not None and cls_name in target.classes:
+                    return target.classes[cls_name]
+        return None
+
+    def _resolve_method(self, cls: ClassInfo, name: str) -> list[FunctionInfo]:
+        """Look ``name`` up on ``cls`` and its project-local base chain."""
+        seen: set[str] = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop()
+            if current.uid in seen:
+                continue
+            seen.add(current.uid)
+            if name in current.methods:
+                return [current.methods[name]]
+            mod = self.modules.get(current.module)
+            for base_name in current.bases:
+                base = self._resolve_class(mod, base_name) if mod else None
+                if base is not None:
+                    stack.append(base)
+        return []
+
+    # -- query helpers -------------------------------------------------------
+
+    def function(self, uid: str) -> FunctionInfo | None:
+        return self.functions.get(uid)
+
+    def scope_nodes(self, info: FunctionInfo) -> Iterator[ast.AST]:
+        """Public alias of the scope-local walk (used by the flow layer)."""
+        return self._scope_walk(info)
+
+    def edges(self, uid: str, kinds: Iterable[str] = ("call",)) -> list[CallEdge]:
+        wanted = set(kinds)
+        return [e for e in self.edges_from.get(uid, []) if e.kind in wanted]
+
+    def find_functions(self, qualname_suffix: str) -> list[FunctionInfo]:
+        """Functions whose qualified name ends with ``qualname_suffix``
+        (e.g. ``"CalculationRequest.to_dict"`` matches in any module)."""
+        out = []
+        for info in self.functions.values():
+            if info.qualname == qualname_suffix or info.qualname.endswith(
+                "." + qualname_suffix
+            ):
+                out.append(info)
+        return out
+
+
+def _annotation_type_names(annotation: ast.expr) -> list[str]:
+    """Candidate class names in an annotation (``X | None``, ``Optional[X]``,
+    ``list[X]`` ...), skipping typing connectives."""
+    skip = {
+        "None",
+        "Optional",
+        "Union",
+        "list",
+        "List",
+        "tuple",
+        "Tuple",
+        "dict",
+        "Dict",
+        "Sequence",
+        "Iterable",
+        "Callable",
+        "Any",
+        "object",
+        "str",
+        "int",
+        "float",
+        "bool",
+        "bytes",
+    }
+    names: list[str] = []
+    for node in ast.walk(annotation):
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            text = dotted_name(node)
+            leaf = text.rpartition(".")[2]
+            if text and leaf not in skip and leaf[:1].isupper():
+                names.append(text)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # String annotation: best-effort single identifier.
+            value = node.value.strip()
+            if value.isidentifier() and value[:1].isupper():
+                names.append(value)
+    # Attribute nodes also walk their Name child; dedup preserving order.
+    seen: set[str] = set()
+    unique = []
+    for name in names:
+        if name not in seen and not any(
+            other != name and other.endswith("." + name) for other in names
+        ):
+            seen.add(name)
+            unique.append(name)
+    return unique
+
+
+def build_project(modules: Sequence[SourceModule]) -> Project:
+    """Index ``modules`` into a :class:`Project` (symbol table + edges)."""
+    return Project(modules)

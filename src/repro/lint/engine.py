@@ -1,6 +1,8 @@
 """The lint engine: rule registry, suppression comments, output formats.
 
-A rule is a named check over one parsed module; the engine owns everything
+A *file rule* is a named check over one parsed module; a *project rule*
+(:class:`ProjectRule`) checks the whole program at once through the call
+graph in :mod:`repro.lint.callgraph`.  The engine owns everything
 rule-agnostic — file discovery, parsing, the suppression protocol, and the
 two output formats consumed by humans (``text``) and by tooling (``json``).
 
@@ -12,29 +14,42 @@ own suppresses them for the whole file.  ``disable=all`` matches every
 rule.  The reason string after ``--`` is mandatory by convention (reviewed
 suppressions must say why); the engine records findings suppressed without
 one under the pseudo-rule ``suppression-without-reason`` so bare waivers
-are themselves lint findings.
+are themselves lint findings.  Suppressions that no longer match any live
+finding are reported by :func:`check_suppressions` under the pseudo-rule
+``stale-suppression`` (see ``repro lint --check-suppressions``).
 """
 
 from __future__ import annotations
 
 import ast
 import dataclasses
+import io
 import json
 import re
+import tokenize
 from pathlib import Path
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (callgraph imports us)
+    from repro.lint.callgraph import Project
 
 __all__ = [
     "Finding",
     "LintRule",
+    "ProjectRule",
     "SourceModule",
+    "all_project_rules",
     "all_rules",
+    "check_suppressions",
+    "dotted_name",
     "format_findings",
     "get_rules",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "register_project_rule",
     "register_rule",
+    "split_rule_selection",
 ]
 
 
@@ -55,9 +70,29 @@ class Finding:
         return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
 
 
+def dotted_name(node: ast.AST) -> str:
+    """``np.linalg.solve`` for nested attributes, ``''`` when not name-like."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        return f"{base}.{node.attr}" if base else node.attr
+    return ""
+
+
 _SUPPRESS_RE = re.compile(
     r"#\s*repro-lint:\s*disable=([A-Za-z0-9_\-, *]+?)\s*(?:--\s*(?P<reason>\S.*))?$"
 )
+
+
+@dataclasses.dataclass(frozen=True)
+class _SuppressionEntry:
+    """One ``rule`` named by one suppression comment."""
+
+    line: int  #: line of the comment itself
+    rule: str
+    reason: str
+    file_level: bool
 
 
 @dataclasses.dataclass
@@ -70,6 +105,8 @@ class _Suppressions:
     by_line: dict[int, dict[str, str]] = dataclasses.field(default_factory=dict)
     #: (line, rules) of waivers missing a reason string.
     missing_reason: list[tuple[int, str]] = dataclasses.field(default_factory=list)
+    #: every (line, rule) pair, for staleness auditing.
+    entries: list[_SuppressionEntry] = dataclasses.field(default_factory=list)
 
     def covers(self, rule: str, line: int) -> bool:
         for table in (self.file_level, self.by_line.get(line, {})):
@@ -78,20 +115,44 @@ class _Suppressions:
         return False
 
 
+def _iter_comment_tokens(text: str) -> Iterator[tuple[int, int, str]]:
+    """``(line, col, comment_text)`` for every real comment token.
+
+    Tokenizing (rather than regex-scanning every line) keeps suppression
+    syntax quoted inside strings/docstrings — like the protocol example in
+    this module's own docstring — from parsing as a live suppression.
+    """
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(text).readline):
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.start[1], tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparseable tail: fall back silently; the lint pass itself will
+        # report the syntax error.
+        return
+
+
 def _parse_suppressions(text: str) -> _Suppressions:
     sup = _Suppressions()
-    for lineno, line in enumerate(text.splitlines(), start=1):
-        match = _SUPPRESS_RE.search(line)
+    lines = text.splitlines()
+    for lineno, col, comment in _iter_comment_tokens(text):
+        match = _SUPPRESS_RE.search(comment)
         if match is None:
             continue
         rules = [r.strip() for r in match.group(1).split(",") if r.strip()]
         reason = match.group("reason") or ""
         if not reason:
             sup.missing_reason.append((lineno, ",".join(rules)))
-        own_line = line.strip().startswith("#")
+        source_line = lines[lineno - 1] if lineno - 1 < len(lines) else ""
+        own_line = not source_line[:col].strip()
         target = sup.file_level if own_line else sup.by_line.setdefault(lineno, {})
         for rule in rules:
             target[rule] = reason
+            sup.entries.append(
+                _SuppressionEntry(
+                    line=lineno, rule=rule, reason=reason, file_level=own_line
+                )
+            )
     return sup
 
 
@@ -109,7 +170,7 @@ class SourceModule:
 
 
 class LintRule:
-    """Base class for a lint pass.
+    """Base class for a per-file lint pass.
 
     Subclasses set :attr:`name` / :attr:`description` and implement
     :meth:`check`, yielding :class:`Finding` objects (the engine applies
@@ -132,26 +193,78 @@ class LintRule:
         )
 
 
+class ProjectRule:
+    """Base class for a whole-program lint pass.
+
+    Project rules see every module at once plus the call graph built over
+    them (:class:`repro.lint.callgraph.Project`), so they can reason about
+    reachability across files.  Findings still anchor to one file/line and
+    obey that file's suppression comments, exactly like file rules.
+    """
+
+    name: str = "abstract-project"
+    description: str = ""
+
+    def check(
+        self, project: "Project", modules: Sequence[SourceModule]
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding_at(
+        self, path: str, node: ast.AST, message: str, *, rule: str | None = None
+    ) -> Finding:
+        return Finding(
+            rule=rule or self.name,
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
 _REGISTRY: dict[str, LintRule] = {}
+_PROJECT_REGISTRY: dict[str, ProjectRule] = {}
 
 
 def register_rule(rule_cls: type[LintRule]) -> type[LintRule]:
     """Class decorator adding one instance of the rule to the registry."""
     rule = rule_cls()
-    if rule.name in _REGISTRY:
+    if rule.name in _REGISTRY or rule.name in _PROJECT_REGISTRY:
         raise ValueError(f"duplicate lint rule name {rule.name!r}")
     _REGISTRY[rule.name] = rule
     return rule_cls
 
 
+def register_project_rule(rule_cls: type[ProjectRule]) -> type[ProjectRule]:
+    """Class decorator adding one project-rule instance to the registry."""
+    rule = rule_cls()
+    if rule.name in _REGISTRY or rule.name in _PROJECT_REGISTRY:
+        raise ValueError(f"duplicate lint rule name {rule.name!r}")
+    _PROJECT_REGISTRY[rule.name] = rule
+    return rule_cls
+
+
+def _load_builtin_rules() -> None:
+    """Make ``lint_paths``/``get_rules`` see the built-in rules regardless
+    of which ``repro.lint`` submodule the caller imported first."""
+    from repro.lint import project_rules, rules  # noqa: F401
+
+
 def all_rules() -> tuple[LintRule, ...]:
+    _load_builtin_rules()
     return tuple(_REGISTRY[name] for name in sorted(_REGISTRY))
 
 
+def all_project_rules() -> tuple[ProjectRule, ...]:
+    _load_builtin_rules()
+    return tuple(_PROJECT_REGISTRY[name] for name in sorted(_PROJECT_REGISTRY))
+
+
 def get_rules(names: Sequence[str] | None = None) -> tuple[LintRule, ...]:
-    """Resolve rule names to instances (``None`` = every registered rule)."""
+    """Resolve rule names to file-rule instances (``None`` = all file rules)."""
     if names is None:
         return all_rules()
+    _load_builtin_rules()
     unknown = sorted(set(names) - set(_REGISTRY))
     if unknown:
         raise ValueError(
@@ -160,51 +273,116 @@ def get_rules(names: Sequence[str] | None = None) -> tuple[LintRule, ...]:
     return tuple(_REGISTRY[name] for name in names)
 
 
+def split_rule_selection(
+    names: Sequence[str] | None,
+) -> tuple[tuple[LintRule, ...], tuple[ProjectRule, ...]]:
+    """Split a mixed rule selection into (file rules, project rules).
+
+    ``None`` selects everything.  Unknown names raise with the combined
+    inventory so ``--select`` typos fail loudly.
+    """
+    _load_builtin_rules()
+    if names is None:
+        return all_rules(), all_project_rules()
+    file_rules: list[LintRule] = []
+    project_rules: list[ProjectRule] = []
+    unknown = []
+    for name in names:
+        if name in _REGISTRY:
+            file_rules.append(_REGISTRY[name])
+        elif name in _PROJECT_REGISTRY:
+            project_rules.append(_PROJECT_REGISTRY[name])
+        else:
+            unknown.append(name)
+    if unknown:
+        available = sorted({**_REGISTRY, **_PROJECT_REGISTRY})
+        raise ValueError(f"unknown lint rule(s) {sorted(unknown)}; available: {available}")
+    return tuple(file_rules), tuple(project_rules)
+
+
+def rule_inventory() -> list[str]:
+    """Sorted names of every registered rule, file and project alike."""
+    _load_builtin_rules()
+    return sorted({**_REGISTRY, **_PROJECT_REGISTRY})
+
+
+def _parse_module(text: str, path: str) -> SourceModule | Finding:
+    try:
+        tree = ast.parse(text, filename=path)
+    except SyntaxError as exc:
+        return Finding(
+            rule="syntax-error",
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            message=f"file does not parse: {exc.msg}",
+        )
+    return SourceModule(path=path, text=text, tree=tree)
+
+
+def _missing_reason_findings(path: str, sup: _Suppressions) -> list[Finding]:
+    return [
+        Finding(
+            rule="suppression-without-reason",
+            path=path,
+            line=lineno,
+            col=1,
+            message=(
+                f"suppression of {rule_list!r} has no reason string; "
+                "append ' -- <why this is safe>'"
+            ),
+        )
+        for lineno, rule_list in sup.missing_reason
+    ]
+
+
 def lint_source(
     text: str,
     path: str = "<string>",
     rules: Sequence[str] | None = None,
+    *,
+    project: bool = False,
 ) -> list[Finding]:
-    """Lint one source string; returns unsuppressed findings sorted by line."""
-    try:
-        tree = ast.parse(text, filename=path)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                rule="syntax-error",
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1,
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
-    module = SourceModule(path=path, text=text, tree=tree)
+    """Lint one source string; returns unsuppressed findings sorted by line.
+
+    ``project=True`` additionally runs the whole-program rules against a
+    single-module project — useful for testing interprocedural rules on
+    synthetic snippets; real multi-file analysis goes through
+    :func:`lint_paths`.
+    """
+    parsed = _parse_module(text, path)
+    if isinstance(parsed, Finding):
+        return [parsed]
+    file_rules, project_rules = split_rule_selection(rules)
     suppressions = _parse_suppressions(text)
     findings = [
         f
-        for rule in get_rules(rules)
-        for f in rule.check(module)
+        for rule in file_rules
+        for f in rule.check(parsed)
         if not suppressions.covers(f.rule, f.line)
     ]
-    for lineno, rule_list in suppressions.missing_reason:
-        findings.append(
-            Finding(
-                rule="suppression-without-reason",
-                path=path,
-                line=lineno,
-                col=1,
-                message=(
-                    f"suppression of {rule_list!r} has no reason string; "
-                    "append ' -- <why this is safe>'"
-                ),
-            )
+    if project and project_rules:
+        from repro.lint.callgraph import build_project
+
+        graph = build_project([parsed])
+        findings.extend(
+            f
+            for rule in project_rules
+            for f in rule.check(graph, [parsed])
+            if not suppressions.covers(f.rule, f.line)
         )
+    findings.extend(_missing_reason_findings(path, suppressions))
     return sorted(findings, key=lambda f: (f.line, f.col, f.rule))
 
 
-def lint_file(path: str | Path, rules: Sequence[str] | None = None) -> list[Finding]:
+def lint_file(
+    path: str | Path,
+    rules: Sequence[str] | None = None,
+    *,
+    project: bool = False,
+) -> list[Finding]:
     path = Path(path)
-    return lint_source(path.read_text(), str(path), rules)
+    return lint_source(path.read_text(), str(path), rules, project=project)
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
@@ -219,18 +397,124 @@ def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
             yield entry
 
 
-def lint_paths(
-    paths: Iterable[str | Path], rules: Sequence[str] | None = None
-) -> list[Finding]:
-    """Lint every python file under ``paths`` (files or directories)."""
-    findings: list[Finding] = []
+def _parse_all(
+    paths: Iterable[str | Path],
+) -> tuple[list[SourceModule], dict[str, _Suppressions], list[Finding]]:
+    """Parse every file once: modules, per-path suppressions, parse errors."""
+    modules: list[SourceModule] = []
+    suppressions: dict[str, _Suppressions] = {}
+    errors: list[Finding] = []
     for path in iter_python_files(paths):
-        findings.extend(lint_file(path, rules))
-    return findings
+        text = path.read_text()
+        parsed = _parse_module(text, str(path))
+        if isinstance(parsed, Finding):
+            errors.append(parsed)
+            continue
+        modules.append(parsed)
+        suppressions[parsed.path] = _parse_suppressions(text)
+    return modules, suppressions, errors
 
 
-def format_findings(findings: Sequence[Finding], fmt: str = "text") -> str:
-    """Render findings as ``text`` (one line each) or machine ``json``."""
+def lint_paths(
+    paths: Iterable[str | Path],
+    rules: Sequence[str] | None = None,
+    *,
+    project: bool = True,
+) -> list[Finding]:
+    """Lint every python file under ``paths`` (files or directories).
+
+    Files are parsed once; file rules run per module, then the project
+    rules run over the whole set (``project=False`` skips them).  Findings
+    honour each file's suppression comments and come back sorted by
+    ``(path, line, col, rule)``.
+    """
+    file_rules, project_rules = split_rule_selection(rules)
+    modules, suppressions, findings = _parse_all(paths)
+    for module in modules:
+        sup = suppressions[module.path]
+        findings.extend(
+            f
+            for rule in file_rules
+            for f in rule.check(module)
+            if not sup.covers(f.rule, f.line)
+        )
+        findings.extend(_missing_reason_findings(module.path, sup))
+    if project and project_rules and modules:
+        from repro.lint.callgraph import build_project
+
+        graph = build_project(modules)
+        for rule in project_rules:
+            for f in rule.check(graph, modules):
+                sup = suppressions.get(f.path)
+                if sup is None or not sup.covers(f.rule, f.line):
+                    findings.append(f)
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def check_suppressions(paths: Iterable[str | Path]) -> list[Finding]:
+    """Report suppression comments that no longer match any live finding.
+
+    Every rule runs with suppressions *recorded but not applied*; a
+    suppression entry is live when at least one raw finding in its scope
+    (its line for trailing comments, the whole file for own-line comments)
+    names its rule — or any rule, for ``all``/``*`` waivers.  Stale entries
+    come back as ``stale-suppression`` findings so the gate in
+    ``tools/run_checks.py`` can fail on waivers that outlived their bug.
+    """
+    file_rules, project_rules = split_rule_selection(None)
+    modules, suppressions, findings = _parse_all(paths)
+    raw_by_path: dict[str, list[Finding]] = {m.path: [] for m in modules}
+    for module in modules:
+        for rule in file_rules:
+            raw_by_path[module.path].extend(rule.check(module))
+    if project_rules and modules:
+        from repro.lint.callgraph import build_project
+
+        graph = build_project(modules)
+        for rule in project_rules:
+            for f in rule.check(graph, modules):
+                if f.path in raw_by_path:
+                    raw_by_path[f.path].append(f)
+    stale: list[Finding] = findings  # parse errors pass through
+    for module in modules:
+        raw = raw_by_path[module.path]
+        for entry in suppressions[module.path].entries:
+            in_scope = [
+                f for f in raw if entry.file_level or f.line == entry.line
+            ]
+            if entry.rule in ("all", "*"):
+                live = bool(in_scope)
+            else:
+                live = any(f.rule == entry.rule for f in in_scope)
+            if not live:
+                scope = "file-level" if entry.file_level else "line"
+                stale.append(
+                    Finding(
+                        rule="stale-suppression",
+                        path=module.path,
+                        line=entry.line,
+                        col=1,
+                        message=(
+                            f"{scope} suppression of {entry.rule!r} no longer "
+                            "matches any finding; delete the comment"
+                        ),
+                    )
+                )
+    return sorted(stale, key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def format_findings(
+    findings: Sequence[Finding],
+    fmt: str = "text",
+    *,
+    rules_enabled: Sequence[str] | None = None,
+) -> str:
+    """Render findings as ``text`` (one line each) or machine ``json``.
+
+    ``rules_enabled`` (json only) embeds the active rule inventory in the
+    payload so baseline tooling can detect silently-vanished rules, not
+    just new findings.
+    """
     if fmt == "json":
         counts: dict[str, int] = {}
         for f in findings:
@@ -240,6 +524,8 @@ def format_findings(findings: Sequence[Finding], fmt: str = "text") -> str:
             "counts_by_rule": dict(sorted(counts.items())),
             "total": len(findings),
         }
+        if rules_enabled is not None:
+            payload["rules_enabled"] = sorted(rules_enabled)
         return json.dumps(payload, indent=2, sort_keys=True)
     if fmt == "text":
         if not findings:

@@ -9,7 +9,13 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from repro.lint.engine import Finding, LintRule, SourceModule, register_rule
+from repro.lint.engine import (
+    Finding,
+    LintRule,
+    SourceModule,
+    dotted_name,
+    register_rule,
+)
 from repro.lint.hotpaths import HOT_DECORATORS, hot_functions_for
 
 __all__ = [
@@ -18,19 +24,10 @@ __all__ = [
     "NoAllocInHot",
     "NoBlindExcept",
     "NondeterminismInReplay",
+    "dotted_name",
 ]
 
 _FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
-
-
-def dotted_name(node: ast.AST) -> str:
-    """``np.linalg.solve`` for nested attributes, ``''`` when not name-like."""
-    if isinstance(node, ast.Name):
-        return node.id
-    if isinstance(node, ast.Attribute):
-        base = dotted_name(node.value)
-        return f"{base}.{node.attr}" if base else node.attr
-    return ""
 
 
 def _iter_functions(
@@ -200,15 +197,21 @@ _COLLECTIVES = frozenset(
 )
 
 
-def _collective_calls(nodes: list[ast.stmt]) -> list[tuple[str, ast.Call]]:
+def _collective_calls(
+    nodes: list[ast.stmt] | list[ast.expr] | ast.AST,
+) -> list[tuple[str, ast.Call]]:
     calls = []
-    for stmt in nodes:
-        for node in ast.walk(stmt):
+    roots = nodes if isinstance(nodes, list) else [nodes]
+    for root in roots:
+        for node in ast.walk(root):
             if isinstance(node, ast.Call):
                 leaf = dotted_name(node.func).rpartition(".")[2]
                 if leaf in _COLLECTIVES:
                     calls.append((leaf, node))
     return calls
+
+
+_COMP_NODES = (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
 
 
 @register_rule
@@ -219,7 +222,11 @@ class CollectiveInBranch(LintRule):
     a rank test means the other ranks never enter it and the program hangs
     at the barrier (or, worse, pairs the call with the *next* collective).
     The rule compares the multiset of collective calls on both arms of any
-    ``if`` whose test mentions a rank and flags the unmatched ones.
+    ``if`` whose test mentions a rank and flags the unmatched ones; the
+    same logic covers conditional *expressions* (``x if rank else y``),
+    short-circuit operands (``rank == 0 and comm.barrier()``), comprehension
+    filters (``... for x in xs if rank``), and rank-dependent ``while``
+    loops (iteration counts differ across ranks).
     """
 
     name = "collective-in-branch"
@@ -227,24 +234,98 @@ class CollectiveInBranch(LintRule):
 
     def check(self, module: SourceModule) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
-            if not (isinstance(node, ast.If) and _mentions_rank(node.test)):
-                continue
-            body_calls = _collective_calls(node.body)
-            else_calls = _collective_calls(node.orelse)
-            body_ops = [op for op, _ in body_calls]
-            else_ops = [op for op, _ in else_calls]
-            for op, call in body_calls + else_calls:
-                mine, other = (
-                    (body_ops, else_ops) if (op, call) in body_calls else (else_ops, body_ops)
+            if isinstance(node, ast.If) and _mentions_rank(node.test):
+                yield from self._check_arms(
+                    module,
+                    _collective_calls(node.body),
+                    _collective_calls(node.orelse),
                 )
-                if mine.count(op) > other.count(op):
+            elif isinstance(node, ast.IfExp) and _mentions_rank(node.test):
+                yield from self._check_arms(
+                    module,
+                    _collective_calls(node.body),
+                    _collective_calls(node.orelse),
+                )
+            elif isinstance(node, ast.While) and _mentions_rank(node.test):
+                for op, call in _collective_calls(node.body):
                     yield self.finding(
                         module,
                         call,
-                        f"collective {op!r} inside a rank-dependent branch has "
-                        "no matching call on the other arm — ranks taking the "
-                        "other path will deadlock",
+                        f"collective {op!r} inside a while loop whose "
+                        "condition depends on the rank — iteration counts "
+                        "can differ across ranks and desynchronize the "
+                        "collective schedule",
                     )
+            elif isinstance(node, ast.BoolOp):
+                yield from self._check_boolop(module, node)
+            elif isinstance(node, _COMP_NODES):
+                yield from self._check_comprehension(module, node)
+
+    def _check_arms(
+        self,
+        module: SourceModule,
+        body_calls: list[tuple[str, ast.Call]],
+        else_calls: list[tuple[str, ast.Call]],
+    ) -> Iterator[Finding]:
+        body_ops = [op for op, _ in body_calls]
+        else_ops = [op for op, _ in else_calls]
+        for op, call in body_calls + else_calls:
+            mine, other = (
+                (body_ops, else_ops) if (op, call) in body_calls else (else_ops, body_ops)
+            )
+            if mine.count(op) > other.count(op):
+                yield self.finding(
+                    module,
+                    call,
+                    f"collective {op!r} inside a rank-dependent branch has "
+                    "no matching call on the other arm — ranks taking the "
+                    "other path will deadlock",
+                )
+
+    def _check_boolop(
+        self, module: SourceModule, node: ast.BoolOp
+    ) -> Iterator[Finding]:
+        """``rank == 0 and comm.barrier()``: operands after the first are
+        evaluated conditionally, so a collective there is rank-guarded."""
+        rank_seen = _mentions_rank(node.values[0])
+        for operand in node.values[1:]:
+            if rank_seen:
+                for op, call in _collective_calls(operand):
+                    yield self.finding(
+                        module,
+                        call,
+                        f"collective {op!r} short-circuited behind a "
+                        "rank-dependent operand — ranks failing the earlier "
+                        "test never reach it and deadlock",
+                    )
+            rank_seen = rank_seen or _mentions_rank(operand)
+
+    def _check_comprehension(
+        self, module: SourceModule, node: ast.AST
+    ) -> Iterator[Finding]:
+        """A rank-dependent comprehension filter makes the element
+        expression — and any collective inside it — run a rank-dependent
+        number of times."""
+        guarded = any(
+            _mentions_rank(cond)
+            for gen in node.generators  # type: ignore[attr-defined]
+            for cond in gen.ifs
+        )
+        if not guarded:
+            return
+        elements: list[ast.expr] = []
+        if isinstance(node, ast.DictComp):
+            elements = [node.key, node.value]
+        else:
+            elements = [node.elt]  # type: ignore[union-attr]
+        for op, call in _collective_calls(elements):
+            yield self.finding(
+                module,
+                call,
+                f"collective {op!r} inside a comprehension with a "
+                "rank-dependent filter — the call count differs across "
+                "ranks and desynchronizes the collective schedule",
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -296,8 +377,16 @@ class NondeterminismInReplay(LintRule):
     description = "nondeterministic construct inside a checkpoint-replayed loop"
 
     def check(self, module: SourceModule) -> Iterator[Finding]:
-        for qual, fn in _iter_functions(module.tree):
-            if not _is_replay_scope(fn):
+        replay = [
+            (qual, fn)
+            for qual, fn in _iter_functions(module.tree)
+            if _is_replay_scope(fn)
+        ]
+        quals = {qual for qual, _ in replay}
+        for qual, fn in replay:
+            # A nested def inside a replay scope is covered by the outer
+            # walk; re-checking it on its own would duplicate findings.
+            if any(qual.startswith(outer + ".") for outer in quals if outer != qual):
                 continue
             for node in ast.walk(fn):
                 if isinstance(node, ast.Call):
@@ -413,11 +502,28 @@ class MutatedRecvBuffer(LintRule):
         for qual, fn in _iter_functions(module.tree):
             yield from self._check_function(module, qual, fn)
 
+    @staticmethod
+    def _scope_nodes(fn: ast.AST) -> Iterator[ast.AST]:
+        """Walk ``fn``'s own scope in source order: skip nested ``def``
+        bodies (they get their own pass with their own name table, so a
+        nested-scope assignment can neither start nor stop tracking a name
+        out here), keep lambda and comprehension bodies (they close over
+        this scope's names and cannot rebind them)."""
+
+        def walk(node: ast.AST) -> Iterator[ast.AST]:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, _FUNC_NODES):
+                    continue
+                yield child
+                yield from walk(child)
+
+        yield from walk(fn)
+
     def _check_function(
         self, module: SourceModule, qual: str, fn: ast.AST
     ) -> Iterator[Finding]:
         tracked: dict[str, int] = {}  # name -> line of the receiving assign
-        for node in ast.walk(fn):
+        for node in self._scope_nodes(fn):
             if isinstance(node, ast.Assign) and len(node.targets) == 1:
                 target = node.targets[0]
                 if isinstance(target, ast.Name):

@@ -71,9 +71,12 @@ def spmd_run(
         Optional :class:`~repro.resilience.faults.FaultInjector` consulted
         by every collective, reduce contribution, and p2p send.
     sanitize:
-        Run under the :class:`~repro.parallel.sanitizer.SpmdSanitizer`:
-        mismatched collectives, unsynchronized shared-array writes and
-        deadlocks become diagnosed
+        Run under the SPMD sanitizer — the in-process
+        :class:`~repro.parallel.sanitizer.SpmdSanitizer` on the thread
+        backend, the shared-memory-board
+        :class:`~repro.parallel.process_sanitizer.ProcessSpmdSanitizer`
+        on the process backend.  Mismatched collectives, unsynchronized
+        shared-array/slab writes and deadlocks become diagnosed
         :class:`~repro.parallel.sanitizer.SanitizerError` instead of
         silent corruption or hangs.  ``None`` (default) consults the
         ``REPRO_SANITIZE`` environment variable.
@@ -82,8 +85,7 @@ def spmd_run(
         a deadlock (default: ``REPRO_SANITIZE_TIMEOUT`` or 10).
     backend:
         ``"thread"`` (default) or ``"process"`` — see the module
-        docstring; ``None`` consults ``REPRO_SPMD_BACKEND``.  The
-        sanitizer is thread-backend only.
+        docstring; ``None`` consults ``REPRO_SPMD_BACKEND``.
 
     Returns
     -------
@@ -95,14 +97,6 @@ def spmd_run(
     if sanitize is None:
         sanitize = env_enabled()
     if backend == "process":
-        if sanitize:
-            raise NotImplementedError(
-                "the runtime SPMD sanitizer is thread-backend only: it "
-                "fingerprints shared payload arrays in one address space, "
-                "which has no analogue across process boundaries — run "
-                "sanitized checks with backend='thread' (results are "
-                "bit-identical), or disable sanitize for backend='process'"
-            )
         from repro.parallel.process_backend import process_spmd_run
 
         return process_spmd_run(
@@ -111,6 +105,8 @@ def spmd_run(
             *args,
             return_traffic=return_traffic,
             fault_injector=fault_injector,
+            sanitize=sanitize,
+            sanitize_timeout=sanitize_timeout,
         )
     sanitizer = (
         SpmdSanitizer(n_ranks, barrier_timeout=sanitize_timeout)

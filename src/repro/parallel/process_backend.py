@@ -26,8 +26,12 @@ Data movement:
 
 Rank programs and their arguments are inherited through ``fork`` — no
 pickling of closures — which is why this backend requires a POSIX start
-method.  The runtime SPMD sanitizer is thread-backend only and is
-rejected with a clear error (see ``docs/parallelism.md``).
+method.  ``sanitize=True`` runs every rank under the cross-process
+:class:`~repro.parallel.process_sanitizer.ProcessSpmdSanitizer`, which
+keeps its per-rank op records on a shared-memory board and gives this
+backend the thread sanitizer's guarantees (matched collectives,
+shared-slab write detection, deadlock diagnosis — see
+``docs/parallelism.md``).
 
 Failure handling: a rank that raises sets the shared abort event and
 breaks the barrier; peers unwind with :class:`SpmdAbort`; every worker
@@ -141,15 +145,16 @@ class _ProcessLocalState:
 
     Exposes the attributes the base :class:`Communicator` methods touch:
     ``size``, ``traffic``, ``queues``, ``fault_injector``, ``sanitizer``
-    (always ``None`` here) and ``error``.
+    (a :class:`~repro.parallel.process_sanitizer.ProcessSpmdSanitizer`
+    when the run is sanitized, else ``None``) and ``error``.
     """
 
-    def __init__(self, runtime: _Runtime, fault_injector) -> None:
+    def __init__(self, runtime: _Runtime, fault_injector, sanitizer=None) -> None:
         self.size = runtime.size
         self.traffic = CommTraffic()
         self.queues = runtime.queues
         self.fault_injector = fault_injector
-        self.sanitizer = None
+        self.sanitizer = sanitizer
         self.error: BaseException | None = None
         self.reduce_board = None  # thread-only; ProcessCommunicator overrides ireduce
 
@@ -163,8 +168,9 @@ class ProcessCommunicator(Communicator):
         runtime: _Runtime,
         registry: shm.SlabRegistry,
         fault_injector=None,
+        sanitizer=None,
     ) -> None:
-        super().__init__(rank, _ProcessLocalState(runtime, fault_injector))
+        super().__init__(rank, _ProcessLocalState(runtime, fault_injector, sanitizer))
         self._runtime = runtime
         self._registry = registry
         self._arena = shm.SlabArena(registry, runtime.run_id, rank, "ird")
@@ -237,6 +243,12 @@ class ProcessCommunicator(Communicator):
             len(descriptor),
         )
         self._published_local = value
+        sanitizer = self._shared.sanitizer
+        if sanitizer is not None:
+            # Fingerprint the array region just written; rechecked at this
+            # rank's next collective entry to catch writes through shared
+            # views inside the exchange window.
+            sanitizer.on_publish(self._outbox, desc_off)
         self.traffic.record_transport(
             self._current_op,
             shm_bytes=sum(a.nbytes for a in arrays),
@@ -476,6 +488,8 @@ def process_spmd_run(
     return_traffic: bool = False,
     fault_injector=None,
     timeout: float | None = None,
+    sanitize: bool = False,
+    sanitize_timeout: float | None = None,
 ):
     """Execute ``fn(comm, *args)`` on ``n_ranks`` forked OS processes.
 
@@ -505,6 +519,24 @@ def process_spmd_run(
     board = shm.SharedSlab.create(
         shm.segment_name(run_id, 0, "board"), n_ranks * _META_SLOT
     )
+    sanitizer = None
+    san_board = None
+    if sanitize:
+        from repro.parallel.process_sanitizer import (
+            ProcessSpmdSanitizer,
+            sanitizer_board_size,
+        )
+
+        san_board = shm.SharedSlab.create(
+            shm.segment_name(run_id, 0, "san"), sanitizer_board_size(n_ranks)
+        )
+        sanitizer = ProcessSpmdSanitizer(
+            n_ranks,
+            san_board,
+            ctx.Barrier(n_ranks),
+            abort_event,
+            timeout=sanitize_timeout,
+        )
     runtime = _Runtime(
         run_id, n_ranks, barrier, abort_event, queues, inboxes, board, timeout
     )
@@ -512,16 +544,20 @@ def process_spmd_run(
 
     def worker(rank: int) -> None:
         registry = shm.SlabRegistry()
-        comm = ProcessCommunicator(rank, runtime, registry, fault_injector)
+        comm = ProcessCommunicator(rank, runtime, registry, fault_injector, sanitizer)
         status, payload = "ok", None
         try:
             payload = fn(comm, *args)
+            if sanitizer is not None:
+                sanitizer.rank_done(rank)
         except SpmdAbort:
             status = "abort"  # secondary failure; the original is reported by its rank
         except BaseException as exc:  # repro-lint: disable=no-blind-except -- the worker must capture every failure to abort peers; the parent re-raises it
             status, payload = "error", _encode_error(exc)
             abort_event.set()
             barrier.abort()
+            if sanitizer is not None:
+                sanitizer.abort()
         # Final rendezvous: peers may still be reading this rank's arena
         # (ireduce) — do not unlink before everyone is done.  A broken
         # barrier just means the run is aborting; fall through to cleanup.
@@ -578,6 +614,9 @@ def process_spmd_run(
                 proc.join(timeout=5.0)
         board.close()
         board.unlink()
+        if san_board is not None:
+            san_board.close()
+            san_board.unlink()
         shm.reap_run_segments(run_id)  # leak guard: nothing survives the run
         for q in list(queues.values()) + inboxes + [results_queue]:
             q.cancel_join_thread()

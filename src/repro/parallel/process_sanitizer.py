@@ -1,0 +1,343 @@
+"""Cross-process SPMD sanitizer: the thread sanitizer's guarantees for
+``backend="process"``.
+
+The thread-backend :class:`~repro.parallel.sanitizer.SpmdSanitizer` keeps
+its per-rank op records in ordinary Python lists — impossible across
+process boundaries.  This port moves that state onto a dedicated
+shared-memory *sanitizer board* (one fixed slot per rank plus a shared
+verdict region) and synchronizes epochs with a ``multiprocessing.Barrier``,
+preserving the same three guarantees:
+
+* **Matched collectives** — every rank pickles its
+  :class:`~repro.parallel.sanitizer.OpRecord` (seq, op, detail, payload
+  signature, call site) into its board slot before the epoch barrier; the
+  rank that drains the barrier first re-reads all slots, validates them
+  with the thread sanitizer's rules, and publishes a verdict every rank
+  reads after a second barrier.  A mismatch raises
+  :class:`~repro.parallel.sanitizer.SanitizerError` on every rank, quoting
+  all ranks' signatures and call sites.
+* **Shared-slab write detection** — the process backend hands reducing
+  collectives zero-copy views into the publisher's outbox slab.  The
+  sanitizer fingerprints the outbox's array region at publish time and
+  re-checks it at the publisher's next collective entry: a changed
+  fingerprint means some rank wrote through a shared view inside the
+  exchange window (e.g. re-enabled ``writeable`` on a received view) and
+  peers observed a torn buffer.
+* **Deadlock diagnosis** — the sanitizer barrier carries its own short
+  timeout, and a returning rank marks a ``done`` flag in its slot header.
+  A collective that can never complete is diagnosed from the board (per
+  rank: finished / entered / last completed), instead of hanging until the
+  run timeout.
+
+Board layout (all offsets relative to the slab start)::
+
+    slot r at r*8192:   <QQII>  seq, flags (bit0 = done), cur_len, last_len
+                        +64     pickled current OpRecord (cur_len bytes)
+                        +4096   pickled last-completed OpRecord (last_len)
+    verdict at n*8192:  <QI>    epoch counter, verdict length
+                        +16     utf-8 verdict text (empty = epoch passed)
+
+Each rank writes only its own slot; the verdict region is written only by
+the epoch leader between the two barriers, which order it against every
+reader — no locking needed.  The board is created by the parent before
+forking and reaped with the run's other segments.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import threading
+
+from repro.parallel.sanitizer import (
+    OpRecord,
+    SanitizerError,
+    _MAX_TRACKED_BYTES,
+    _SYMMETRIC_PAYLOAD_OPS,
+    _call_site,
+    _hash_bytes,
+    describe_payload,
+    env_timeout,
+)
+
+__all__ = ["ProcessSpmdSanitizer", "sanitizer_board_size"]
+
+#: Fixed-size per-rank slot; two pickled OpRecords plus header fit easily.
+_SLOT = 8192
+_RECORD_CAP = 4096 - 64
+_HEADER = struct.Struct("<QQII")  # seq, flags, cur_len, last_len
+_VERDICT_HEADER = struct.Struct("<QI")  # completed epochs, verdict length
+_VERDICT_CAP = 16384 - _VERDICT_HEADER.size
+_DONE = 1
+
+
+def sanitizer_board_size(size: int) -> int:
+    """Bytes of shared memory the sanitizer board needs for ``size`` ranks."""
+    return size * _SLOT + _VERDICT_HEADER.size + _VERDICT_CAP
+
+
+def _dump_record(record: OpRecord) -> bytes:
+    blob = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(blob) > _RECORD_CAP:  # pathological payload/site strings: clamp
+        record = OpRecord(
+            rank=record.rank,
+            seq=record.seq,
+            op=record.op,
+            detail=record.detail[:200],
+            payload=record.payload[:200],
+            site=record.site[:200],
+        )
+        blob = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+    return blob
+
+
+class ProcessSpmdSanitizer:
+    """Sanitizer for one process-backend SPMD run.
+
+    Created by the parent before forking (so every worker inherits the
+    same board slab and barrier); per-process attributes set after the
+    fork (tracked fingerprints, the current record) naturally stay local
+    to each rank.  Duck-types the thread sanitizer's communicator-facing
+    interface (``on_collective`` / ``rank_done`` / ``abort``) plus the
+    process-specific ``on_publish`` hook.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        board,
+        barrier,
+        abort_event,
+        *,
+        timeout: float | None = None,
+    ) -> None:
+        self.size = size
+        self.timeout = env_timeout() if timeout is None else timeout
+        self.track_writes = size > 1
+        self._board = board
+        self._barrier = barrier
+        self._abort_event = abort_event
+        #: (slab, nbytes, fingerprint, publishing record) of the last
+        #: outbox publish — local to this rank's process.
+        self._tracked: tuple | None = None
+        self._current_record: OpRecord | None = None
+
+    # -- board access --------------------------------------------------------
+
+    def _write_current(self, rank: int, record: OpRecord) -> None:
+        blob = _dump_record(record)
+        base = rank * _SLOT
+        seq, flags, _, last_len = _HEADER.unpack_from(self._board.buf, base)
+        self._board.write(blob, base + 64)
+        _HEADER.pack_into(
+            self._board.buf, base, record.seq + 1, flags, len(blob), last_len
+        )
+
+    def _write_last(self, rank: int, record: OpRecord) -> None:
+        blob = _dump_record(record)
+        base = rank * _SLOT
+        seq, flags, cur_len, _ = _HEADER.unpack_from(self._board.buf, base)
+        self._board.write(blob, base + 4096)
+        _HEADER.pack_into(
+            self._board.buf, base, seq, flags, cur_len, len(blob)
+        )
+
+    def _read_slot(self, rank: int):
+        """``(done, current, last)`` for ``rank`` — best effort: a slot
+        mid-write during diagnosis decodes to whatever is consistent."""
+        base = rank * _SLOT
+        _, flags, cur_len, last_len = _HEADER.unpack_from(self._board.buf, base)
+        current = last = None
+        try:
+            if cur_len:
+                current = pickle.loads(
+                    bytes(self._board.buf[base + 64 : base + 64 + cur_len])
+                )
+            if last_len:
+                last = pickle.loads(
+                    bytes(self._board.buf[base + 4096 : base + 4096 + last_len])
+                )
+        except Exception:  # repro-lint: disable=no-blind-except -- diagnosis must survive a torn slot; a half-written record reads as absent
+            pass
+        return bool(flags & _DONE), current, last
+
+    def _publish_verdict(self, verdict: str | None) -> None:
+        base = self.size * _SLOT
+        epochs, _ = _VERDICT_HEADER.unpack_from(self._board.buf, base)
+        text = (verdict or "").encode("utf-8")[:_VERDICT_CAP]
+        if text:
+            self._board.write(text, base + _VERDICT_HEADER.size)
+        _VERDICT_HEADER.pack_into(self._board.buf, base, epochs + 1, len(text))
+
+    def _read_verdict(self) -> str | None:
+        base = self.size * _SLOT
+        _, length = _VERDICT_HEADER.unpack_from(self._board.buf, base)
+        if not length:
+            return None
+        start = base + _VERDICT_HEADER.size
+        return bytes(self._board.buf[start : start + length]).decode("utf-8")
+
+    @property
+    def n_synced(self) -> int:
+        """Completed synchronization epochs (readable from any process)."""
+        epochs, _ = _VERDICT_HEADER.unpack_from(
+            self._board.buf, self.size * _SLOT
+        )
+        return int(epochs)
+
+    # -- hooks called by the communicator / worker ---------------------------
+
+    def on_collective(
+        self, rank: int, op: str, value=None, detail: str = "", track: bool = True
+    ) -> None:
+        """Validate one collective entry; raises :class:`SanitizerError`."""
+        done, prev_current, _ = self._read_slot(rank)
+        seq = prev_current.seq + 1 if prev_current is not None else 0
+        record = OpRecord(
+            rank=rank,
+            seq=seq,
+            op=op,
+            detail=detail,
+            payload=describe_payload(value),
+            site=_call_site(),
+        )
+        torn = self._check_tracked_write()
+        if torn is not None:
+            self._abort_event.set()
+            self._barrier.abort()
+            raise SanitizerError(torn)
+        self._write_current(rank, record)
+        finished = [
+            r for r in range(self.size) if self._read_slot(r)[0]
+        ]
+        if finished:
+            raise SanitizerError(self._diagnose(record, finished=finished))
+
+        leader = self._wait(record) == 0
+        if leader:
+            self._publish_verdict(self._validate())
+        self._wait(record)
+
+        verdict = self._read_verdict()
+        if verdict is not None:
+            raise SanitizerError(verdict)
+        self._write_last(rank, record)
+        self._current_record = record
+
+    def on_publish(self, slab, nbytes: int) -> None:
+        """Fingerprint this rank's freshly written outbox array region.
+
+        Called by :meth:`ProcessCommunicator._publish` after the array
+        bytes land in the slab; ``nbytes`` is the array region's extent
+        (the descriptor after it is written exactly once per epoch and
+        never aliased by peers' result views).
+        """
+        if not self.track_writes or nbytes <= 0 or nbytes > _MAX_TRACKED_BYTES:
+            self._tracked = None
+            return
+        self._tracked = (
+            slab,
+            nbytes,
+            _hash_bytes(slab.buf[:nbytes]),
+            self._current_record,
+        )
+
+    def _check_tracked_write(self) -> str | None:
+        tracked, self._tracked = self._tracked, None
+        if tracked is None:
+            return None
+        slab, nbytes, fingerprint, record = tracked
+        if slab.closed:  # outbox grew and was released: nothing to recheck
+            return None
+        if _hash_bytes(slab.buf[:nbytes]) == fingerprint:
+            return None
+        published = record.render() if record is not None else "<first publish>"
+        return (
+            "unsynchronized shared-slab write: the outbox region published "
+            f"by {published} was mutated before the next synchronization; "
+            "a rank wrote through a zero-copy shared view and peers observed "
+            "a torn buffer — mutate a .copy(), never a received view"
+        )
+
+    def rank_done(self, rank: int) -> None:
+        """Called by the worker when a rank's program returns."""
+        base = rank * _SLOT
+        seq, flags, cur_len, last_len = _HEADER.unpack_from(self._board.buf, base)
+        _HEADER.pack_into(
+            self._board.buf, base, seq, flags | _DONE, cur_len, last_len
+        )
+        if self._barrier.n_waiting > 0:
+            # Peers are inside a collective this rank will never join —
+            # break the sync so they diagnose instead of timing out.
+            self._barrier.abort()
+
+    def abort(self) -> None:
+        """Called by the worker when any rank failed: unwind, don't hang."""
+        self._abort_event.set()
+        self._barrier.abort()
+
+    # -- internals -----------------------------------------------------------
+
+    def _wait(self, record: OpRecord) -> int:
+        try:
+            return self._barrier.wait(timeout=self.timeout)
+        except threading.BrokenBarrierError:
+            if self._abort_event.is_set():
+                from repro.parallel.comm import SpmdAbort
+
+                raise SpmdAbort(
+                    f"rank {record.rank}: sanitized run aborted by a rank failure"
+                ) from None
+            raise SanitizerError(self._diagnose(record)) from None
+
+    def _validate(self) -> str | None:
+        """Leader check once every rank deposited its record."""
+        records = []
+        for rank in range(self.size):
+            _, current, _ = self._read_slot(rank)
+            if current is not None:
+                records.append(current)
+        if len(records) < self.size:
+            return None  # unreachable once the barrier passed; be safe
+        reference = records[0]
+        mismatch = any(
+            r.op != reference.op or r.detail != reference.detail for r in records
+        ) or (
+            reference.op in _SYMMETRIC_PAYLOAD_OPS
+            and any(r.payload != reference.payload for r in records)
+        )
+        if mismatch:
+            lines = "\n  ".join(r.render() for r in records)
+            return (
+                "mismatched collectives — the ranks of this epoch disagree:\n  "
+                f"{lines}"
+            )
+        return None
+
+    def _diagnose(self, record: OpRecord, finished: list[int] | None = None) -> str:
+        lines = []
+        any_finished = bool(finished)
+        for rank in range(self.size):
+            done, current, last = self._read_slot(rank)
+            any_finished = any_finished or done
+            if done:
+                tail = f" (last completed: {last.render()})" if last else ""
+                lines.append(f"rank {rank}: program finished{tail}")
+            elif current is not None and (
+                last is None or current.seq > last.seq
+            ):
+                lines.append(f"rank {rank}: entered {current.render()}")
+            elif last is not None:
+                lines.append(f"rank {rank}: last completed {last.render()}")
+            else:
+                lines.append(f"rank {rank}: no collective entered yet")
+        reason = (
+            "a peer rank finished its program without this collective"
+            if any_finished
+            else f"collective sync did not complete within {self.timeout:g}s"
+        )
+        table = "\n  ".join(lines)
+        return (
+            f"rank {record.rank} stuck in {record.op} at {record.site}: "
+            f"{reason} — per-rank state:\n  {table}"
+        )

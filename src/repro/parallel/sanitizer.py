@@ -92,9 +92,14 @@ def describe_payload(value, _depth: int = 0) -> str:
 def _call_site() -> str:
     """First stack frame outside the comm/sanitizer layer, as ``file:line``."""
     here = os.path.dirname(os.path.abspath(__file__))
-    internal = (
-        os.path.join(here, "comm.py"),
-        os.path.join(here, "sanitizer.py"),
+    internal = tuple(
+        os.path.join(here, name)
+        for name in (
+            "comm.py",
+            "sanitizer.py",
+            "process_backend.py",
+            "process_sanitizer.py",
+        )
     )
     for frame in reversed(traceback.extract_stack()):
         if os.path.abspath(frame.filename) not in internal:
@@ -128,10 +133,13 @@ class _TrackedArray:
     record: OpRecord
 
 
+def _hash_bytes(data) -> str:
+    """blake2b-16 of a bytes-like buffer (shared with the process port)."""
+    return hashlib.blake2b(bytes(data), digest_size=16).hexdigest()
+
+
 def _fingerprint(arr: np.ndarray) -> str:
-    return hashlib.blake2b(
-        np.ascontiguousarray(arr).tobytes(), digest_size=16
-    ).hexdigest()
+    return _hash_bytes(np.ascontiguousarray(arr).tobytes())
 
 
 def _payload_arrays(value, _depth: int = 0):

@@ -247,12 +247,15 @@ class CalculationServer:
         which consume no queue slot).
         """
         key = request.cache_key()
+        # A disk-backed store hits the filesystem in get(): look up before
+        # taking the server lock.  The store only grows, so the worst a
+        # racing put can cost is one redundant (bit-identical) execution.
+        cached = self.store.get(key)
         with self._lock:
             if self._shutdown:
                 raise RuntimeError("server is shut down")
             self._stats["submitted"] += 1
 
-            cached = self.store.get(key)
             if cached is not None:
                 # Exact hit: job is born done, serving the stored object.
                 job = self._new_job(request, key, tenant, priority)
@@ -371,11 +374,17 @@ class CalculationServer:
                 self._finish(job, "failed", {"error": job.error})
             return
 
+        # Caching writes npz payloads on disk-backed stores: do it outside
+        # the server lock so submissions/cancels stay responsive.  The job
+        # is only marked done afterwards, so result() waiters still find
+        # the store populated.
+        self._store_outcome(job, outcome)
         with self._lock:
             job.result = outcome.result
             job.scf_iterations = outcome.scf_iterations
             job.eigensolver_iterations = outcome.eigensolver_iterations
-            self._store_outcome(job, outcome)
+            if job.warm:
+                self._stats["warm_starts"] += 1
             self._finish(
                 job,
                 "done",
@@ -439,7 +448,11 @@ class CalculationServer:
         return self.store.nearest_ground_state(structure, scf_config)
 
     def _store_outcome(self, job: _Job, outcome) -> None:
-        """Cache the result, plus the ground state under its own SCF key."""
+        """Cache the result, plus the ground state under its own SCF key.
+
+        Called *without* the server lock (the store locks itself): puts on
+        a persistent store write to disk.
+        """
         request = job.request
         meta = {"kind": request.kind}
         if request.kind != "batch" and outcome.ground_state is not None:
@@ -460,8 +473,6 @@ class CalculationServer:
                     ground_state=outcome.ground_state,
                     meta={**meta, "kind": "scf"},
                 )
-        if job.warm:
-            self._stats["warm_starts"] += 1
 
     def _finish(self, job: _Job, status: str, payload: dict | None = None) -> None:
         """Terminal transition (caller holds the lock)."""

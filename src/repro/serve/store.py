@@ -157,10 +157,21 @@ class ResultStore:
     Thread-safe.  ``put`` is last-writer-wins, which is harmless here:
     equal keys describe the same calculation, so concurrent writers store
     interchangeable values.
+
+    Locking discipline: ``_lock`` guards the in-memory maps and is never
+    held across disk I/O (payload writes/reads happen outside it, so a
+    slow filesystem cannot stall readers); ``_io_lock`` is a leaf lock
+    serializing ``index.json`` snapshots, version-gated so a stale
+    snapshot never overwrites a newer one.  ``_lock`` may be taken before
+    ``_io_lock``, never the reverse.
     """
 
     def __init__(self, directory: str | os.PathLike | None = None) -> None:
         self._lock = threading.RLock()
+        #: serializes index.json writes; see the class docstring.
+        self._io_lock = threading.Lock()
+        self._index_version = 0  # bumped under _lock per index mutation
+        self._written_version = 0  # last version flushed (under _io_lock)
         self._entries: dict[str, StoreEntry] = {}
         #: cache key -> metadata for entries not yet loaded from disk.
         self._disk_index: dict[str, dict] = {}
@@ -203,8 +214,10 @@ class ResultStore:
         )
         with self._lock:
             self._entries[key] = entry
-            if self.directory is not None and hasattr(result, "to_dict"):
-                self._persist(entry)
+        if self.directory is not None and hasattr(result, "to_dict"):
+            # Disk write happens outside _lock so a slow filesystem never
+            # stalls concurrent readers of the in-memory maps.
+            self._persist(entry)
         return entry
 
     def get(self, key: str) -> StoreEntry | None:
@@ -213,11 +226,13 @@ class ResultStore:
             entry = self._entries.get(key)
             if entry is not None:
                 return entry
-            if key in self._disk_index:
-                entry = self._load(key)
-                self._entries[key] = entry
-                return entry
-        return None
+            if key not in self._disk_index:
+                return None
+        # Disk read outside _lock; concurrent loads of the same key are
+        # benign duplicates and setdefault keeps exactly one.
+        loaded = self._load(key)
+        with self._lock:
+            return self._entries.setdefault(key, loaded)
 
     # -- warm-start lookup --------------------------------------------------
 
@@ -266,6 +281,13 @@ class ResultStore:
         return os.path.join(self.directory, f"{key}.npz")
 
     def _persist(self, entry: StoreEntry) -> None:
+        """Write the payload and refresh ``index.json`` (no ``_lock`` held).
+
+        The index snapshot is serialized under ``_lock`` (pure CPU) and
+        flushed under the leaf ``_io_lock``; the version gate drops
+        snapshots that lost the race to a newer one, so the index on disk
+        is always some complete recent state, never a rollback.
+        """
         # When the result IS the ground state (scf entries) don't write the
         # same arrays twice; _load reunifies them.
         gs = entry.ground_state
@@ -278,15 +300,23 @@ class ResultStore:
             "meta": entry.meta,
         }
         save_payload(self._path(entry.key), payload)
-        self._disk_index[entry.key] = {
-            **entry.meta,
-            "has_ground_state": entry.ground_state is not None,
-        }
+        with self._lock:
+            self._disk_index[entry.key] = {
+                **entry.meta,
+                "has_ground_state": entry.ground_state is not None,
+            }
+            self._index_version += 1
+            version = self._index_version
+            snapshot = json.dumps(self._disk_index, indent=0, sort_keys=True)
         index_path = os.path.join(self.directory, _INDEX_NAME)
-        tmp = f"{index_path}.{os.getpid()}.tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(self._disk_index, fh, indent=0, sort_keys=True)
-        os.replace(tmp, index_path)
+        with self._io_lock:
+            if version <= self._written_version:
+                return  # a newer snapshot already reached disk
+            self._written_version = version
+            tmp = f"{index_path}.{os.getpid()}.{version}.tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:  # repro-lint: disable=blocking-under-lock -- _io_lock is a leaf lock dedicated to serializing this exact write; nothing else ever blocks on it
+                fh.write(snapshot)
+            os.replace(tmp, index_path)  # repro-lint: disable=blocking-under-lock -- same leaf-lock exemption: index flushes must serialize, and _io_lock protects only them
 
     def _load(self, key: str) -> StoreEntry:
         payload = load_payload(self._path(key))

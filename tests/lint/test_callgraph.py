@@ -1,0 +1,256 @@
+"""Call-graph construction: the resolution cases the project rules rely on.
+
+Each test builds a tiny synthetic project (dict of path -> source) and
+asserts on the edges :func:`repro.lint.callgraph.build_project` extracts.
+The final class pins the *documented* limits: dynamic dispatch the graph
+cannot see must land in ``Project.unresolved`` — silently dropping a call
+is how an interprocedural rule develops false negatives nobody notices.
+"""
+
+import ast
+
+import pytest
+
+from repro.lint.callgraph import build_project, module_name_for_path
+from repro.lint.engine import SourceModule
+
+pytestmark = pytest.mark.lint
+
+
+def project_from(files):
+    modules = [
+        SourceModule(path=path, text=text, tree=ast.parse(text))
+        for path, text in files.items()
+    ]
+    return build_project(modules)
+
+
+def callees(project, uid, kinds=("call",)):
+    return {edge.callee for edge in project.edges(uid, kinds=kinds)}
+
+
+class TestModuleNaming:
+    def test_src_anchor_is_stripped(self):
+        assert module_name_for_path("src/repro/lint/engine.py") == "repro.lint.engine"
+
+    def test_init_maps_to_package(self):
+        assert module_name_for_path("src/repro/lint/__init__.py") == "repro.lint"
+
+    def test_paths_without_anchor_use_identifier_tail(self):
+        # tmp-dir fixtures: the longest identifier-only tail becomes the
+        # dotted name ("pytest-of-x" has a dash, so the tail starts after it).
+        assert module_name_for_path("/tmp/pytest-of-x/pkg/mod.py") == "pkg.mod"
+
+
+class TestIntraModuleResolution:
+    def test_module_function_call(self):
+        project = project_from({
+            "src/app/a.py": "def helper():\n    pass\n\ndef run():\n    helper()\n",
+        })
+        assert "app.a:helper" in callees(project, "app.a:run")
+
+    def test_bound_method_via_self(self):
+        project = project_from({
+            "src/app/a.py": (
+                "class C:\n"
+                "    def helper(self):\n"
+                "        pass\n"
+                "    def run(self):\n"
+                "        self.helper()\n"
+            ),
+        })
+        assert "app.a:C.helper" in callees(project, "app.a:C.run")
+
+    def test_inherited_method_resolves_through_base(self):
+        project = project_from({
+            "src/app/a.py": (
+                "class Base:\n"
+                "    def helper(self):\n"
+                "        pass\n"
+                "class C(Base):\n"
+                "    def run(self):\n"
+                "        self.helper()\n"
+            ),
+        })
+        assert "app.a:Base.helper" in callees(project, "app.a:C.run")
+
+    def test_unbound_method_through_class_name(self):
+        project = project_from({
+            "src/app/a.py": (
+                "class C:\n"
+                "    def helper(self):\n"
+                "        pass\n"
+                "def run(obj):\n"
+                "    C.helper(obj)\n"
+            ),
+        })
+        assert "app.a:C.helper" in callees(project, "app.a:run")
+
+    def test_annotated_attribute_type_resolves_method(self):
+        project = project_from({
+            "src/app/a.py": (
+                "class Store:\n"
+                "    def put(self):\n"
+                "        pass\n"
+                "class Server:\n"
+                "    def __init__(self):\n"
+                "        self.store = Store()\n"
+                "    def handle(self):\n"
+                "        self.store.put()\n"
+            ),
+        })
+        assert "app.a:Store.put" in callees(project, "app.a:Server.handle")
+
+    def test_decorated_callee_still_resolves(self):
+        project = project_from({
+            "src/app/a.py": (
+                "import functools\n"
+                "@functools.lru_cache(maxsize=None)\n"
+                "def helper():\n"
+                "    pass\n"
+                "def run():\n"
+                "    helper()\n"
+            ),
+        })
+        assert "app.a:helper" in callees(project, "app.a:run")
+
+    def test_nested_def_and_lambda_get_scoped_uids(self):
+        project = project_from({
+            "src/app/a.py": (
+                "def outer():\n"
+                "    def inner():\n"
+                "        pass\n"
+                "    f = lambda: None\n"
+                "    return inner, f\n"
+            ),
+        })
+        assert "app.a:outer.inner" in project.functions
+        assert "app.a:outer.<lambda:4>" in project.functions
+
+    def test_nested_def_reference_is_a_ref_edge(self):
+        project = project_from({
+            "src/app/a.py": (
+                "def outer():\n"
+                "    def inner():\n"
+                "        pass\n"
+                "    return inner\n"
+            ),
+        })
+        assert "app.a:outer.inner" in callees(project, "app.a:outer", kinds=("ref",))
+
+
+class TestCrossModuleResolution:
+    def test_from_import_with_alias(self):
+        project = project_from({
+            "src/app/a.py": "def helper():\n    pass\n",
+            "src/app/b.py": (
+                "from app.a import helper as h\n"
+                "def run():\n"
+                "    h()\n"
+            ),
+        })
+        assert "app.a:helper" in callees(project, "app.b:run")
+
+    def test_module_import_with_alias(self):
+        project = project_from({
+            "src/app/a.py": "def helper():\n    pass\n",
+            "src/app/b.py": (
+                "import app.a as aa\n"
+                "def run():\n"
+                "    aa.helper()\n"
+            ),
+        })
+        assert "app.a:helper" in callees(project, "app.b:run")
+
+    def test_reexport_is_chased_to_the_definition(self):
+        project = project_from({
+            "src/app/impl.py": "def helper():\n    pass\n",
+            "src/app/__init__.py": "from app.impl import helper\n",
+            "src/other/b.py": (
+                "from app import helper\n"
+                "def run():\n"
+                "    helper()\n"
+            ),
+        })
+        assert "app.impl:helper" in callees(project, "other.b:run")
+
+
+class TestIndirection:
+    def test_functools_partial_records_a_ref_edge(self):
+        project = project_from({
+            "src/app/a.py": (
+                "import functools\n"
+                "def helper(x):\n"
+                "    pass\n"
+                "def run():\n"
+                "    return functools.partial(helper, 1)\n"
+            ),
+        })
+        assert "app.a:helper" in callees(project, "app.a:run", kinds=("ref",))
+
+    def test_dict_dispatch_table_yields_call_edges(self):
+        project = project_from({
+            "src/app/a.py": (
+                "def north():\n"
+                "    pass\n"
+                "def south():\n"
+                "    pass\n"
+                "TABLE = {'n': north, 's': south}\n"
+                "def run(key):\n"
+                "    TABLE[key]()\n"
+            ),
+        })
+        got = callees(project, "app.a:run")
+        assert {"app.a:north", "app.a:south"} <= got
+
+    def test_find_functions_matches_qualname_suffix(self):
+        project = project_from({
+            "src/app/a.py": (
+                "class CalculationRequest:\n"
+                "    def to_dict(self):\n"
+                "        pass\n"
+            ),
+        })
+        found = project.find_functions("CalculationRequest.to_dict")
+        assert [fn.uid for fn in found] == ["app.a:CalculationRequest.to_dict"]
+
+
+class TestDocumentedLimits:
+    """Dynamic dispatch the graph cannot resolve must be *recorded*, not
+    silently dropped — ``Project.unresolved`` is the honesty ledger the
+    docs point at."""
+
+    def test_duck_typed_parameter_is_unresolved(self):
+        project = project_from({
+            "src/app/a.py": "def run(comm):\n    comm.allreduce(1)\n",
+        })
+        leaves = {leaf for leaf, _ in project.unresolved.get("app.a:run", [])}
+        assert "allreduce" in leaves
+        assert callees(project, "app.a:run") == set()
+
+    def test_getattr_dispatch_is_unresolved(self):
+        project = project_from({
+            "src/app/a.py": (
+                "def helper():\n"
+                "    pass\n"
+                "def run(name):\n"
+                "    getattr(__import__('app.a'), name)()\n"
+            ),
+        })
+        assert "app.a:helper" not in callees(project, "app.a:run")
+
+    def test_monkey_patched_call_does_not_invent_an_edge(self):
+        project = project_from({
+            "src/app/a.py": (
+                "class C:\n"
+                "    def helper(self):\n"
+                "        pass\n"
+                "def run(c):\n"
+                "    c.helper = lambda: None\n"
+                "    c.helper()\n"
+            ),
+        })
+        # ``c`` is untyped: the call lands in unresolved, never on C.helper.
+        assert "app.a:C.helper" not in callees(project, "app.a:run")
+        leaves = {leaf for leaf, _ in project.unresolved.get("app.a:run", [])}
+        assert "helper" in leaves

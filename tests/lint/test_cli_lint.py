@@ -4,6 +4,10 @@ import json
 
 from repro.cli import main
 
+import pytest
+
+pytestmark = pytest.mark.lint
+
 BAD = (
     "from repro.utils import hot_kernel\n"
     "import numpy as np\n"
@@ -11,6 +15,7 @@ BAD = (
     "def kernel(x):\n"
     "    return np.zeros(3) + x\n"
 )
+
 
 
 def test_clean_path_exits_zero(tmp_path, capsys):

@@ -20,6 +20,8 @@ HOT_ALLOC = (
     "    return np.zeros(3) + x\n"
 )
 
+pytestmark = pytest.mark.lint
+
 
 class TestRegistry:
     def test_all_expected_rules_registered(self):

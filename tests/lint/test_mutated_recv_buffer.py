@@ -3,6 +3,10 @@ shared-write detector)."""
 
 from repro.lint import lint_source
 
+import pytest
+
+pytestmark = pytest.mark.lint
+
 RULE = ["mutated-recv-buffer"]
 
 

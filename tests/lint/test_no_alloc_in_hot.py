@@ -1,8 +1,12 @@
 """The allocation-discipline pass over hot kernels."""
 
+import pytest
+
 from repro.lint import lint_source
 from repro.lint.hotpaths import HOT_PATH_MANIFEST, hot_functions_for
 from repro.utils import hot_kernel, is_hot_kernel
+
+pytestmark = pytest.mark.lint
 
 RULE = ["no-alloc-in-hot"]
 
@@ -58,6 +62,7 @@ HOT_HEADER = (
     "from repro.utils import hot_kernel\n"
     "@hot_kernel\n"
 )
+
 
 
 class TestAllocationKinds:

@@ -2,6 +2,10 @@
 
 from repro.lint import lint_source
 
+import pytest
+
+pytestmark = pytest.mark.lint
+
 RULE = ["nondeterminism-in-replay"]
 
 

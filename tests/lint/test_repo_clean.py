@@ -4,6 +4,10 @@ import pathlib
 
 from repro.lint import format_findings, lint_paths
 
+import pytest
+
+pytestmark = pytest.mark.lint
+
 SRC = pathlib.Path(__file__).resolve().parents[2] / "src"
 
 

@@ -1,0 +1,180 @@
+"""Regressions for the per-file traversal gaps closed in the whole-program
+refactor.
+
+The original per-file passes only walked ``if`` statements and plain
+function bodies; collectives hiding in conditional *expressions*,
+short-circuit operands, comprehension filters and rank-dependent ``while``
+loops sailed through, and the recv-buffer tracker confused names across
+nested scopes.  Each test here failed against the old traversal.
+"""
+
+import pytest
+
+from repro.lint import lint_source
+
+pytestmark = pytest.mark.lint
+
+
+def findings_for(src, rule):
+    return lint_source(src, rules=[rule])
+
+
+class TestCollectiveInBranchExpressions:
+    def test_ifexp_with_collective_on_one_arm(self):
+        findings = findings_for(
+            "def step(comm, rank):\n"
+            "    x = comm.barrier() if rank == 0 else None\n",
+            "collective-in-branch",
+        )
+        assert len(findings) == 1
+        assert "'barrier'" in findings[0].message
+
+    def test_ifexp_with_matched_arms_is_clean(self):
+        findings = findings_for(
+            "def step(comm, rank):\n"
+            "    x = comm.allreduce(1) if rank == 0 else comm.allreduce(2)\n",
+            "collective-in-branch",
+        )
+        assert findings == []
+
+    def test_rank_dependent_while_loop(self):
+        findings = findings_for(
+            "def drain(comm, rank):\n"
+            "    while rank > 0:\n"
+            "        comm.allreduce(1)\n"
+            "        rank -= 1\n",
+            "collective-in-branch",
+        )
+        assert len(findings) == 1
+        assert "while loop" in findings[0].message
+
+    def test_rank_independent_while_loop_is_clean(self):
+        findings = findings_for(
+            "def drain(comm, steps):\n"
+            "    while steps > 0:\n"
+            "        comm.allreduce(1)\n"
+            "        steps -= 1\n",
+            "collective-in-branch",
+        )
+        assert findings == []
+
+    def test_boolop_short_circuit_guards_a_collective(self):
+        findings = findings_for(
+            "def step(comm, rank):\n"
+            "    return rank == 0 and comm.barrier()\n",
+            "collective-in-branch",
+        )
+        assert len(findings) == 1
+        assert "short-circuited" in findings[0].message
+
+    def test_boolop_collective_before_the_rank_test_is_clean(self):
+        # ``comm.barrier() and rank == 0``: the collective is evaluated
+        # unconditionally, so every rank still enters it.
+        findings = findings_for(
+            "def step(comm, rank):\n"
+            "    return comm.barrier() and rank == 0\n",
+            "collective-in-branch",
+        )
+        assert findings == []
+
+    def test_comprehension_with_rank_filter(self):
+        findings = findings_for(
+            "def step(comm, rank, xs):\n"
+            "    return [comm.allreduce(x) for x in xs if rank == 0]\n",
+            "collective-in-branch",
+        )
+        assert len(findings) == 1
+        assert "rank-dependent filter" in findings[0].message
+
+    def test_dict_comprehension_value_is_covered(self):
+        findings = findings_for(
+            "def step(comm, rank, xs):\n"
+            "    return {x: comm.allreduce(x) for x in xs if rank == 0}\n",
+            "collective-in-branch",
+        )
+        assert len(findings) == 1
+
+    def test_unfiltered_comprehension_is_clean(self):
+        findings = findings_for(
+            "def step(comm, xs):\n"
+            "    return [comm.allreduce(x) for x in xs]\n",
+            "collective-in-branch",
+        )
+        assert findings == []
+
+
+RECV_PREFIX = "def run(comm):\n    buf = comm.recv(0)\n"
+
+
+class TestRecvBufferScopes:
+    def test_nested_def_shadow_does_not_untrack_outer_name(self):
+        # The inner ``buf`` is a different variable; the outer one is
+        # still the shared recv buffer when mutated afterwards.
+        findings = findings_for(
+            RECV_PREFIX
+            + "    def inner():\n"
+            "        buf = make_local()\n"
+            "        return buf\n"
+            "    buf[0] = 1.0\n",
+            "mutated-recv-buffer",
+        )
+        assert len(findings) == 1
+        assert "'buf'" in findings[0].message
+
+    def test_nested_def_recv_does_not_leak_tracking_out(self):
+        findings = findings_for(
+            "def run(comm):\n"
+            "    def inner():\n"
+            "        tmp = comm.recv(0)\n"
+            "        return tmp\n"
+            "    tmp = make_local()\n"
+            "    tmp[0] = 1.0\n",
+            "mutated-recv-buffer",
+        )
+        assert findings == []
+
+    def test_mutation_inside_nested_def_gets_its_own_pass(self):
+        # The nested function receives its own buffer and mutates it:
+        # flagged on the inner pass, attributed to the inner qualname.
+        findings = findings_for(
+            "def run(comm):\n"
+            "    def inner():\n"
+            "        tmp = comm.recv(0)\n"
+            "        tmp[0] = 1.0\n"
+            "    return inner\n",
+            "mutated-recv-buffer",
+        )
+        assert len(findings) == 1
+        assert "run.inner" in findings[0].message
+
+    def test_lambda_closing_over_tracked_buffer_is_flagged(self):
+        # A lambda cannot rebind ``buf``; a mutation in its body hits the
+        # shared buffer, so the lambda body stays in the outer scope walk.
+        findings = findings_for(
+            RECV_PREFIX + "    cb = lambda: buf.fill(0.0)\n",
+            "mutated-recv-buffer",
+        )
+        assert len(findings) == 1
+
+    def test_comprehension_mutation_is_in_outer_scope(self):
+        findings = findings_for(
+            RECV_PREFIX + "    [buf.fill(float(i)) for i in range(3)]\n",
+            "mutated-recv-buffer",
+        )
+        assert len(findings) == 1
+
+
+class TestReplayScopeDedup:
+    def test_nested_def_inside_replay_scope_reports_once(self):
+        # Both the outer (checkpoint param) and the nested def qualify as
+        # replay scopes; the walk of the outer already covers the inner,
+        # so the finding must not double up.
+        findings = findings_for(
+            "import time\n"
+            "def outer(checkpoint):\n"
+            "    def refresh_checkpoint():\n"
+            "        return time.time()\n"
+            "    return refresh_checkpoint()\n",
+            "nondeterminism-in-replay",
+        )
+        assert len(findings) == 1

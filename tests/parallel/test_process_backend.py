@@ -59,9 +59,14 @@ class TestBackendSelection:
         with pytest.raises(ValueError, match="unknown SPMD backend"):
             spmd_run(2, lambda comm: comm.rank)
 
-    def test_sanitizer_rejected_with_clear_message(self):
-        with pytest.raises(NotImplementedError, match="thread-backend only"):
-            spmd_run(2, lambda comm: comm.rank, sanitize=True, backend="process")
+    def test_sanitizer_supported_on_process_backend(self):
+        # Historically rejected with NotImplementedError; now backed by
+        # the shared-memory ProcessSpmdSanitizer (tests in
+        # test_process_sanitizer.py).
+        assert spmd_run(
+            2, lambda comm: comm.allreduce(comm.rank), sanitize=True,
+            backend="process",
+        ) == [1, 1]
 
 
 class TestCollectiveBitIdentity:

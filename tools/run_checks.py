@@ -7,25 +7,34 @@ Runs, in order:
    the container image does not ship it),
 2. **mypy** — type check of the static-analysis subsystem (skipped when not
    installed),
-3. **repro-lint** — the project's own AST passes (``python -m repro lint``),
-4. **sanitizer smoke** — a 4-rank SPMD run under the runtime sanitizer plus
+3. **repro-lint** — the project's own AST + whole-program passes
+   (``python -m repro lint``, file rules plus the call-graph rules),
+4. **lint suppressions** — ``repro lint --check-suppressions``: every
+   suppression comment must still match a live finding (stale waivers fail),
+5. **lint baseline** — ``tools/check_lint_baseline.py``: no new findings
+   versus the committed baseline, and no silently-vanished rules,
+6. **sanitizer smoke** — a 4-rank SPMD run under the runtime sanitizer plus
    one deliberately mismatched collective that must be *diagnosed*, proving
    the sanitizer is alive and not a no-op,
-5. **process-backend smoke** — a 3-rank ``backend="process"`` run whose
+7. **process-backend smoke** — a 3-rank ``backend="process"`` run whose
    collectives must match the thread backend bit-for-bit and leave no
    ``/dev/shm`` residue (skipped where ``fork`` is unavailable),
-6. **serve smoke** — an in-process job server handling a duplicate
+8. **process-sanitizer smoke** — the cross-process sanitizer on the
+   bench-spmd GIL-bound workload: sanitized results bit-identical to
+   unsanitized, a mismatched collective diagnosed with both call sites,
+   and overhead within 25% (skipped where ``fork`` is unavailable),
+9. **serve smoke** — an in-process job server handling a duplicate
    request pair: the second submission must be a bit-identical,
    zero-SCF-iteration cache hit, and a perturbed third request must
    warm-start off the cached ground state,
-7. **public API snapshot** — ``tools/check_public_api.py``,
-8. **bytecode guard** — ``tools/check_no_pyc.py``,
-9. **bench gate** — ``tools/check_bench.py``: validates the committed
-   ``BENCH_*.json`` reports and re-runs the smoke benchmarks, gating on
-   correctness flags and dimensionless ratios (never raw seconds); skip
-   with ``--no-bench`` for the fast loop, refresh the committed reports
-   with ``python tools/check_bench.py --update-bench``,
-10. **tier-1 tests** — ``pytest -x -q`` (skip with ``--no-tests`` for the
+10. **public API snapshot** — ``tools/check_public_api.py``,
+11. **bytecode guard** — ``tools/check_no_pyc.py``,
+12. **bench gate** — ``tools/check_bench.py``: validates the committed
+    ``BENCH_*.json`` reports and re-runs the smoke benchmarks, gating on
+    correctness flags and dimensionless ratios (never raw seconds); skip
+    with ``--no-bench`` for the fast loop, refresh the committed reports
+    with ``python tools/check_bench.py --update-bench``,
+13. **tier-1 tests** — ``pytest -x -q`` (skip with ``--no-tests`` for the
     fast pre-commit loop).
 
 Exit status is nonzero if any mandatory stage fails.  Optional tools that
@@ -151,6 +160,59 @@ print("process smoke: ok (bit-identical, zero-copy, no shm residue)")
 """
 
 
+_PROCESS_SANITIZER_SMOKE = """
+import multiprocessing, sys, time
+try:
+    multiprocessing.get_context("fork")
+except ValueError:
+    print("process-sanitizer smoke: SKIP (no fork start method)")
+    sys.exit(0)
+
+from repro.parallel import SanitizerError, spmd_run
+from repro.perf.spmd_bench import _gil_bound_program
+
+STEPS, WORK, RANKS = 10, 50_000, 3
+
+def once(sanitize):
+    t0 = time.perf_counter()
+    out = spmd_run(
+        RANKS, _gil_bound_program, STEPS, WORK,
+        backend="process", sanitize=sanitize, sanitize_timeout=30.0,
+    )
+    return out, time.perf_counter() - t0
+
+# Bit-identity: the sanitizer must observe, never perturb.
+plain_times, sane_times = [], []
+for _ in range(3):
+    plain, t_plain = once(False)
+    sane, t_sane = once(True)
+    assert sane == plain, (sane, plain)
+    plain_times.append(t_plain)
+    sane_times.append(t_sane)
+
+# Overhead gate: min-of-3 vs min-of-3 (forks dominate; both pay them).
+ratio = min(sane_times) / min(plain_times)
+assert ratio <= 1.25, f"sanitizer overhead {ratio:.2f}x exceeds 1.25x"
+
+# A mismatched collective must be diagnosed with every rank's call site.
+def bad(comm):
+    if comm.rank == 1:
+        return comm.gather(comm.rank, root=0)
+    return comm.allreduce(comm.rank)
+
+try:
+    spmd_run(RANKS, bad, backend="process", sanitize=True, sanitize_timeout=5.0)
+except SanitizerError as exc:
+    text = str(exc)
+    assert "allreduce" in text and "gather" in text, text
+    assert "run_checks" in text or "<string>" in text or "rank 1" in text, text
+else:
+    raise SystemExit("process sanitizer missed a mismatched collective")
+print(f"process-sanitizer smoke: ok (bit-identical, overhead {ratio:.2f}x, "
+      "mismatch diagnosed)")
+"""
+
+
 _SERVE_SMOKE = """
 import numpy as np
 from repro.api import CalculationRequest, SCFConfig
@@ -203,8 +265,14 @@ def main(argv: list[str] | None = None) -> int:
     gate.run("mypy", [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
              optional_module="mypy")
     gate.run("repro-lint", [sys.executable, "-m", "repro", "lint", "src"])
+    gate.run("lint-suppressions",
+             [sys.executable, "-m", "repro", "lint", "src", "--check-suppressions"])
+    gate.run("lint-baseline",
+             [sys.executable, os.path.join("tools", "check_lint_baseline.py")])
     gate.run("sanitizer-smoke", [sys.executable, "-c", _SANITIZER_SMOKE])
     gate.run("process-smoke", [sys.executable, "-c", _PROCESS_SMOKE])
+    gate.run("process-sanitizer-smoke",
+             [sys.executable, "-c", _PROCESS_SANITIZER_SMOKE])
     gate.run("serve-smoke", [sys.executable, "-c", _SERVE_SMOKE])
     gate.run("public-api", [sys.executable, os.path.join("tools", "check_public_api.py")])
     gate.run("no-pyc", [sys.executable, os.path.join("tools", "check_no_pyc.py")])
