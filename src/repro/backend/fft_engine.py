@@ -33,6 +33,8 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro.utils.hot import array_contract
+
 __all__ = [
     "FFTEngine",
     "NumpyFFTEngine",
@@ -88,6 +90,7 @@ class FFTEngine:
 
     # -- scratch buffers ----------------------------------------------------
 
+    @array_contract(returns={"contiguous": True})
     def scratch(self, shape: tuple[int, ...], dtype) -> np.ndarray:
         """A reusable buffer of the requested shape/dtype (contents stale).
 

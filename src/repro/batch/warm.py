@@ -184,7 +184,10 @@ class BatchWarmState:
     def observe(self, ground_state, tddft_result=None) -> None:
         """Record one completed frame as the new warm-start source."""
         self._ground_state = ground_state
-        self._densities.append(ground_state.density)
+        # Pin the history to float64: a reduced-precision density slipping in
+        # here would silently downcast the extrapolated SCF seed (and every
+        # later frame blended with it) for the rest of the batch.
+        self._densities.append(np.asarray(ground_state.density, dtype=np.float64))
         if len(self._densities) > 3:
             self._densities.pop(0)
         if tddft_result is None:

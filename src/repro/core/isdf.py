@@ -19,6 +19,7 @@ from repro.core.fitting import coefficient_matrix, fit_interpolation_vectors
 from repro.core.kmeans import select_points_kmeans
 from repro.core.pair_products import pair_products
 from repro.core.qrcp import select_points_qrcp
+from repro.utils.hot import array_contract
 from repro.utils.rng import default_rng
 from repro.utils.timers import TimerRegistry
 from repro.utils.validation import require
@@ -86,6 +87,11 @@ class ISDFDecomposition:
         c = self.psi_v_mu.T[:, :, None] * self.psi_c_mu.T[:, None, :]
         return c.reshape(self.n_mu, -1)
 
+    @array_contract(
+        shapes={"x": ("n_pairs", "n_rhs")},
+        dtypes={"x": ("float64", "complex128")},
+        contiguous=("x",),
+    )
     def apply_c(self, x: np.ndarray) -> np.ndarray:
         """``C @ X`` for ``X`` of shape ``(N_cv, k)`` without forming C.
 
@@ -99,6 +105,11 @@ class ISDFDecomposition:
         t = np.einsum("cm,vck->vmk", self.psi_c_mu, x3, optimize=True)
         return np.einsum("vm,vmk->mk", self.psi_v_mu, t, optimize=True)
 
+    @array_contract(
+        shapes={"y": ("n_mu", "n_rhs")},
+        dtypes={"y": ("float64", "complex128")},
+        contiguous=("y",),
+    )
     def apply_ct(self, y: np.ndarray) -> np.ndarray:
         """``C^T @ Y`` for ``Y`` of shape ``(N_mu, k)`` without forming C."""
         t = np.einsum("vm,mk->vmk", self.psi_v_mu, y, optimize=True)

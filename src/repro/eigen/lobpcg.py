@@ -23,6 +23,7 @@ from typing import Callable
 import numpy as np
 
 from repro.eigen.results import EigenResult
+from repro.utils.hot import array_contract
 from repro.utils.linalg import (
     orthonormalize,
     orthonormalize_against,
@@ -40,6 +41,10 @@ ApplyFn = Callable[[np.ndarray], np.ndarray]
 PrecondFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 
+@array_contract(
+    shapes={"x0": ("n", "k")},
+    dtypes={"x0": ("float64", "complex128")},
+)
 def lobpcg(
     apply_h: ApplyFn,
     x0: np.ndarray,

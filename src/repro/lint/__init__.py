@@ -26,6 +26,22 @@ Whole-program passes run over the project call graph
 * ``lock-order-cycle`` / ``blocking-under-lock`` — the static lock graph
   of the serving layer.
 
+The array-contract pass (:mod:`repro.lint.arrays`) abstractly interprets
+numpy code against the ``@array_contract`` declarations on hot kernels —
+symbolic shapes, a dtype lattice, and layout (contiguity) facts:
+
+* ``silent-upcast-in-hot`` — a hot kernel's float64 data widening to
+  complex128 (or float32 to float64) without an explicit cast,
+* ``hidden-copy-into-kernel`` — strided/copied views passed where a
+  contract requires C-contiguity (BLAS packing, pocketfft input copies),
+* ``shape-mismatch`` — inferred shapes contradicting a contract or a
+  GEMM's inner dimension,
+* ``collective-buffer-contract`` — rank-dependent buffer shapes fed to
+  reducing collectives.
+
+Set ``REPRO_ARRAY_CONTRACTS=1`` to also enforce the same contracts at
+runtime (:mod:`repro.utils.hot`); the default is off with zero overhead.
+
 Run it via ``repro lint [paths]``, ``python tools/run_checks.py``, or the
 API below.  ``repro lint --check-suppressions`` audits for suppression
 comments that no longer match a live finding.  See
@@ -48,11 +64,19 @@ from repro.lint.engine import (
     register_rule,
     rule_inventory,
 )
-from repro.lint.hotpaths import HOT_DECORATORS, HOT_PATH_MANIFEST, hot_functions_for
+from repro.lint.hotpaths import (
+    ARRAY_CONTRACT_DECORATORS,
+    HOT_DECORATORS,
+    HOT_PATH_MANIFEST,
+    array_contract,
+    hot_functions_for,
+)
 
 # Importing the rule modules populates both registries.
+from repro.lint import arrays as _arrays  # noqa: F401  (registration side effect)
 from repro.lint import project_rules as _project_rules  # noqa: F401
 from repro.lint import rules as _rules  # noqa: F401  (registration side effect)
+from repro.lint.arrays import ARRAY_RULE_NAMES, analyze_arrays
 
 __all__ = [
     "Finding",
@@ -69,7 +93,11 @@ __all__ = [
     "register_project_rule",
     "register_rule",
     "rule_inventory",
+    "ARRAY_CONTRACT_DECORATORS",
+    "ARRAY_RULE_NAMES",
     "HOT_DECORATORS",
     "HOT_PATH_MANIFEST",
+    "analyze_arrays",
+    "array_contract",
     "hot_functions_for",
 ]

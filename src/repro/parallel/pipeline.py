@@ -23,9 +23,18 @@ import numpy as np
 
 from repro.parallel.comm import Communicator, ReduceHandle
 from repro.parallel.distributions import BlockDistribution1D
+from repro.utils.hot import array_contract
 from repro.utils.validation import require
 
 
+@array_contract(
+    shapes={
+        "z_local": ("n_rows_local", "n_pairs"),
+        "k_local": ("n_rows_local", "n_pairs"),
+    },
+    dtypes={"z_local": "float64", "k_local": "float64"},
+    contiguous=("z_local", "k_local"),
+)
 def pipelined_vhxc_rows(
     comm: Communicator,
     z_local: np.ndarray,
@@ -58,6 +67,7 @@ def pipelined_vhxc_rows(
 
     my_handle: ReduceHandle | None = None
     partial: np.ndarray | None = None
+    zt_block: np.ndarray | None = None
     for owner in range(comm.size):
         rows = out_dist.local_slice(owner)
         n_block = rows.stop - rows.start  # repro-lint: disable=no-alloc-in-hot -- scalar slice arithmetic, no array temporary
@@ -66,7 +76,12 @@ def pipelined_vhxc_rows(
         # pipeline allocates O(1) blocks regardless of the rank count...
         if partial is None or partial.shape[0] != n_block:
             partial = np.empty((n_block, n_pairs))  # repro-lint: disable=no-alloc-in-hot -- guarded buffer (re)allocation: runs only when the block height changes, O(1) times per run
-        np.matmul(z_local[:, rows].T, k_local, out=partial)
+            zt_block = np.empty((n_block, z_local.shape[0]))  # repro-lint: disable=no-alloc-in-hot -- guarded staging buffer, same O(1) reallocation policy as `partial`
+        # Stage the column-block transpose into a C-contiguous buffer so
+        # the GEMM consumes contiguous operands instead of an lda-strided
+        # view (the hidden copy BLAS would otherwise pack per call).
+        np.copyto(zt_block, z_local[:, rows].T)
+        np.matmul(zt_block, k_local, out=partial)
         partial *= dv
         # ...posted as a nonblocking Reduce to the owning rank (MPI_Reduce
         # + overlap, not Allreduce: nobody else needs these rows — Figure

@@ -31,6 +31,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.utils.hot import array_contract
 from repro.utils.validation import require
 
 __all__ = [
@@ -136,6 +137,7 @@ class SharedSlab:
     def buf(self) -> memoryview:
         return self._segment.buf
 
+    @array_contract(returns={"contiguous": True})
     def view(self, shape, dtype, offset: int = 0) -> np.ndarray:
         """Zero-copy numpy view of ``shape``/``dtype`` at ``offset``."""
         dtype = np.dtype(dtype)
@@ -147,8 +149,13 @@ class SharedSlab:
         )
         return np.ndarray(shape, dtype=dtype, buffer=self._segment.buf, offset=offset)
 
+    @array_contract(shapes={"data": "any"}, contiguous=("data",))
     def write(self, data: bytes | memoryview | np.ndarray, offset: int = 0) -> int:
-        """Copy raw bytes into the slab; returns the byte count written."""
+        """Copy raw bytes into the slab; returns the byte count written.
+
+        Array payloads should arrive C-contiguous (the publish paths stage
+        them); the defensive ``ascontiguousarray`` below only protects
+        direct callers outside the hot exchange."""
         if isinstance(data, np.ndarray):
             data = np.ascontiguousarray(data).view(np.uint8).reshape(-1).data
         nbytes = len(data)
@@ -268,6 +275,7 @@ class SlabArena:
         self._slab = self._registry.create(name, size)
         self._cursor = 0
 
+    @array_contract(shapes={"arr": "any"})
     def write_array(self, arr: np.ndarray) -> tuple[str, int]:
         """Copy ``arr``'s bytes in; returns ``(segment name, offset)``."""
         arr = np.ascontiguousarray(arr)

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.backend.fft_engine import FFTEngine, default_fft_engine
 from repro.pw.grid import RealSpaceGrid
+from repro.utils.hot import array_contract
 
 _AXES = (-3, -2, -1)
 
@@ -53,6 +54,11 @@ class FourierGrid:
         """The engine actually used for transforms."""
         return self.engine if self.engine is not None else default_fft_engine()
 
+    @array_contract(
+        shapes={"f_real": ("...", "n_r")},
+        dtypes={"f_real": ("float64", "complex128")},
+        returns={"dtype": "complex128"},
+    )
     def forward(self, f_real: np.ndarray) -> np.ndarray:
         """Real space -> Fourier-series coefficients on the full grid."""
         f = self.grid.reshape_to_grid(np.asarray(f_real))
@@ -60,6 +66,11 @@ class FourierGrid:
         out /= self.grid.n_points
         return self.grid.flatten_from_grid(out)
 
+    @array_contract(
+        shapes={"f_recip": ("...", "n_r")},
+        dtypes={"f_recip": ("float64", "complex128")},
+        returns={"dtype": "complex128"},
+    )
     def backward(self, f_recip: np.ndarray) -> np.ndarray:
         """Fourier-series coefficients -> real space on the full grid."""
         f = self.grid.reshape_to_grid(np.asarray(f_recip))
@@ -87,6 +98,11 @@ class FourierGrid:
         n3 = self.grid.shape[2]
         return np.ascontiguousarray(k[..., : n3 // 2 + 1])
 
+    @array_contract(
+        shapes={"fields": ("...", "n_r"), "kernel": ("n_r",)},
+        dtypes={"fields": ("float64", "complex128"), "kernel": "float64"},
+        returns={"dtype": "float64"},
+    )
     def convolve_real(
         self,
         fields: np.ndarray,
@@ -114,7 +130,7 @@ class FourierGrid:
             out = eng.irfftn(spec, s=self.grid.shape, axes=_AXES)
             return self.grid.flatten_from_grid(out)
         # Reference path: bit-identical to the seed implementation.
-        f_g = self.forward(fields.astype(complex))
+        f_g = self.forward(fields.astype(complex))  # repro-lint: disable=silent-upcast-in-hot -- deliberate complex round-trip: the reference path must reproduce the seed's full-spectrum numerics bit-for-bit; the real fast path above is the production route
         f_g *= kernel
         return self.backward(f_g).real
 
@@ -137,6 +153,11 @@ class ConvolutionPlan:
         self.kernel = np.asarray(kernel, dtype=float)
         self.kernel_half = fourier.half_kernel(self.kernel)
 
+    @array_contract(
+        shapes={"fields": ("...", "n_r")},
+        dtypes={"fields": ("float64", "complex128")},
+        returns={"dtype": "float64"},
+    )
     def apply(self, fields: np.ndarray) -> np.ndarray:
         """Convolve real ``(..., N_r)`` fields with the planned kernel."""
         return self.fourier.convolve_real(

@@ -18,6 +18,14 @@ serializable result as one npz+json payload (atomic, pickle-free — see
 and a fresh store pointed at the same directory serves previous sessions'
 results without recomputing.  Results without a dict round-trip (batch
 containers) stay memory-only.
+
+Long-lived caches can bound their footprint with ``max_entries`` /
+``max_bytes``: least-recently-used entries (access = ``put`` or ``get``)
+are evicted — removed from memory, from ``index.json`` *and* from disk, so
+the on-disk index never points at a deleted payload and a restarted store
+sees exactly the surviving set.  Eviction order is deterministic: strict
+LRU, with entries inherited from a previous session's index seeded in
+sorted-key order before anything accessed in this one.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -129,6 +138,36 @@ class StoreEntry:
     meta: dict = field(default_factory=dict)
 
 
+def _payload_nbytes(entry: StoreEntry) -> int:
+    """Array-buffer footprint of a memory-only entry, in bytes.
+
+    Walks the result/ground-state object graph (dataclass ``__dict__``
+    attributes, dicts, lists, tuples) and totals ``ndarray.nbytes``;
+    non-array leaves count zero.  An estimate, not an accounting — arrays
+    dominate every result class this store holds, and persisted entries
+    are re-measured from their payload file anyway.
+    """
+    total = 0
+    seen: set[int] = set()
+    stack: list = [entry.result, entry.ground_state, entry.meta]
+    while stack:
+        obj = stack.pop()
+        if obj is None or id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        if isinstance(obj, np.ndarray):
+            total += int(obj.nbytes)
+        elif isinstance(obj, dict):
+            stack.extend(obj.values())
+        elif isinstance(obj, (list, tuple)):
+            stack.extend(obj)
+        else:
+            attrs = getattr(obj, "__dict__", None)
+            if attrs is not None:
+                stack.extend(attrs.values())
+    return total
+
+
 def _result_classes():
     from repro.batch.results import BatchResult
     from repro.core.driver import LRTDDFTResult
@@ -151,6 +190,15 @@ class ResultStore:
     directory:
         Optional persistence root.  Existing payloads under it are indexed
         at construction and load lazily on first access.
+    max_entries:
+        Optional LRU bound on the number of entries (memory and disk
+        combined).  ``None`` (default) means unbounded.
+    max_bytes:
+        Optional LRU bound on the store's payload footprint: persisted
+        entries count their on-disk payload size, memory-only entries the
+        total of their array buffers.  The most recently used entry is
+        never evicted, so a single oversized result may transiently exceed
+        the bound rather than making the store reject it.
 
     Notes
     -----
@@ -166,7 +214,24 @@ class ResultStore:
     ``_io_lock``, never the reverse.
     """
 
-    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+    def __init__(
+        self,
+        directory: str | os.PathLike | None = None,
+        *,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+    ) -> None:
+        require(
+            max_entries is None or max_entries >= 1,
+            f"max_entries must be >= 1, got {max_entries}",
+        )
+        require(
+            max_bytes is None or max_bytes >= 1,
+            f"max_bytes must be >= 1, got {max_bytes}",
+        )
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.evictions = 0
         self._lock = threading.RLock()
         #: serializes index.json writes; see the class docstring.
         self._io_lock = threading.Lock()
@@ -175,6 +240,10 @@ class ResultStore:
         self._entries: dict[str, StoreEntry] = {}
         #: cache key -> metadata for entries not yet loaded from disk.
         self._disk_index: dict[str, dict] = {}
+        #: access recency over every known key, least recent first.
+        self._lru: OrderedDict[str, None] = OrderedDict()
+        #: cache key -> payload footprint in bytes (see ``max_bytes``).
+        self._sizes: dict[str, int] = {}
         self.directory = os.fspath(directory) if directory is not None else None
         if self.directory is not None:
             os.makedirs(self.directory, exist_ok=True)
@@ -182,6 +251,16 @@ class ResultStore:
             if os.path.exists(index_path):
                 with open(index_path, encoding="utf-8") as fh:
                     self._disk_index = json.load(fh)
+            # Inherited entries seed the LRU in sorted-key order — nothing
+            # has been accessed yet, so recency is a tie and sorting makes
+            # the eviction order reproducible across sessions.
+            for key in sorted(self._disk_index):
+                self._lru[key] = None
+                try:
+                    self._sizes[key] = os.path.getsize(self._path(key))
+                except OSError:
+                    self._sizes[key] = 0
+        self._evict()
 
     # -- basic mapping interface -------------------------------------------
 
@@ -214,10 +293,13 @@ class ResultStore:
         )
         with self._lock:
             self._entries[key] = entry
+            self._sizes[key] = _payload_nbytes(entry)
+            self._touch(key)
         if self.directory is not None and hasattr(result, "to_dict"):
             # Disk write happens outside _lock so a slow filesystem never
             # stalls concurrent readers of the in-memory maps.
             self._persist(entry)
+        self._evict()
         return entry
 
     def get(self, key: str) -> StoreEntry | None:
@@ -225,14 +307,36 @@ class ResultStore:
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
+                self._touch(key)
                 return entry
             if key not in self._disk_index:
                 return None
         # Disk read outside _lock; concurrent loads of the same key are
         # benign duplicates and setdefault keeps exactly one.
-        loaded = self._load(key)
+        try:
+            loaded = self._load(key)
+        except FileNotFoundError:
+            # Evicted between the index check and the read.
+            return None
         with self._lock:
+            if key not in self._disk_index:  # pragma: no cover - eviction race
+                return None
+            self._touch(key)
             return self._entries.setdefault(key, loaded)
+
+    def _touch(self, key: str) -> None:
+        """Mark ``key`` most recently used (``_lock`` held)."""
+        self._lru[key] = None
+        self._lru.move_to_end(key)
+
+    def stats(self) -> dict[str, int]:
+        """Current occupancy, payload footprint, and eviction count."""
+        with self._lock:
+            return {
+                "entries": len(self._lru),
+                "bytes": sum(self._sizes.values()),
+                "evictions": self.evictions,
+            }
 
     # -- warm-start lookup --------------------------------------------------
 
@@ -299,15 +403,25 @@ class ResultStore:
             ),
             "meta": entry.meta,
         }
-        save_payload(self._path(entry.key), payload)
+        path = self._path(entry.key)
+        save_payload(path, payload)
         with self._lock:
             self._disk_index[entry.key] = {
                 **entry.meta,
                 "has_ground_state": entry.ground_state is not None,
             }
+            # The on-disk payload is now the footprint that matters.
+            try:
+                self._sizes[entry.key] = os.path.getsize(path)
+            except OSError:  # pragma: no cover - raced with eviction
+                pass
             self._index_version += 1
             version = self._index_version
             snapshot = json.dumps(self._disk_index, indent=0, sort_keys=True)
+        self._flush_index(version, snapshot)
+
+    def _flush_index(self, version: int, snapshot: str) -> None:
+        """Atomically write one ``index.json`` snapshot (no ``_lock`` held)."""
         index_path = os.path.join(self.directory, _INDEX_NAME)
         with self._io_lock:
             if version <= self._written_version:
@@ -317,6 +431,55 @@ class ResultStore:
             with open(tmp, "w", encoding="utf-8") as fh:  # repro-lint: disable=blocking-under-lock -- _io_lock is a leaf lock dedicated to serializing this exact write; nothing else ever blocks on it
                 fh.write(snapshot)
             os.replace(tmp, index_path)  # repro-lint: disable=blocking-under-lock -- same leaf-lock exemption: index flushes must serialize, and _io_lock protects only them
+
+    # -- eviction ------------------------------------------------------------
+
+    def _evict(self) -> None:
+        """Drop least-recently-used entries until both bounds hold.
+
+        Victims are selected under ``_lock``; their payload files are
+        removed after it is released (readers racing a deletion get a
+        clean miss via the ``FileNotFoundError`` guard in :meth:`get`).
+        The surviving index is flushed once per eviction sweep, so
+        ``index.json`` never names a deleted payload.
+        """
+        if self.max_entries is None and self.max_bytes is None:
+            return
+        victims: list[str] = []
+        snapshot = None
+        version = 0
+        with self._lock:
+            # Never evict the most recently used entry (hence > 1).
+            while len(self._lru) > 1:
+                over_entries = (
+                    self.max_entries is not None
+                    and len(self._lru) > self.max_entries
+                )
+                over_bytes = (
+                    self.max_bytes is not None
+                    and sum(self._sizes.values()) > self.max_bytes
+                )
+                if not (over_entries or over_bytes):
+                    break
+                key, _ = self._lru.popitem(last=False)
+                self._entries.pop(key, None)
+                self._sizes.pop(key, None)
+                if self._disk_index.pop(key, None) is not None:
+                    victims.append(key)
+                self.evictions += 1
+            if victims and self.directory is not None:
+                self._index_version += 1
+                version = self._index_version
+                snapshot = json.dumps(
+                    self._disk_index, indent=0, sort_keys=True
+                )
+        for key in victims:
+            try:
+                os.remove(self._path(key))
+            except FileNotFoundError:  # pragma: no cover - double eviction
+                pass
+        if snapshot is not None:
+            self._flush_index(version, snapshot)
 
     def _load(self, key: str) -> StoreEntry:
         payload = load_payload(self._path(key))

@@ -120,6 +120,18 @@ class TestBatchWarmStateSCF:
             state.observe(_fake_gs(np.full(3, 1.0 + k)))
         assert len(state._densities) == 3
 
+    def test_float32_density_does_not_poison_extrapolation_dtype(self):
+        # A reduced-precision density from a caller must not downcast the
+        # warm-start seed: observe() pins the history to float64.
+        state = BatchWarmState(density_extrapolation="linear")
+        gs32 = _fake_gs(np.array([1.0, 2.0, 3.0]))
+        gs32.density = gs32.density.astype(np.float32)
+        state.observe(gs32)
+        state.observe(_fake_gs(np.array([1.5, 2.0, 2.5])))
+        warm = state.scf_warm_start()
+        assert warm.density.dtype == np.float64
+        assert all(d.dtype == np.float64 for d in state._densities)
+
     @pytest.mark.parametrize(
         "kwargs",
         [dict(density_extrapolation="cubic"), dict(isdf_drift_threshold=1.5),

@@ -403,8 +403,12 @@ class TestRealTreeStaysClean:
         names = [r.name for r in all_project_rules()]
         assert sorted(names) == [
             "blocking-under-lock",
+            "collective-buffer-contract",
+            "hidden-copy-into-kernel",
             "impure-cache-key",
             "lock-order-cycle",
+            "shape-mismatch",
+            "silent-upcast-in-hot",
             "transitive-collective-in-branch",
         ]
         assert lint_paths(["src"], rules=names) == []

@@ -157,7 +157,9 @@ class TestPipelinedReduce:
         from repro.core import pair_products
 
         z = pair_products(psi_v, psi_c)
-        k = kernel.apply(z.T).T
+        # Stage the transposed kernel product contiguously: the pipeline's
+        # array contract requires C-contiguous float64 slabs.
+        k = np.ascontiguousarray(kernel.apply(z.T).T)
 
         def prog(comm):
             sl = dist.local_slice(comm.rank)
@@ -173,7 +175,9 @@ class TestPipelinedReduce:
         from repro.core import pair_products
 
         z = pair_products(psi_v, psi_c)
-        k = kernel.apply(z.T).T
+        # Stage the transposed kernel product contiguously: the pipeline's
+        # array contract requires C-contiguous float64 slabs.
+        k = np.ascontiguousarray(kernel.apply(z.T).T)
         dist = BlockDistribution1D(gs.basis.n_r, 3)
 
         def prog(comm):
@@ -189,12 +193,52 @@ class TestPipelinedReduce:
         for got, expect in results:
             assert got == expect
 
+    def test_gemm_operands_are_contiguous_float64(self, problem, monkeypatch):
+        """Regression: the per-block GEMM must consume C-contiguous float64
+        operands (the staged transpose), never an lda-strided column view."""
+        gs, psi_v, _, psi_c, _, kernel = problem
+        from repro.core import pair_products
+
+        z = pair_products(psi_v, psi_c)
+        k = np.ascontiguousarray(kernel.apply(z.T).T)
+        dist = BlockDistribution1D(gs.basis.n_r, 2)
+
+        seen = []
+        real_matmul = np.matmul
+
+        def spying_matmul(a, b, *args, **kwargs):
+            seen.append(
+                (
+                    a.flags["C_CONTIGUOUS"],
+                    b.flags["C_CONTIGUOUS"],
+                    a.dtype,
+                    b.dtype,
+                )
+            )
+            return real_matmul(a, b, *args, **kwargs)
+
+        import repro.parallel.pipeline as pipeline_mod
+
+        monkeypatch.setattr(pipeline_mod.np, "matmul", spying_matmul)
+
+        def prog(comm):
+            sl = dist.local_slice(comm.rank)
+            pipelined_vhxc_rows(comm, z[sl], k[sl], kernel.basis.grid.dv)
+
+        spmd_run(2, prog)
+        assert seen, "the pipeline GEMM never ran"
+        for a_contig, b_contig, a_dtype, b_dtype in seen:
+            assert a_contig and b_contig
+            assert a_dtype == np.float64 and b_dtype == np.float64
+
     def test_uses_reduce_not_allreduce(self, problem):
         gs, psi_v, _, psi_c, _, kernel = problem
         from repro.core import pair_products
 
         z = pair_products(psi_v, psi_c)
-        k = kernel.apply(z.T).T
+        # Stage the transposed kernel product contiguously: the pipeline's
+        # array contract requires C-contiguous float64 slabs.
+        k = np.ascontiguousarray(kernel.apply(z.T).T)
         dist = BlockDistribution1D(gs.basis.n_r, 2)
 
         def prog(comm):

@@ -145,6 +145,92 @@ class TestStoreMemory:
         assert fresh.get("k1") is None
 
 
+class _ArrayResult:
+    """Minimal serializable result for exercising persistence plumbing."""
+
+    def __init__(self, n):
+        self.arr = np.arange(float(n))
+
+    def to_dict(self):
+        return {"arr": self.arr}
+
+
+class TestStoreEviction:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            ResultStore(max_entries=0)
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultStore(max_bytes=0)
+
+    def test_max_entries_evicts_least_recently_used(self):
+        store = ResultStore(max_entries=2)
+        store.put("a", "ra")
+        store.put("b", "rb")
+        store.put("c", "rc")
+        assert store.keys() == ("b", "c")
+        assert store.evictions == 1
+        assert store.get("a") is None
+
+    def test_get_refreshes_recency(self):
+        store = ResultStore(max_entries=2)
+        store.put("a", "ra")
+        store.put("b", "rb")
+        store.get("a")  # "b" is now the least recently used
+        store.put("c", "rc")
+        assert store.keys() == ("a", "c")
+
+    def test_put_refreshes_recency(self):
+        store = ResultStore(max_entries=2)
+        store.put("a", "ra")
+        store.put("b", "rb")
+        store.put("a", "ra2")  # refresh, not insert: no eviction
+        assert store.keys() == ("a", "b")
+        store.put("c", "rc")
+        assert store.keys() == ("a", "c")
+
+    def test_max_bytes_counts_array_buffers(self):
+        # Each result holds an 80-byte float64 buffer.
+        store = ResultStore(max_bytes=200)
+        store.put("a", _ArrayResult(10))
+        store.put("b", _ArrayResult(10))
+        assert store.stats()["bytes"] == 160
+        store.put("c", _ArrayResult(10))
+        assert store.keys() == ("b", "c")
+
+    def test_most_recent_entry_survives_even_oversized(self):
+        store = ResultStore(max_bytes=8)
+        store.put("big", _ArrayResult(100))
+        assert store.keys() == ("big",)
+        store.put("big2", _ArrayResult(100))
+        assert store.keys() == ("big2",)
+
+    def test_unbounded_store_never_evicts(self):
+        store = ResultStore()
+        for k in range(50):
+            store.put(f"k{k}", object())
+        assert len(store) == 50
+        assert store.evictions == 0
+
+    def test_eviction_removes_payload_and_index_entry(self, tmp_path):
+        store = ResultStore(tmp_path, max_entries=2)
+        for key in ("a", "b", "c"):
+            store.put(key, _ArrayResult(4))
+        assert store.keys() == ("b", "c")
+        assert not (tmp_path / "a.npz").exists()
+        assert (tmp_path / "b.npz").exists()
+        fresh = ResultStore(tmp_path)
+        assert fresh.keys() == ("b", "c")
+
+    def test_reopened_store_applies_bounds_in_sorted_order(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for key in ("c", "a", "b"):
+            store.put(key, _ArrayResult(4))
+        fresh = ResultStore(tmp_path, max_entries=2)
+        # Inherited entries rank by sorted key: "a" is evicted first.
+        assert fresh.keys() == ("b", "c")
+        assert not (tmp_path / "a.npz").exists()
+
+
 @pytest.mark.serve
 class TestStorePersistence:
     @pytest.fixture(scope="class")

@@ -36,6 +36,18 @@ _SRC_DIR = os.path.join(REPO_ROOT, "src")
 #: Paths the baseline covers (repo-relative).
 LINTED_PATHS = ("src",)
 
+#: Rules that must ALWAYS register, baseline or not.  The array-contract
+#: pass is the load-bearing verifier of the hot-path kernels; if any of
+#: these stops registering the whole static contract story silently dies,
+#: so the guard is hard-coded here rather than trusted to the (updatable)
+#: baseline inventory.
+REQUIRED_RULES = (
+    "collective-buffer-contract",
+    "hidden-copy-into-kernel",
+    "shape-mismatch",
+    "silent-upcast-in-hot",
+)
+
 
 def current_state() -> dict:
     """The live lint result in the committed-baseline shape."""
@@ -61,6 +73,14 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     state = current_state()
+    missing_required = sorted(
+        set(REQUIRED_RULES) - set(state["rules_enabled"])
+    )
+    if missing_required:
+        for rule in missing_required:
+            print(f"lint-baseline: required rule {rule!r} does not register "
+                  "— the array-contract pass is broken")
+        return 1
     if args.update:
         with open(BASELINE_PATH, "w", encoding="utf-8") as fh:
             json.dump(state, fh, indent=2, sort_keys=True)
