@@ -1,0 +1,49 @@
+"""Measured strict64 vs mixed precision-tier benchmark.
+
+Times the three ISDF-pipeline stages the mixed tier accelerates — K-Means
+point selection, the interpolation-vector fit, and pair-product assembly —
+in strict64 and mixed precision (see ``repro.precision``), with a per-stage
+a-posteriori error column checked against the tier's documented tolerance.
+
+Writes a machine-readable report (default ``BENCH_precision.json`` at the
+repo root) whose composite speedup and error columns are gated by
+``tools/check_bench.py``; see ``docs/performance.md`` for how to read it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_precision.py [--smoke] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+
+def main(argv=None) -> int:
+    from repro.perf.precision_bench import (
+        format_summary,
+        run_precision_bench,
+        write_report,
+    )
+
+    default_out = (
+        pathlib.Path(__file__).resolve().parent.parent / "BENCH_precision.json"
+    )
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload for CI (seconds, not minutes)")
+    parser.add_argument("--out", default=str(default_out),
+                        help=f"JSON report path (default: {default_out})")
+    args = parser.parse_args(argv)
+
+    report = run_precision_bench(smoke=args.smoke)
+    print(format_summary(report))
+    write_report(report, args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

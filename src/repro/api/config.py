@@ -41,7 +41,14 @@ class _ConfigBase:
 
 @dataclass(frozen=True)
 class SCFConfig(_ConfigBase):
-    """Ground-state SCF parameters (mirrors ``repro.dft.SCFOptions``)."""
+    """Ground-state SCF parameters (mirrors ``repro.dft.SCFOptions``).
+
+    ``precision`` is the mixed-precision execution tier (``"strict64"`` /
+    ``"mixed"`` / ``"fast32"``, see :mod:`repro.precision`).  It is a plain
+    string so it serializes through the exact dict round-trip and therefore
+    participates in the request cache key: a ``mixed`` and a ``strict64``
+    calculation are different cache entries.
+    """
 
     ecut: float = 10.0
     n_bands: int | None = None
@@ -54,19 +61,33 @@ class SCFConfig(_ConfigBase):
     eig_tol_final: float = 1e-8
     seed: int | None = None
     verbose: bool = False
+    precision: str = "strict64"
 
     def __post_init__(self) -> None:
+        from repro.precision import PRECISION_MODES
+
         require(self.ecut > 0, f"ecut must be positive, got {self.ecut}")
         require(self.max_iter >= 1, f"max_iter must be >= 1, got {self.max_iter}")
         require(
             self.mixer in ("anderson", "linear"),
             f"mixer must be 'anderson' or 'linear', got {self.mixer!r}",
         )
+        require(
+            self.precision in PRECISION_MODES,
+            f"precision must be one of {PRECISION_MODES}, "
+            f"got {self.precision!r}",
+        )
 
 
 @dataclass(frozen=True)
 class TDDFTConfig(_ConfigBase):
-    """LR-TDDFT solve parameters (transition space + eigensolver)."""
+    """LR-TDDFT solve parameters (transition space + eigensolver).
+
+    ``precision`` selects the mixed-precision execution tier for the
+    tolerance-bounded ISDF/K-Means/operator stages (see
+    :mod:`repro.precision`); like every other field it enters the request
+    cache key through the dict round-trip.
+    """
 
     method: str = "implicit-kmeans-isdf-lobpcg"
     n_excitations: int | None = None
@@ -80,9 +101,11 @@ class TDDFTConfig(_ConfigBase):
     n_valence: int | None = None
     n_conduction: int | None = None
     seed: int | None = None
+    precision: str = "strict64"
 
     def __post_init__(self) -> None:
         from repro.core.driver import METHODS
+        from repro.precision import PRECISION_MODES
 
         require(
             self.method in METHODS,
@@ -93,6 +116,11 @@ class TDDFTConfig(_ConfigBase):
             f"spin must be 'singlet' or 'triplet', got {self.spin!r}",
         )
         require(self.max_iter >= 1, f"max_iter must be >= 1, got {self.max_iter}")
+        require(
+            self.precision in PRECISION_MODES,
+            f"precision must be one of {PRECISION_MODES}, "
+            f"got {self.precision!r}",
+        )
 
 
 @dataclass(frozen=True)
@@ -188,6 +216,11 @@ class BatchConfig(_ConfigBase):
         Keep full per-frame result objects on the
         :class:`~repro.batch.results.BatchResult`; off, only the
         per-frame records survive (memory-lean mode).
+    precision:
+        Convenience override: when set (``"strict64"`` / ``"mixed"`` /
+        ``"fast32"``), it is pushed into both nested configs at
+        construction, so one knob switches the whole per-frame pipeline;
+        ``None`` (default) leaves the nested configs' own tiers untouched.
     """
 
     scf: SCFConfig = field(default_factory=SCFConfig)
@@ -200,6 +233,7 @@ class BatchConfig(_ConfigBase):
     n_ranks: int = 1
     spmd_backend: str | None = None
     store_results: bool = True
+    precision: str | None = None
 
     def __post_init__(self) -> None:
         require(
@@ -210,6 +244,22 @@ class BatchConfig(_ConfigBase):
             isinstance(self.tddft, TDDFTConfig),
             f"tddft must be a TDDFTConfig, got {type(self.tddft).__name__}",
         )
+        if self.precision is not None:
+            from repro.precision import PRECISION_MODES
+
+            require(
+                self.precision in PRECISION_MODES,
+                f"precision must be None or one of {PRECISION_MODES}, "
+                f"got {self.precision!r}",
+            )
+            # Push the tier into the nested configs (idempotent, so the
+            # dict round-trip reconstructs the identical object).
+            object.__setattr__(
+                self, "scf", self.scf.replace(precision=self.precision)
+            )
+            object.__setattr__(
+                self, "tddft", self.tddft.replace(precision=self.precision)
+            )
         require(
             self.density_extrapolation in ("none", "linear", "quadratic"),
             f"density_extrapolation must be none/linear/quadratic, "

@@ -35,6 +35,7 @@ from repro.core.pair_products import pair_energies
 from repro.dft.groundstate import GroundState
 from repro.eigen.davidson import davidson
 from repro.eigen.lobpcg import lobpcg
+from repro.precision import resolve_precision
 from repro.utils.deprecation import warn_once
 from repro.utils.rng import default_rng
 from repro.utils.serialization import SerializableResult
@@ -167,6 +168,13 @@ class LRTDDFTSolver:
         ``"singlet"`` (default) or ``"triplet"`` — triplet response drops
         the Hartree term and uses the spin-flip kernel
         (:func:`repro.dft.xc_spin.lda_kernel_triplet`).
+    precision:
+        Initial precision tier (mode string or
+        :class:`repro.precision.PrecisionConfig`) for the Hxc kernel and
+        the ISDF pipeline.  When :meth:`solve` is called with a
+        :class:`repro.api.TDDFTConfig`, the config's ``precision`` takes
+        precedence (the kernel is rebuilt if the tier changed — cheap, the
+        FFT plan cache is keyed by dtype).
     """
 
     def __init__(
@@ -178,6 +186,7 @@ class LRTDDFTSolver:
         include_xc: bool = True,
         spin: str = "singlet",
         seed: int | None = None,
+        precision=None,
     ) -> None:
         self.ground_state = ground_state
         (self.psi_v, self.eps_v, self.psi_c, self.eps_c) = (
@@ -185,8 +194,11 @@ class LRTDDFTSolver:
         )
         self.basis = ground_state.basis
         self.spin = spin
+        self._include_xc = include_xc
+        self.precision = resolve_precision(precision)
         self.kernel = HxcKernel(
-            self.basis, ground_state.density, include_xc=include_xc, spin=spin
+            self.basis, ground_state.density, include_xc=include_xc, spin=spin,
+            precision=self.precision,
         )
         self._seed = seed
         self._warm: TDDFTWarmStart | None = None
@@ -312,6 +324,7 @@ class LRTDDFTSolver:
             max_iter = config.max_iter
             tda = config.tda
             isdf_kwargs = None
+            self._set_precision(getattr(config, "precision", None))
         require(method in METHODS, f"unknown method {method!r}; choose from {METHODS}")
         timers = TimerRegistry()
         isdf_kwargs = dict(isdf_kwargs or {})
@@ -358,6 +371,22 @@ class LRTDDFTSolver:
             )
 
         return callback
+
+    def _set_precision(self, precision) -> None:
+        """Adopt a new precision tier, rebuilding the Hxc kernel if needed.
+
+        The rebuild is cheap: the Coulomb kernel and its FFT plan come from
+        the process-wide plan cache, which is keyed by dtype, so flipping
+        between tiers reuses previously built plans.
+        """
+        resolved = resolve_precision(precision)
+        if resolved == self.precision:
+            return
+        self.precision = resolved
+        self.kernel = HxcKernel(
+            self.basis, self.ground_state.density,
+            include_xc=self._include_xc, spin=self.spin, precision=resolved,
+        )
 
     def _configure_resilience(self, resilience) -> None:
         """Translate a ResilienceConfig into the solver-side hooks."""
@@ -438,6 +467,7 @@ class LRTDDFTSolver:
             timers=timers,
             fallback=self._selection_fallback,
             checkpoint=self._isdf_checkpoint,
+            precision=self.precision,
             **isdf_kwargs,
         )
 

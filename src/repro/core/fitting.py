@@ -39,12 +39,17 @@ def coefficient_matrix(
     return c.reshape(n_mu, -1)
 
 
+#: Row-sample size for the fp32 fitting-GEMM a-posteriori error estimate.
+_FP32_CHECK_ROWS = 256
+
+
 def fit_interpolation_vectors(
     psi_v: np.ndarray,
     psi_c: np.ndarray,
     indices: np.ndarray,
     *,
     regularization: float = 1e-12,
+    precision=None,
 ) -> np.ndarray:
     """Interpolation vectors ``Theta`` of shape ``(N_r, N_mu)``.
 
@@ -56,10 +61,23 @@ def fit_interpolation_vectors(
         Relative Tikhonov ridge on ``C C^T`` — interpolation points selected
         by K-Means can be mildly collinear in the orbital values, and the
         ridge keeps the solve stable without visibly perturbing the fit.
+    precision:
+        A precision mode string or :class:`repro.precision.PrecisionConfig`.
+        With ``fit_fp32`` the two ``O(N_r N_mu)`` tall-skinny GEMMs (the
+        dominant cost of the fit) run in fp32; the ``N_mu x N_mu`` Gram
+        matrix, the ridge and the Cholesky solve stay fp64.  When
+        verification is on, a deterministic row sample of ``Z C^T`` is
+        recomputed in fp64; a relative deviation above ``fit_tol`` discards
+        the fp32 product, refits entirely in fp64 and records an
+        ``isdf-fit`` degradation event.
     """
     require(psi_v.shape[1] == psi_c.shape[1], "orbital grid mismatch")
     indices = np.asarray(indices)
     require(indices.ndim == 1 and indices.size > 0, "indices must be 1-D, non-empty")
+
+    from repro.precision import resolve_precision
+
+    precision = resolve_precision(precision)
 
     v_pts = psi_v[:, indices]  # (N_v, N_mu)
     c_pts = psi_c[:, indices]  # (N_c, N_mu)
@@ -67,11 +85,32 @@ def fit_interpolation_vectors(
     # Z C^T via the separable Hadamard identity.  The two tall-skinny GEMM
     # outputs are the only O(N_r N_mu) temporaries; the Hadamard products
     # fold in place so no third matrix of that size ever exists.
-    zct = psi_v.T @ v_pts  # (N_r, N_mu)
-    p_c = psi_c.T @ c_pts  # (N_r, N_mu)
-    zct *= p_c
+    fp32 = bool(precision.fit_fp32) and psi_v.dtype == np.float64
+    if fp32:
+        zct = _fitting_gemms_fp32(psi_v, psi_c, v_pts, c_pts)
+        if precision.verify:
+            error = _sampled_gemm_error(psi_v, psi_c, v_pts, c_pts, zct)
+            if not np.isfinite(error) or error > precision.fit_tol:
+                from repro.resilience.events import resilience_log
 
-    # C C^T likewise, folded in place.
+                resilience_log().record(
+                    "isdf-fit",
+                    "fallback-fp64",
+                    f"fp32 fitting-GEMM sampled error {error:.3e} exceeds "
+                    f"tolerance {precision.fit_tol:.1e}; refitting in fp64",
+                    error=error,
+                    tol=precision.fit_tol,
+                    n_mu=int(indices.size),
+                )
+                fp32 = False
+    if not fp32:
+        zct = psi_v.T @ v_pts  # (N_r, N_mu)
+        p_c = psi_c.T @ c_pts  # (N_r, N_mu)
+        zct *= p_c
+
+    # C C^T likewise, folded in place — N_mu x N_mu, always fp64 (it feeds
+    # the conditioning-sensitive Cholesky solve and costs O(N_mu^2 N_bands),
+    # negligible next to the N_r GEMMs above).
     cct = v_pts.T @ v_pts  # (N_mu, N_mu)
     g_c = c_pts.T @ c_pts
     cct *= g_c
@@ -86,3 +125,43 @@ def fit_interpolation_vectors(
     except sla.LinAlgError:
         theta = np.linalg.lstsq(cct_reg, zct.T, rcond=None)[0].T
     return theta
+
+
+def _fitting_gemms_fp32(
+    psi_v: np.ndarray,
+    psi_c: np.ndarray,
+    v_pts: np.ndarray,
+    c_pts: np.ndarray,
+) -> np.ndarray:
+    """``Z C^T`` with the two tall-skinny GEMMs in fp32, result in fp64.
+
+    The Hadamard fold happens in fp32 (still elementwise-accurate to
+    ~eps_fp32 relative), then one upcast materializes the fp64 result the
+    Cholesky solve consumes.
+    """
+    zct32 = psi_v.astype(np.float32).T @ v_pts.astype(np.float32)
+    p_c32 = psi_c.astype(np.float32).T @ c_pts.astype(np.float32)
+    zct32 *= p_c32
+    return zct32.astype(np.float64)
+
+
+def _sampled_gemm_error(
+    psi_v: np.ndarray,
+    psi_c: np.ndarray,
+    v_pts: np.ndarray,
+    c_pts: np.ndarray,
+    zct: np.ndarray,
+    n_rows: int = _FP32_CHECK_ROWS,
+) -> float:
+    """Relative error of the fp32 ``Z C^T`` on a deterministic row sample.
+
+    Recomputes ``min(n_rows, N_r)`` evenly spaced rows of the separable
+    product in fp64 — ``O(n_rows N_mu N_bands)``, a vanishing fraction of
+    the full GEMM — and returns ``max |fp32 - fp64| / max |fp64|``.
+    """
+    n_r = psi_v.shape[1]
+    sample = np.linspace(0, n_r - 1, num=min(n_rows, n_r), dtype=np.int64)
+    sample = np.unique(sample)
+    ref = (psi_v[:, sample].T @ v_pts) * (psi_c[:, sample].T @ c_pts)
+    scale = float(np.abs(ref).max()) or 1.0
+    return float(np.abs(zct[sample] - ref).max()) / scale

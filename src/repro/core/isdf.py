@@ -201,6 +201,7 @@ def isdf_decompose(
     fallback: str | None = None,
     checkpoint=None,
     indices: np.ndarray | None = None,
+    precision=None,
     **selection_kwargs,
 ) -> ISDFDecomposition:
     """Run point selection + least-squares fit.
@@ -232,6 +233,12 @@ def isdf_decompose(
         the selected points (and, when present, the fitted vectors)
         instead of recomputing.  ``selection_info`` is ``None`` on a
         resumed result.
+    precision:
+        A precision mode string or :class:`repro.precision.PrecisionConfig`,
+        forwarded to the K-Means selection (fp32 classification with fp64
+        accumulators and a converged-assignment recheck) and the
+        least-squares fit (fp32 tall-skinny GEMMs with a sampled fp64
+        residual check).  QRCP selection always runs in fp64.
     selection_kwargs:
         Forwarded to the point selector (e.g. ``prune_threshold``,
         ``sketch``, ``oversample``).
@@ -277,7 +284,7 @@ def isdf_decompose(
                 try:
                     info = select_points_kmeans(
                         psi_v, psi_c, n_mu, grid_points=grid_points, rng=rng,
-                        **selection_kwargs,
+                        precision=precision, **selection_kwargs,
                     )
                     selection_ok = info.converged
                     indices = info.indices
@@ -307,7 +314,9 @@ def isdf_decompose(
 
     if theta is None:
         with timers.scope("isdf/fit"):
-            theta = fit_interpolation_vectors(psi_v, psi_c, indices)
+            theta = fit_interpolation_vectors(
+                psi_v, psi_c, indices, precision=precision
+            )
         if checkpoint is not None:
             checkpoint.save(
                 1,

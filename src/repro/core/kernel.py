@@ -33,6 +33,12 @@ class HxcKernel:
         Bohr (pass ``"auto"`` for half the shortest box edge) — use for
         molecules in boxes so excitations do not couple to periodic
         images.
+    precision:
+        A precision mode string or :class:`repro.precision.PrecisionConfig`.
+        When the resolved policy enables ``fft_fp32``, the Coulomb
+        convolution runs through an fp32 :class:`~repro.pw.fft.ConvolutionPlan`
+        (fp32 FFT scratch, fp64 result, first-apply fp64 cross-check with
+        permanent fallback); otherwise the fp64 plan is used unchanged.
     """
 
     def __init__(
@@ -45,7 +51,12 @@ class HxcKernel:
         spin: str = "singlet",
         coulomb_truncation: float | str | None = None,
         timers: TimerRegistry | None = None,
+        precision=None,
     ) -> None:
+        from repro.precision import resolve_precision
+
+        precision = resolve_precision(precision)
+        self.precision = precision
         require(
             density.shape == (basis.n_r,),
             f"density must have shape ({basis.n_r},), got {density.shape}",
@@ -68,9 +79,18 @@ class HxcKernel:
             # value share a plan only when they actually coincide.
             from repro.pw.fft import default_plan_cache
 
+            plan_dtype = np.float32 if precision.fft_fp32 else np.float64
+            plan_opts = {
+                "dtype": plan_dtype,
+                "tol": precision.fft_tol,
+                "verify": precision.verify,
+            }
             if coulomb_truncation is None:
                 plan = default_plan_cache().get(
-                    "coulomb", basis.fft, lambda: coulomb_kernel(basis)
+                    "coulomb",
+                    basis.fft,
+                    lambda: coulomb_kernel(basis),
+                    **plan_opts,
                 )
             else:
                 from repro.dft.hartree import truncated_coulomb_kernel
@@ -84,10 +104,13 @@ class HxcKernel:
                     f"coulomb-truncated:{radius!r}",
                     basis.fft,
                     lambda: truncated_coulomb_kernel(basis, radius),
+                    **plan_opts,
                 )
+            self._coulomb_plan = plan
             self._coulomb_g = plan.kernel
             self._coulomb_half = plan.kernel_half
         else:
+            self._coulomb_plan = None
             self._coulomb_g = None
             self._coulomb_half = None
         if include_xc:
@@ -113,18 +136,14 @@ class HxcKernel:
         require(fields.shape[-1] == self.basis.n_r, "field/grid size mismatch")
         n_r = self.basis.n_r
         batch = int(np.prod(fields.shape[:-1], dtype=np.int64)) if fields.ndim > 1 else 1
-        if self._coulomb_g is not None:
+        if self._coulomb_plan is not None:
             if self.timers is not None:
                 with self.timers.scope("fhxc/coulomb_fft") as t:
-                    out = self.basis.fft.convolve_real(
-                        fields, self._coulomb_g, kernel_half=self._coulomb_half
-                    )
+                    out = self._coulomb_plan.apply(fields)
                 t.add_flops(2 * batch * fft_flops(n_r))
                 t.add_bytes(2 * fields.nbytes + out.nbytes)
             else:
-                out = self.basis.fft.convolve_real(
-                    fields, self._coulomb_g, kernel_half=self._coulomb_half
-                )
+                out = self._coulomb_plan.apply(fields)
         else:
             out = np.zeros(fields.shape, dtype=float)
         if self._fxc_r is not None:

@@ -171,6 +171,12 @@ DEFAULT_TILE_BYTES = 1 << 26  # 64 MiB
 #: rounding in the bound bookkeeping can never unsafely prune a point.
 _BOUND_RTOL = 1e-12
 
+#: Enlarged Hamerly slack for fp32 classification: must cover the relative
+#: error of a single-precision expanded-form distance (~eps_fp32 * norm
+#: scale, with headroom), so the bounds still only skip provably-unchanged
+#: points *up to fp32 accuracy* — the fp64 final recheck catches the rest.
+_BOUND_RTOL_FP32 = 1e-5
+
 
 def _assigned_sq_dists(
     points: np.ndarray,
@@ -264,6 +270,7 @@ def weighted_kmeans(
     rng: np.random.Generator | None = None,
     algorithm: str = "hamerly",
     tile_bytes: int = DEFAULT_TILE_BYTES,
+    precision=None,
 ) -> tuple[np.ndarray, np.ndarray, float, int, bool]:
     """Weighted Lloyd iterations (Eqs. 11-13), optionally bound-pruned.
 
@@ -288,6 +295,18 @@ def weighted_kmeans(
     tile_bytes:
         Upper bound on the materialized distance-tile size; the full
         ``N x N_mu`` matrix is never allocated at once.
+    precision:
+        A precision mode string or :class:`repro.precision.PrecisionConfig`.
+        With ``kmeans_fp32`` the per-iteration nearest/second-nearest
+        classification runs against fp32 copies of points and centroids
+        (the GEMM that dominates each iteration at double throughput) with
+        an enlarged Hamerly slack; the *committed* per-point distances, the
+        inertia and the weighted centroid accumulators stay fp64.  With
+        ``kmeans_recheck`` the converged assignment is re-derived in fp64
+        and, unless bit-identical, the whole clustering is re-run in fp64
+        from the same initial centroids (recorded as a ``kmeans-classify``
+        degradation event) — so the returned result is one a pure-fp64 run
+        would accept.
     """
     require(points.ndim == 2, "points must be (n, d)")
     n = points.shape[0]
@@ -297,6 +316,11 @@ def weighted_kmeans(
     require((weights >= 0).all(), "weights must be non-negative")
     require(algorithm in ("hamerly", "lloyd"), f"unknown algorithm {algorithm!r}")
     require(tile_bytes > 0, "tile_bytes must be positive")
+
+    from repro.precision import resolve_precision
+
+    precision = resolve_precision(precision)
+    fp32 = precision.kmeans_fp32
 
     rng = rng or default_rng()
     if initial_centroids is not None or init == "warm":
@@ -317,20 +341,35 @@ def weighted_kmeans(
     else:
         raise ValueError(f"unknown init {init!r}")
 
+    initial_for_rerun = centroids.copy() if fp32 else None
     labels = np.full(n, -1, dtype=np.int64)
     inertia = np.inf
     converged = False
     iteration = 0
     points_sq = np.einsum("ij,ij->i", points, points)
+    # fp32 classification operands: one cast of the points up front, one
+    # 3 x n_clusters cast of the centroids per iteration.  Everything the
+    # result depends on directly (committed distances, inertia, centroid
+    # accumulation) stays on the fp64 arrays.
+    if fp32:
+        points_cls = np.asarray(points, dtype=np.float32)
+        points_sq_cls = np.einsum("ij,ij->i", points_cls, points_cls)
+    else:
+        points_cls = points
+        points_sq_cls = points_sq
     # Hamerly state: upper[i] bounds dist(point_i, assigned centroid) from
     # above, lower[i] bounds the distance to every *other* centroid from
     # below.  upper <= lower proves the assignment cannot change.
     upper = np.full(n, np.inf)
     lower = np.zeros(n)
-    slack = _BOUND_RTOL * (float(np.sqrt(points_sq.max(initial=0.0))) + 1.0)
+    bound_rtol = _BOUND_RTOL_FP32 if fp32 else _BOUND_RTOL
+    slack = bound_rtol * (float(np.sqrt(points_sq.max(initial=0.0))) + 1.0)
 
     for iteration in range(1, max_iter + 1):
         centroids_sq = np.einsum("ij,ij->i", centroids, centroids)
+        centroids_cls = (
+            centroids.astype(np.float32) if fp32 else centroids
+        )
         new_labels = labels.copy()
         if algorithm == "lloyd" or iteration == 1:
             active = None  # classify everything
@@ -351,14 +390,14 @@ def weighted_kmeans(
 
         if active is None:
             lab, d2n, d2s = _classify_tiled(
-                points, points_sq, centroids, None, tile_bytes
+                points_cls, points_sq_cls, centroids_cls, None, tile_bytes
             )
             new_labels = lab
             np.sqrt(d2n, out=upper)
             np.sqrt(d2s, out=lower)
         elif active.size:
             lab, d2n, d2s = _classify_tiled(
-                points, points_sq, centroids, active, tile_bytes
+                points_cls, points_sq_cls, centroids_cls, active, tile_bytes
             )
             new_labels[active] = lab
             upper[active] = np.sqrt(d2n)
@@ -403,6 +442,40 @@ def weighted_kmeans(
         labels = new_labels
         inertia = new_inertia
 
+    if fp32 and precision.kmeans_recheck:
+        # Bit-identical assignment recheck: re-derive every label in fp64
+        # against the converged centroids.  Any mismatch means the fp32
+        # classification steered the iteration off the fp64 trajectory, so
+        # the whole clustering re-runs in fp64 from the same initial
+        # centroids — the returned result is then exactly the strict64 one.
+        labels64, _, _ = _classify_tiled(
+            points, points_sq, centroids, None, tile_bytes
+        )
+        if not np.array_equal(labels64, labels):
+            from repro.resilience.events import resilience_log
+
+            n_bad = int(np.count_nonzero(labels64 != labels))
+            resilience_log().record(
+                "kmeans-classify",
+                "fallback-fp64",
+                f"fp32 classification recheck: {n_bad}/{n} assignments "
+                "differ from fp64; re-running clustering in fp64",
+                mismatches=n_bad,
+                n_points=int(n),
+                n_clusters=int(n_clusters),
+            )
+            return weighted_kmeans(
+                points,
+                weights,
+                n_clusters,
+                initial_centroids=initial_for_rerun,
+                max_iter=max_iter,
+                tol=tol,
+                rng=rng,
+                algorithm=algorithm,
+                tile_bytes=tile_bytes,
+            )
+
     return centroids, labels, inertia, iteration, converged
 
 
@@ -419,6 +492,7 @@ def select_points_kmeans(
     rng: np.random.Generator | None = None,
     algorithm: str = "hamerly",
     tile_bytes: int = DEFAULT_TILE_BYTES,
+    precision=None,
 ) -> KMeansResult:
     """Full paper recipe: weights -> prune -> weighted K-Means -> points.
 
@@ -436,6 +510,10 @@ def select_points_kmeans(
         Warm-start centroids from a previous, nearby selection (see
         :func:`weighted_kmeans`); the pruning and representative-point
         extraction are unchanged.
+    precision:
+        Forwarded to :func:`weighted_kmeans` (fp32 classification with
+        fp64 commits and recheck); the weight evaluation, pruning and
+        representative extraction always run in fp64.
     """
     weights_full = pair_weights(psi_v, psi_c)
     w_max = float(weights_full.max())
@@ -453,7 +531,7 @@ def select_points_kmeans(
     centroids, labels, inertia, n_iter, converged = weighted_kmeans(
         candidates, weights, n_mu, init=init,
         initial_centroids=initial_centroids, max_iter=max_iter, rng=rng,
-        algorithm=algorithm, tile_bytes=tile_bytes,
+        algorithm=algorithm, tile_bytes=tile_bytes, precision=precision,
     )
 
     # Representative grid point per cluster: the member closest to the

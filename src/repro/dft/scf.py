@@ -43,6 +43,12 @@ class SCFOptions:
     eig_tol_final: float = 1e-8
     seed: int | None = None
     verbose: bool = False
+    #: Precision tier ("strict64" / "mixed" / "fast32") or a
+    #: :class:`repro.precision.PrecisionConfig`.  SCF convergence-critical
+    #: algebra stays fp64 in every tier; only ``fast32`` routes the Hartree
+    #: solve through fp32 FFT scratch (verified, with permanent fp64
+    #: fallback recorded in the resilience log).
+    precision: object = "strict64"
     # -- resilience (see repro.resilience.checkpoint) ----------------------
     checkpoint_dir: str | None = None  #: snapshot directory; None = disabled
     checkpoint_every: int = 1  #: snapshot every N-th SCF iteration
@@ -206,7 +212,7 @@ def run_scf(
         n_bands <= basis.n_pw,
         f"n_bands={n_bands} exceeds basis size N_pw={basis.n_pw}; raise ecut",
     )
-    ham = KohnShamHamiltonian(basis)
+    ham = KohnShamHamiltonian(basis, precision=opts.precision)
     rng = default_rng(opts.seed)
 
     mixer = (

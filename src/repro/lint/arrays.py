@@ -16,12 +16,20 @@ Ground truth comes from ``@array_contract`` declarations
 (:func:`repro.utils.hot.array_contract`, re-exported by
 :mod:`repro.lint.hotpaths`): contracts seed parameter facts inside the
 declaring function, and resolved call sites are checked against the
-callee's contract.  On top of the interpreter sit four project rules:
+callee's contract.  On top of the interpreter sit five project rules:
 
 * ``silent-upcast-in-hot`` — a float64 value acquires complex128 (or
   float32 acquires float64) inside a hot kernel via ``astype``, a complex
   literal / ``1j``, or a mixed-operand broadcast; also raised when a call
   site passes a wider dtype than the callee's contract allows.
+* ``undeclared-downcast-in-hot`` — the mirror rule for mixed precision: a
+  float64 value is cast to float32 (``astype``, or a narrowing ``dtype=``
+  on ``asarray``/``array``/``ascontiguousarray``) inside a hot kernel
+  whose ``@array_contract`` does *not* declare a ``precision_policy``.
+  Sanctioned mixed-precision stages (see :mod:`repro.precision`) declare
+  ``precision_policy="fp32-compute"`` (or ``"fp32-wire"`` /
+  ``"fp32-scratch"``) on their contract, turning the downcast into a
+  reviewed policy; anything else is treated as accidental precision loss.
 * ``hidden-copy-into-kernel`` — a non-contiguous view (strided slice, or
   a reshape that must copy; a bare transpose of a contiguous block is
   *allowed* into GEMM, where BLAS consumes F-contiguous operands
@@ -81,13 +89,18 @@ __all__ = [
     "unify_dims",
 ]
 
-#: The four rule names this module registers (CLI ``--no-arrays`` filter).
+#: The rule names this module registers (CLI ``--no-arrays`` filter).
 ARRAY_RULE_NAMES = (
     "collective-buffer-contract",
     "hidden-copy-into-kernel",
     "shape-mismatch",
     "silent-upcast-in-hot",
+    "undeclared-downcast-in-hot",
 )
+
+#: Conventional ``precision_policy`` values (informational — any non-empty
+#: string is accepted, matching the runtime decorator).
+PRECISION_POLICIES = ("fp32-compute", "fp32-wire", "fp32-scratch")
 
 _FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
 _NUMPY_ALIASES = frozenset({"np", "numpy"})
@@ -258,6 +271,7 @@ class ContractFacts:
     dtypes: dict[str, tuple[str, ...]] = dataclasses.field(default_factory=dict)
     contiguous: tuple[str, ...] = ()
     returns: dict[str, object] = dataclasses.field(default_factory=dict)
+    precision_policy: str | None = None
     problems: list[str] = dataclasses.field(default_factory=list)
 
     @property
@@ -366,6 +380,13 @@ def _parse_contract(dec: ast.expr) -> ContractFacts | None:
                         )
                 value = {**value, "dtype": tuple(str(n) for n in names)}
             facts.returns = {str(k): v for k, v in value.items()}
+        elif kw.arg == "precision_policy":
+            if not isinstance(value, str) or not value:
+                facts.problems.append(
+                    "precision_policy= must be a non-empty string"
+                )
+                continue
+            facts.precision_policy = value
         else:
             facts.problems.append(f"unknown array_contract keyword {kw.arg!r}")
     return facts
@@ -513,6 +534,11 @@ class _Interpreter:
         self.project = analysis.project
         self.info = info
         self.hot = info.uid in analysis.hot
+        contract = analysis.contracts.get(info.uid)
+        #: A declared ``precision_policy`` sanctions fp64 -> fp32 downcasts.
+        self.precision_policy = (
+            contract.precision_policy if contract is not None else None
+        )
         self.env: dict[str, ArrayFact] = {}
         self.return_fact: ArrayFact | None = None
         self.tainted = frozenset(rank_tainted_names(self.project, info))
@@ -1302,6 +1328,7 @@ class _Interpreter:
             base = arg_facts[0] if arg_facts else None
             if base is None:
                 return ArrayFact(shape=None, dtype=dtype_kw, layout=UNKNOWN)
+            self._check_constructor_downcast(call, leaf, base, dtype_kw)
             return ArrayFact(
                 shape=base.shape,
                 dtype=dtype_kw or base.dtype,
@@ -1309,6 +1336,8 @@ class _Interpreter:
             )
         if is_np and leaf in ("array", "ascontiguousarray"):
             base = arg_facts[0] if arg_facts else None
+            if base is not None:
+                self._check_constructor_downcast(call, leaf, base, dtype_kw)
             return ArrayFact(
                 shape=base.shape if base is not None else None,
                 dtype=dtype_kw or (base.dtype if base is not None else None),
@@ -1422,7 +1451,37 @@ class _Interpreter:
                     f"{origin} value inside a hot kernel — doubles the "
                     "memory traffic and disables the real-FFT fast path",
                 )
+            elif target == "float32" and base.dtype == "float64":
+                self._check_downcast(call, "astype(float32)")
         return ArrayFact(shape=base.shape, dtype=target, layout=CONTIG)
+
+    def _check_constructor_downcast(
+        self,
+        call: ast.Call,
+        leaf: str,
+        base: ArrayFact,
+        dtype_kw: str | None,
+    ) -> None:
+        if (
+            self.hot
+            and dtype_kw == "float32"
+            and base.dtype == "float64"
+        ):
+            self._check_downcast(call, f"{leaf}(..., dtype=float32)")
+
+    def _check_downcast(self, node: ast.AST, how: str) -> None:
+        """fp64 -> fp32 in a hot kernel needs a declared precision policy."""
+        if self.precision_policy is not None:
+            return
+        self.analysis.emit(
+            "undeclared-downcast-in-hot",
+            self.info,
+            node,
+            f"{self.info.qualname}: {how} narrows a float64 value inside a "
+            "hot kernel with no declared precision policy — sanctioned "
+            "mixed-precision stages must set precision_policy= on their "
+            f"@array_contract (conventional values: {PRECISION_POLICIES})",
+        )
 
     # -- literal helpers -----------------------------------------------------
 
@@ -1507,6 +1566,22 @@ class SilentUpcastInHot(_ArrayRule):
     description = (
         "dtype widens silently inside a hot kernel (astype, complex "
         "literal, or mixed-operand broadcast)"
+    )
+
+
+@register_project_rule
+class UndeclaredDowncastInHot(_ArrayRule):
+    """The mirror hazard of :class:`SilentUpcastInHot`: a float64 value
+    narrowed to float32 inside a hot kernel loses ~8 significant digits.
+    Mixed-precision stages are *sanctioned* by declaring
+    ``precision_policy=`` on the kernel's ``@array_contract`` (making the
+    downcast a reviewed policy with an error-bounded fallback — see
+    :mod:`repro.precision`); any other downcast fails lint."""
+
+    name = "undeclared-downcast-in-hot"
+    description = (
+        "float64 value cast to float32 inside a hot kernel whose contract "
+        "declares no precision_policy"
     )
 
 

@@ -397,18 +397,36 @@ class ProcessCommunicator(Communicator):
 
     # -- nonblocking reduce --------------------------------------------------
 
-    def ireduce(self, value: np.ndarray, root: int = 0) -> ReduceHandle:
+    def ireduce(
+        self,
+        value: np.ndarray,
+        root: int = 0,
+        *,
+        wire_dtype=None,
+    ) -> ReduceHandle:
         """Nonblocking sum-reduce: contribution goes into the grow-only
         arena, a tiny descriptor into the root's inbox queue; the posting
         rank returns immediately (this is where the pipelined GEMM's
-        overlap comes from — see :mod:`repro.parallel.pipeline`)."""
+        overlap comes from — see :mod:`repro.parallel.pipeline`).
+
+        ``wire_dtype`` (see :meth:`Communicator.ireduce`) casts the
+        contribution before it enters the shared-memory arena, so the
+        zero-copy byte counters (``traffic.shm_bytes_by_op``) record the
+        genuinely halved wire volume; the root accumulates into the
+        original dtype with the same rank-ordered expression as the
+        thread backend."""
         require(
             isinstance(value, np.ndarray),
             f"ireduce payload must be an ndarray, got {type(value).__name__}",
         )
         self._enter("reduce", value, detail=f"root={root},op=sum,async", track=False)
         value = self._fault_corrupt("reduce", value)
-        arr = np.ascontiguousarray(value)
+        if wire_dtype is None:
+            accumulate = None
+            arr = np.ascontiguousarray(value)
+        else:
+            accumulate = value.dtype
+            arr = np.ascontiguousarray(np.asarray(value, dtype=wire_dtype))
         seq = self._ireduce_seq.get(root, 0)
         self._ireduce_seq[root] = seq + 1
         segment, offset = self._arena.write_array(arr)
@@ -419,12 +437,15 @@ class ProcessCommunicator(Communicator):
         if self._rank != root:
             return ReduceHandle(None)
         self.traffic.record("reduce", arr.nbytes * (self.size - 1))
-        return ReduceHandle(waiter=lambda: self._ireduce_wait(seq))
+        return ReduceHandle(
+            waiter=lambda: self._ireduce_wait(seq, accumulate=accumulate)
+        )
 
-    def _ireduce_wait(self, seq: int) -> np.ndarray:
+    def _ireduce_wait(self, seq: int, accumulate=None) -> np.ndarray:
         """Root side: collect every rank's contribution for ``seq`` from
         the inbox (buffering out-of-order arrivals) and combine them in
-        rank order from zero-copy arena views."""
+        rank order from zero-copy arena views (accumulating into
+        ``accumulate`` dtype when the wire dtype was narrowed)."""
         deadline = time.monotonic() + self._runtime.timeout
         inbox = self._runtime.inboxes[self._rank]
         while any(
@@ -451,6 +472,9 @@ class ProcessCommunicator(Communicator):
             view = slab.view(shape, dtype, offset)
             view.flags.writeable = False
             views.append(view)
+        if accumulate is not None:
+            # astype copies, so the result is already detached from shm.
+            return self._combine_sum_accumulate(views, accumulate)
         result = self._combine(views, "sum")
         if self.size == 1:  # combine returned the lone view itself: detach
             result = np.array(result)

@@ -48,6 +48,49 @@ def _time_best(fn: Callable[[], object], repeats: int) -> tuple[float, object]:
     return best, result
 
 
+def blas_info() -> dict:
+    """BLAS vendor / version / threading facts for benchmark ``meta`` blocks.
+
+    GEMM-heavy numbers are meaningless without knowing which BLAS ran them
+    and on how many threads, so every measured report embeds this.  Works
+    from numpy's build metadata alone; ``threadpoolctl`` (optional) adds
+    the *live* per-pool thread counts when present.
+    """
+    import os
+
+    info: dict = {
+        "cpu_count": os.cpu_count(),
+        "omp_num_threads": os.environ.get("OMP_NUM_THREADS"),
+        "openblas_num_threads": os.environ.get("OPENBLAS_NUM_THREADS"),
+        "vendor": None,
+        "version": None,
+    }
+    try:
+        config = np.show_config(mode="dicts") or {}
+        blas = (config.get("Build Dependencies") or {}).get("blas") or {}
+        info["vendor"] = blas.get("name")
+        info["version"] = blas.get("version")
+        configuration = blas.get("openblas configuration")
+        if configuration:
+            info["configuration"] = str(configuration)
+    except (TypeError, AttributeError, ValueError):
+        pass  # older numpy without mode="dicts" — vendor stays None
+    try:
+        import threadpoolctl
+
+        info["threadpools"] = [
+            {
+                "api": pool.get("internal_api"),
+                "version": pool.get("version"),
+                "num_threads": pool.get("num_threads"),
+            }
+            for pool in threadpoolctl.threadpool_info()
+        ]
+    except ImportError:
+        info["threadpools"] = None
+    return info
+
+
 # -- batch-FFT Coulomb apply ------------------------------------------------
 
 
@@ -245,6 +288,7 @@ def run_backend_bench(
             "mode": "smoke" if smoke else "full",
             "python": platform.python_version(),
             "numpy": np.__version__,
+            "blas": blas_info(),
             "fft_backends": list(available_backends()),
             "cpu_count": __import__("os").cpu_count(),
             "scipy_workers": (

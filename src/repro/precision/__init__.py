@@ -1,0 +1,179 @@
+"""Mixed-precision execution policy for the tolerance-bounded hot stages.
+
+The paper's pipeline is dominated by dense GEMMs (ISDF fitting, pair
+products, the pipelined GEMM+Reduce), FFT applies and K-Means distance
+updates — all tolerance-bounded approximations that run at roughly double
+the throughput in float32 on the same hardware, and at half the bytes over
+the collectives.  This module defines the *policy* object threaded from
+the typed API (:class:`repro.api.SCFConfig` / ``TDDFTConfig`` /
+``BatchConfig`` carry a ``precision`` mode string that participates in the
+request cache key) down to the kernels:
+
+* ``strict64`` — the default: every stage computes and communicates in
+  float64, bit-identical to the historical behaviour.
+* ``mixed`` — the tolerance-bounded stages compute in float32 with
+  float64 accumulation *and verification*: K-Means classifies in fp32
+  with fp64 centroid accumulators and re-checks the final assignment in
+  fp64, the ISDF fitting GEMMs run in fp32 with a sampled fp64 residual
+  check on the fitted expansion, the pipelined GEMM+Reduce transmits fp32
+  blocks (wire dtype decoupled from the fp64 reduction buffers), and the
+  Hxc convolution applies use fp32 FFT scratch with a first-apply fp64
+  cross-check.  SCF/LOBPCG convergence-critical linear algebra stays
+  fp64.
+* ``fast32`` — ``mixed`` plus fp32 FFT scratch inside the SCF Hartree
+  solve and no bit-identical K-Means re-check; error estimates still run
+  and still trigger the fp64 fallback.
+
+Every fp32 stage carries a cheap a-posteriori error estimate against its
+documented tolerance (the ``*_tol`` fields below) and falls back to fp64
+through the PR 2 degradation-ladder pattern when exceeded, recording a
+:class:`repro.resilience.events.DegradationEvent` in the process-wide
+resilience log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import require
+
+__all__ = [
+    "PRECISION_MODES",
+    "PrecisionConfig",
+    "resolve_precision",
+]
+
+#: The three execution tiers, in decreasing strictness.
+PRECISION_MODES: tuple[str, ...] = ("strict64", "mixed", "fast32")
+
+
+@dataclass(frozen=True)
+class PrecisionConfig:
+    """Frozen per-stage precision policy (see the module docstring).
+
+    Attributes
+    ----------
+    mode:
+        The tier this config was derived from (``strict64`` / ``mixed`` /
+        ``fast32``); the compact form carried by the API configs and the
+        request cache key.
+    kmeans_fp32:
+        Classify K-Means points against fp32 centroids (centroid
+        accumulation stays fp64 either way).
+    kmeans_recheck:
+        Re-classify every point in fp64 against the converged centroids
+        and fall back to a full fp64 clustering unless the assignments
+        are bit-identical.
+    fit_fp32:
+        Evaluate the tall-skinny ISDF fitting GEMMs (``Z C^T`` via the
+        separable Hadamard identity) in fp32; the Gram matrix and the
+        Cholesky solve stay fp64.
+    pair_fp32:
+        Materialize explicit pair-product matrices in fp32.
+    wire_fp32:
+        Transmit pipelined GEMM+Reduce blocks as fp32 over the collective
+        wire (shared-memory slabs on the process backend — byte counts
+        halve); reduction buffers accumulate in fp64.
+    fft_fp32:
+        Run the Hxc/Coulomb G-diagonal convolution applies through fp32
+        FFT scratch (TDDFT operator applications).
+    scf_fft_fp32:
+        Extend ``fft_fp32`` to the SCF Hartree solve (``fast32`` only;
+        SCF convergence-critical algebra otherwise stays fp64).
+    verify:
+        Run the a-posteriori error estimates and the fp64 fallback.
+    fit_tol / fft_tol / wire_tol:
+        Documented relative-error bounds for the corresponding stages;
+        an estimate above its bound triggers the fp64 fallback and a
+        resilience-log event.
+    """
+
+    mode: str = "strict64"
+    kmeans_fp32: bool = False
+    kmeans_recheck: bool = True
+    fit_fp32: bool = False
+    pair_fp32: bool = False
+    wire_fp32: bool = False
+    fft_fp32: bool = False
+    scf_fft_fp32: bool = False
+    verify: bool = True
+    fit_tol: float = 1e-4
+    fft_tol: float = 1e-5
+    wire_tol: float = 1e-5
+
+    def __post_init__(self) -> None:
+        require(
+            self.mode in PRECISION_MODES,
+            f"precision mode must be one of {PRECISION_MODES}, got {self.mode!r}",
+        )
+        for name in ("fit_tol", "fft_tol", "wire_tol"):
+            require(
+                getattr(self, name) >= 0.0,
+                f"{name} must be non-negative, got {getattr(self, name)}",
+            )
+
+    @property
+    def any_fp32(self) -> bool:
+        """Whether any stage is allowed to compute or transmit in fp32."""
+        return (
+            self.kmeans_fp32
+            or self.fit_fp32
+            or self.pair_fp32
+            or self.wire_fp32
+            or self.fft_fp32
+            or self.scf_fft_fp32
+        )
+
+    def replace(self, **changes) -> "PrecisionConfig":
+        """A copy with the given fields changed (frozen-safe update)."""
+        import dataclasses
+
+        return dataclasses.replace(self, **changes)
+
+
+#: Canonical per-mode configs (the API layer resolves mode strings here).
+_MODE_CONFIGS: dict[str, PrecisionConfig] = {
+    "strict64": PrecisionConfig(mode="strict64"),
+    "mixed": PrecisionConfig(
+        mode="mixed",
+        kmeans_fp32=True,
+        kmeans_recheck=True,
+        fit_fp32=True,
+        pair_fp32=True,
+        wire_fp32=True,
+        fft_fp32=True,
+        scf_fft_fp32=False,
+        verify=True,
+    ),
+    "fast32": PrecisionConfig(
+        mode="fast32",
+        kmeans_fp32=True,
+        kmeans_recheck=False,
+        fit_fp32=True,
+        pair_fp32=True,
+        wire_fp32=True,
+        fft_fp32=True,
+        scf_fft_fp32=True,
+        verify=True,
+    ),
+}
+
+
+def resolve_precision(
+    precision: "str | PrecisionConfig | None",
+) -> PrecisionConfig:
+    """Fold a mode string (or ``None``) onto its :class:`PrecisionConfig`.
+
+    A :class:`PrecisionConfig` instance passes through unchanged, so power
+    users (and tests forcing a fallback) can carry custom tolerances.
+    """
+    if precision is None:
+        return _MODE_CONFIGS["strict64"]
+    if isinstance(precision, PrecisionConfig):
+        return precision
+    require(
+        precision in _MODE_CONFIGS,
+        f"precision must be one of {PRECISION_MODES} or a PrecisionConfig, "
+        f"got {precision!r}",
+    )
+    return _MODE_CONFIGS[precision]

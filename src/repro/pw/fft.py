@@ -139,41 +139,133 @@ class ConvolutionPlan:
     """A prepared G-diagonal convolution: kernel plus its half-spectrum cut.
 
     Bundles everything :meth:`FourierGrid.convolve_real` can precompute for
-    a fixed ``(grid, kernel)`` pair — currently the ``rfftn`` half-spectrum
-    slice of the kernel — so repeat appliers (the SCF Hartree solve runs one
-    per iteration, the f_Hxc Coulomb half one per operator application) pay
-    the slice exactly once.  Plans are immutable after construction and safe
-    to share across threads: ``apply`` only reads.
+    a fixed ``(grid, kernel)`` pair — the ``rfftn`` half-spectrum slice of
+    the kernel, and for ``dtype=float32`` plans its single-precision copy —
+    so repeat appliers (the SCF Hartree solve runs one per iteration, the
+    f_Hxc Coulomb half one per operator application) pay the slice exactly
+    once.  Plans are immutable after construction apart from the
+    mixed-precision degradation latch and safe to share across threads:
+    ``apply`` only reads (the one-shot ``degraded`` flip is idempotent).
+
+    ``dtype=float32`` plans route real fields through single-precision FFT
+    scratch (half the transform flops and spectrum bytes on engines with a
+    real fast path) and upcast the result to float64.  The first fp32 apply
+    is cross-checked against the fp64 path; a relative deviation above
+    ``tol`` permanently degrades the plan to fp64 — the same latch pattern
+    as :class:`repro.resilience.ResilientFFTEngine` — and records a
+    ``fft-convolve`` event in the resilience log.
     """
 
-    __slots__ = ("fourier", "kernel", "kernel_half")
+    __slots__ = (
+        "fourier",
+        "kernel",
+        "kernel_half",
+        "kernel_half32",
+        "dtype",
+        "tol",
+        "verify",
+        "stage",
+        "degraded",
+        "_verified",
+    )
 
-    def __init__(self, fourier: FourierGrid, kernel: np.ndarray) -> None:
+    def __init__(
+        self,
+        fourier: FourierGrid,
+        kernel: np.ndarray,
+        *,
+        dtype=np.float64,
+        tol: float = 1e-5,
+        verify: bool = True,
+        stage: str = "fft-convolve",
+    ) -> None:
         self.fourier = fourier
         self.kernel = np.asarray(kernel, dtype=float)
         self.kernel_half = fourier.half_kernel(self.kernel)
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(
+                f"ConvolutionPlan dtype must be float64 or float32, "
+                f"got {self.dtype}"
+            )
+        self.kernel_half32 = (
+            self.kernel_half.astype(np.float32)
+            if self.dtype == np.float32
+            else None
+        )
+        self.tol = float(tol)
+        self.verify = bool(verify)
+        self.stage = str(stage)
+        self.degraded = False
+        self._verified = False
 
     @array_contract(
         shapes={"fields": ("...", "n_r")},
         dtypes={"fields": ("float64", "complex128")},
         returns={"dtype": "float64"},
+        precision_policy="fp32-scratch",
     )
     def apply(self, fields: np.ndarray) -> np.ndarray:
         """Convolve real ``(..., N_r)`` fields with the planned kernel."""
+        if self.dtype == np.float32 and not self.degraded:
+            out = self._apply_fp32(fields)
+            if out is not None:
+                return out
         return self.fourier.convolve_real(
             fields, self.kernel, kernel_half=self.kernel_half
         )
+
+    def _apply_fp32(self, fields: np.ndarray) -> np.ndarray | None:
+        """The fp32-scratch apply; ``None`` defers to the fp64 path.
+
+        Only engines with a real fast path benefit (the reference complex
+        round-trip would upcast anyway), so other engines defer.
+        """
+        fields = np.asarray(fields)
+        eng = self.fourier.fft_engine
+        if not (eng.supports_real and np.isrealobj(fields)):
+            return None
+        grid = self.fourier.grid
+        f32 = grid.reshape_to_grid(fields).astype(np.float32)
+        spec = eng.rfftn(f32, axes=_AXES)
+        spec *= self.kernel_half32
+        out = eng.irfftn(spec, s=grid.shape, axes=_AXES)
+        result = grid.flatten_from_grid(out.astype(np.float64))
+        if self.verify and not self._verified:
+            self._verified = True
+            reference = self.fourier.convolve_real(
+                fields, self.kernel, kernel_half=self.kernel_half
+            )
+            scale = float(np.abs(reference).max()) or 1.0
+            error = float(np.abs(result - reference).max()) / scale
+            if not np.isfinite(error) or error > self.tol:
+                self.degraded = True
+                from repro.resilience.events import resilience_log
+
+                resilience_log().record(
+                    self.stage,
+                    "fallback-fp64",
+                    f"fp32 FFT scratch error {error:.3e} exceeds "
+                    f"tolerance {self.tol:.1e}; plan degraded to fp64",
+                    error=error,
+                    tol=self.tol,
+                    grid=tuple(grid.shape),
+                )
+                return reference
+        return result
 
 
 class PlanCache:
     """Process-wide LRU cache of :class:`ConvolutionPlan` objects.
 
-    Keyed by ``(tag, grid shape, lattice bytes, engine name)`` so plans are
-    reused across *calculations* — consecutive trajectory frames that share
-    a lattice and cutoff hit the same plan even though each frame builds a
-    fresh basis — while any change that alters the kernel values (different
-    lattice, different grid, a kernel-variant tag such as a truncation
-    radius) or the transform layout (engine switch) misses and rebuilds.
+    Keyed by ``(tag, grid shape, lattice bytes, engine name, plan dtype)``
+    so plans are reused across *calculations* — consecutive trajectory
+    frames that share a lattice and cutoff hit the same plan even though
+    each frame builds a fresh basis — while any change that alters the
+    kernel values (different lattice, different grid, a kernel-variant tag
+    such as a truncation radius), the transform layout (engine switch) or
+    the compute precision (an fp32 plan and an fp64 plan for the same
+    kernel must never collide) misses and rebuilds.
 
     Thread-safe: lookups and insertions hold a lock; the ``build`` callback
     runs outside it, so two threads may race to build the same plan, in
@@ -190,11 +282,25 @@ class PlanCache:
         self._hits = 0
         self._misses = 0
 
-    def get(self, tag: str, fourier: FourierGrid, build) -> ConvolutionPlan:
+    def get(
+        self,
+        tag: str,
+        fourier: FourierGrid,
+        build,
+        *,
+        dtype=np.float64,
+        tol: float = 1e-5,
+        verify: bool = True,
+        stage: str = "fft-convolve",
+    ) -> ConvolutionPlan:
         """Return the cached plan for ``tag`` on this grid, building on miss.
 
         ``build`` is a zero-argument callable returning the full-spectrum
-        kernel array; it is only invoked when the cache misses.
+        kernel array; it is only invoked when the cache misses.  ``dtype``
+        selects the plan's compute precision and participates in the cache
+        key, so fp32 and fp64 plans for the same kernel coexist; ``tol``,
+        ``verify`` and ``stage`` configure the fp32 cross-check and do not
+        key the cache (one fp32 plan per kernel, first caller's bound wins).
         """
         grid = fourier.grid
         key = (
@@ -202,6 +308,7 @@ class PlanCache:
             grid.shape,
             grid.cell.lattice.tobytes(),
             fourier.fft_engine.name,
+            np.dtype(dtype).str,
         )
         with self._lock:
             plan = self._plans.get(key)
@@ -210,7 +317,9 @@ class PlanCache:
                 self._hits += 1
                 return plan
             self._misses += 1
-        plan = ConvolutionPlan(fourier, build())
+        plan = ConvolutionPlan(
+            fourier, build(), dtype=dtype, tol=tol, verify=verify, stage=stage
+        )
         with self._lock:
             self._plans[key] = plan
             self._plans.move_to_end(key)

@@ -23,6 +23,11 @@ from repro.resilience.checkpoint import (
     CheckpointManager,
     LoopCheckpointer,
 )
+from repro.resilience.events import (
+    DegradationEvent,
+    ResilienceLog,
+    resilience_log,
+)
 from repro.resilience.faults import (
     FAULT_KINDS,
     FaultInjector,
@@ -43,8 +48,11 @@ __all__ = [
     "CHECKPOINT_FORMAT_VERSION",
     "CheckpointError",
     "CheckpointManager",
+    "DegradationEvent",
     "LoopCheckpointer",
     "FAULT_KINDS",
+    "ResilienceLog",
+    "resilience_log",
     "FaultInjector",
     "FaultSpec",
     "InjectedFault",

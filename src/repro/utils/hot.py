@@ -36,6 +36,16 @@ read them straight off the AST):
 * ``returns={"contiguous": True, "dtype": "float64", "shape": (...)}`` —
   validated on exit in runtime mode; statically checked only when the
   return fact is inferable.
+* ``precision_policy="fp32-compute"`` — declares that this kernel hosts a
+  *sanctioned* mixed-precision path (see :mod:`repro.precision`): it may
+  downcast float64 operands to float32 internally, guarded by an
+  a-posteriori error estimate.  The ``silent-upcast-in-hot`` lint rule
+  rejects undeclared float64 -> float32 casts in hot kernels; this field
+  is the static declaration that makes the downcast reviewed policy
+  rather than an accident.  Conventional values: ``"fp32-compute"``
+  (fp32 GEMM/classification with fp64 accumulation), ``"fp32-wire"``
+  (fp32 collective payloads with fp64 reduction buffers),
+  ``"fp32-scratch"`` (fp32 FFT scratch with fp64 results).
 """
 
 from __future__ import annotations
@@ -119,7 +129,7 @@ class ArrayContractError(AssertionError):
 class ContractSpec:
     """Parsed, immutable form of one ``@array_contract`` declaration."""
 
-    __slots__ = ("shapes", "dtypes", "contiguous", "returns")
+    __slots__ = ("shapes", "dtypes", "contiguous", "returns", "precision_policy")
 
     def __init__(
         self,
@@ -127,11 +137,13 @@ class ContractSpec:
         dtypes: Mapping[str, tuple[str, ...]],
         contiguous: tuple[str, ...],
         returns: Mapping[str, Any] | None,
+        precision_policy: str | None = None,
     ) -> None:
         self.shapes = dict(shapes)
         self.dtypes = dict(dtypes)
         self.contiguous = contiguous
         self.returns = dict(returns) if returns else None
+        self.precision_policy = precision_policy
 
     @property
     def param_names(self) -> tuple[str, ...]:
@@ -186,6 +198,22 @@ def _check_shape_spec(name: str, spec: object) -> None:
             )
 
 
+def _describe_value(value: Any) -> str:
+    """Compact actual-state description: ``float32 array of shape (4, 8)``."""
+    flags = getattr(value, "flags", None)
+    layout = ""
+    if flags is not None:
+        layout = ", C-contiguous" if flags["C_CONTIGUOUS"] else ", non-contiguous"
+    return f"{value.dtype} array of shape {tuple(value.shape)}{layout}"
+
+
+def _where(qualname: str, name: str) -> str:
+    """Who violated: names both the kernel and the offending argument, so a
+    failure surfaced from a nested kernel still reads unambiguously."""
+    what = "return value" if name == "return" else f"argument {name!r}"
+    return f"array contract of {qualname}() violated by {what}"
+
+
 def validate_contract_value(
     spec: ContractSpec,
     qualname: str,
@@ -197,7 +225,9 @@ def validate_contract_value(
 
     ``dims`` accumulates symbolic-dim bindings across the parameters of a
     single call so cross-parameter dims unify.  Non-array values are
-    skipped (duck-typed payload parameters stay unconstrained).
+    skipped (duck-typed payload parameters stay unconstrained).  Every
+    violation message names the kernel, the offending argument and the
+    expected-vs-actual dtype/shape/layout.
     """
     if not hasattr(value, "dtype") or not hasattr(value, "shape"):
         return
@@ -208,9 +238,11 @@ def validate_contract_value(
     if allowed is not None:
         bucket = canonical_dtype(value.dtype)
         if bucket not in allowed:
+            expected = " or ".join(allowed)
             raise ArrayContractError(
-                f"{qualname}: parameter {name!r} has dtype {value.dtype} "
-                f"(lattice {bucket}); contract allows {allowed}"
+                f"{_where(qualname, name)}: expected dtype {expected}, "
+                f"got {_describe_value(value)} "
+                f"(dtype {value.dtype} is lattice bucket {bucket})"
             )
     if name in spec.contiguous or (
         name == "return" and spec.returns is not None and spec.returns.get("contiguous")
@@ -218,9 +250,9 @@ def validate_contract_value(
         flags = getattr(value, "flags", None)
         if flags is not None and not flags["C_CONTIGUOUS"]:
             raise ArrayContractError(
-                f"{qualname}: parameter {name!r} must be C-contiguous "
-                f"(got strides {getattr(value, 'strides', None)} for shape "
-                f"{value.shape})"
+                f"{_where(qualname, name)}: expected a C-contiguous layout, "
+                f"got {_describe_value(value)} with strides "
+                f"{getattr(value, 'strides', None)}"
             )
     shape_spec = spec.shapes.get(name)
     if name == "return" and spec.returns is not None:
@@ -233,29 +265,35 @@ def validate_contract_value(
         declared = declared[1:]
         if len(value.shape) < len(declared):
             raise ArrayContractError(
-                f"{qualname}: parameter {name!r} has rank {len(value.shape)}"
-                f", contract requires at least {len(declared)} trailing dims"
+                f"{_where(qualname, name)}: expected at least "
+                f"{len(declared)} trailing dims "
+                f"('...', {', '.join(map(repr, declared))}), "
+                f"got {_describe_value(value)}"
             )
         actual = tuple(value.shape)[len(value.shape) - len(declared) :]
     else:
         if len(value.shape) != len(declared):
             raise ArrayContractError(
-                f"{qualname}: parameter {name!r} has shape {value.shape}, "
-                f"contract declares rank {len(declared)}"
+                f"{_where(qualname, name)}: expected shape "
+                f"{tuple(declared)} (rank {len(declared)}), "
+                f"got {_describe_value(value)}"
             )
         actual = tuple(value.shape)
     for dim, size in zip(declared, actual):
         if isinstance(dim, int):
             if size != dim:
                 raise ArrayContractError(
-                    f"{qualname}: parameter {name!r} dim {dim} != {size}"
+                    f"{_where(qualname, name)}: expected dim {dim} where the "
+                    f"contract declares {tuple(declared)}, "
+                    f"got {_describe_value(value)}"
                 )
             continue
         bound = dims.setdefault(dim, int(size))
         if bound != size:
             raise ArrayContractError(
-                f"{qualname}: symbolic dim {dim!r} bound to {bound} "
-                f"elsewhere in this call but {name!r} has {size}"
+                f"{_where(qualname, name)}: symbolic dim {dim!r} is "
+                f"{bound} elsewhere in this call, but {_describe_value(value)} "
+                f"puts {size} there (contract shape {tuple(declared)})"
             )
 
 
@@ -291,13 +329,23 @@ def array_contract(
     dtypes: Mapping[str, str | Sequence[str]] | None = None,
     contiguous: Sequence[str] = (),
     returns: Mapping[str, Any] | None = None,
+    precision_policy: str | None = None,
 ) -> Callable[[F], F]:
     """Declare the array contract of a hot kernel (see module docstring).
 
     Always attaches the parsed :class:`ContractSpec` as
     ``__repro_array_contract__``; wraps the function with entry asserts
     only when ``REPRO_ARRAY_CONTRACTS`` was set at decoration time.
+    ``precision_policy`` statically sanctions an internal float64 ->
+    float32 downcast (mixed-precision stage); it adds no runtime checks.
     """
+    if precision_policy is not None and (
+        not isinstance(precision_policy, str) or not precision_policy
+    ):
+        raise ValueError(
+            "array_contract precision_policy must be a non-empty string, "
+            f"got {precision_policy!r}"
+        )
     for name, spec in (shapes or {}).items():
         _check_shape_spec(name, spec)
     if returns is not None:
@@ -312,7 +360,11 @@ def array_contract(
                 "dtype": _normalize_dtypes({"return": returns["dtype"]})["return"],
             }
     parsed = ContractSpec(
-        shapes or {}, _normalize_dtypes(dtypes), tuple(contiguous), returns
+        shapes or {},
+        _normalize_dtypes(dtypes),
+        tuple(contiguous),
+        returns,
+        precision_policy,
     )
 
     def mark(fn: F) -> F:

@@ -95,6 +95,18 @@ class TestValidation:
         with pytest.raises(ValueError, match="scf"):
             api.BatchConfig(scf={"ecut": 6.0})
 
+    def test_scf_bad_precision(self):
+        with pytest.raises(ValueError, match="precision"):
+            api.SCFConfig(precision="half")
+
+    def test_tddft_bad_precision(self):
+        with pytest.raises(ValueError, match="precision"):
+            api.TDDFTConfig(precision="fp32")
+
+    def test_batch_bad_precision(self):
+        with pytest.raises(ValueError, match="precision"):
+            api.BatchConfig(precision="mixed64")
+
     def test_replace(self):
         cfg = api.TDDFTConfig()
         other = cfg.replace(method="naive", n_excitations=3)
@@ -113,6 +125,30 @@ class TestValidation:
     def test_checkpointer_tagged(self, tmp_path):
         ck = api.ResilienceConfig(checkpoint_dir=str(tmp_path)).checkpointer("scf")
         assert ck.tag == "scf"
+
+
+class TestPrecisionThreading:
+    def test_default_tier_is_strict64(self):
+        assert api.SCFConfig().precision == "strict64"
+        assert api.TDDFTConfig().precision == "strict64"
+        assert api.BatchConfig().precision is None
+
+    def test_batch_precision_pushes_down_to_both_stages(self):
+        cfg = api.BatchConfig(precision="mixed")
+        assert cfg.scf.precision == "mixed"
+        assert cfg.tddft.precision == "mixed"
+
+    def test_batch_none_preserves_nested_tiers(self):
+        cfg = api.BatchConfig(
+            scf=api.SCFConfig(precision="fast32"),
+            tddft=api.TDDFTConfig(precision="mixed"),
+        )
+        assert cfg.scf.precision == "fast32"
+        assert cfg.tddft.precision == "mixed"
+
+    def test_precision_survives_the_dict_round_trip(self):
+        cfg = api.TDDFTConfig(precision="mixed")
+        assert api.TDDFTConfig.from_dict(cfg.to_dict()).precision == "mixed"
 
 
 class TestDeprecationShims:

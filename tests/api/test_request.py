@@ -128,6 +128,24 @@ class TestCacheKeyStability:
         td = CalculationRequest(kind="tddft", structure=cell)
         assert scf.cache_key() != td.cache_key()
 
+    def test_precision_tier_is_part_of_the_key(self, cell):
+        # strict64 and mixed results are (deliberately) not interchangeable
+        # in the content-addressed cache: the tier must enter the key, and
+        # the default tier must alias its explicit spelling.
+        strict = CalculationRequest(
+            kind="tddft", structure=cell, tddft=TDDFTConfig()
+        )
+        explicit = CalculationRequest(
+            kind="tddft", structure=cell,
+            tddft=TDDFTConfig(precision="strict64"),
+        )
+        mixed = CalculationRequest(
+            kind="tddft", structure=cell,
+            tddft=TDDFTConfig(precision="mixed"),
+        )
+        assert strict.cache_key() == explicit.cache_key()
+        assert strict.cache_key() != mixed.cache_key()
+
     def test_resilience_is_part_of_the_key(self, cell):
         plain = CalculationRequest(kind="scf", structure=cell)
         degraded = CalculationRequest(

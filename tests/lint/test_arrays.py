@@ -390,6 +390,87 @@ class TestCollectiveBufferContract:
         assert findings == []
 
 
+class TestUndeclaredDowncastInHot:
+    """Mixed-precision governance: a float64 -> float32 downcast inside a
+    hot function must be statically sanctioned by a ``precision_policy``
+    on its contract — otherwise it is an unreviewed precision loss."""
+
+    def test_astype_downcast_flagged(self):
+        findings = one_module(
+            HEADER
+            + "@array_contract(dtypes={'x': 'float64'})\n"
+            "def apply(x):\n"
+            "    return x.astype(np.float32)\n",
+            "undeclared-downcast-in-hot",
+        )
+        assert len(findings) == 1
+        assert "float32" in findings[0].message
+
+    def test_asarray_dtype_downcast_flagged(self):
+        findings = one_module(
+            HEADER
+            + "@array_contract(dtypes={'x': 'float64'})\n"
+            "def apply(x):\n"
+            "    return np.asarray(x, dtype=np.float32)\n",
+            "undeclared-downcast-in-hot",
+        )
+        assert len(findings) == 1
+
+    def test_ascontiguousarray_dtype_downcast_flagged(self):
+        findings = one_module(
+            HEADER
+            + "@array_contract(dtypes={'x': 'float64'})\n"
+            "def apply(x):\n"
+            "    return np.ascontiguousarray(x, dtype=np.float32)\n",
+            "undeclared-downcast-in-hot",
+        )
+        assert len(findings) == 1
+
+    def test_declared_policy_sanctions_the_downcast(self):
+        findings = one_module(
+            HEADER
+            + "@array_contract(dtypes={'x': 'float64'},\n"
+            "                precision_policy='fp32-compute')\n"
+            "def apply(x):\n"
+            "    return x.astype(np.float32)\n",
+            "undeclared-downcast-in-hot",
+        )
+        assert findings == []
+
+    def test_cold_function_may_downcast_freely(self):
+        findings = one_module(
+            HEADER
+            + "def reference(x):\n"
+            "    y = np.zeros(3)\n"
+            "    return y.astype(np.float32)\n",
+            "undeclared-downcast-in-hot",
+        )
+        assert findings == []
+
+    def test_fp32_input_is_not_a_downcast(self):
+        findings = one_module(
+            HEADER
+            + "@array_contract(dtypes={'x': 'float32'})\n"
+            "def apply(x):\n"
+            "    return np.asarray(x, dtype=np.float32)\n",
+            "undeclared-downcast-in-hot",
+        )
+        assert findings == []
+
+    def test_unknown_dtype_never_flags(self):
+        findings = one_module(
+            HEADER
+            + "@hot_kernel\n"
+            "def apply(x):\n"
+            "    return x.astype(np.float32)\n",  # x dtype unknown
+            "undeclared-downcast-in-hot",
+        )
+        assert findings == []
+
+    def test_rule_is_registered(self):
+        assert "undeclared-downcast-in-hot" in ARRAY_RULE_NAMES
+
+
 class TestRealTreeIsClean:
     """The PR invariant: zero unsuppressed array findings on ``src/``."""
 

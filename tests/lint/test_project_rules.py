@@ -410,5 +410,6 @@ class TestRealTreeStaysClean:
             "shape-mismatch",
             "silent-upcast-in-hot",
             "transitive-collective-in-branch",
+            "undeclared-downcast-in-hot",
         ]
         assert lint_paths(["src"], rules=names) == []

@@ -162,7 +162,7 @@ class TestEnabledEnforcement:
 
         f(np.zeros(4))
         f(np.zeros((2, 3, 4)))
-        with pytest.raises(ArrayContractError, match="rank"):
+        with pytest.raises(ArrayContractError, match="trailing dims"):
             f(np.float64(1.0).reshape(()))  # rank 0 < 1 trailing dim
 
     def test_any_shape_constrains_nothing(self, enabled):
@@ -234,6 +234,103 @@ class TestEnabledEnforcement:
 
         assert my_kernel.__name__ == "my_kernel"
         assert my_kernel.__doc__ == "Docstring survives."
+
+
+class TestViolationMessages:
+    """A violation must name the kernel, the offending argument and the
+    expected-vs-actual dtype/shape/layout — a failure surfaced from a
+    nested kernel three GEMMs deep has to read unambiguously."""
+
+    def test_dtype_message_names_argument_and_both_dtypes(self, enabled):
+        @array_contract(dtypes={"weights": "float64"})
+        def classify(points, weights):
+            return weights
+
+        with pytest.raises(ArrayContractError) as err:
+            classify(np.zeros(3), np.zeros((4, 8), dtype=np.float32))
+        message = str(err.value)
+        assert "classify()" in message
+        assert "'weights'" in message
+        assert "expected dtype float64" in message
+        assert "float32 array of shape (4, 8)" in message
+
+    def test_layout_message_reports_actual_strides(self, enabled):
+        @array_contract(contiguous=("z",))
+        def gemm(z):
+            return z
+
+        with pytest.raises(ArrayContractError) as err:
+            gemm(np.zeros((4, 6)).T)
+        message = str(err.value)
+        assert "gemm()" in message and "'z'" in message
+        assert "expected a C-contiguous layout" in message
+        assert "non-contiguous" in message and "strides" in message
+
+    def test_shape_message_shows_expected_and_actual(self, enabled):
+        @array_contract(shapes={"x": ("n", 3)})
+        def f(x):
+            return x
+
+        with pytest.raises(ArrayContractError) as err:
+            f(np.zeros((5, 4)))
+        message = str(err.value)
+        assert "'x'" in message
+        assert "float64 array of shape (5, 4)" in message
+
+    def test_symbolic_dim_message_names_the_binding(self, enabled):
+        @array_contract(shapes={"a": ("n",), "b": ("n",)})
+        def f(a, b):
+            return a
+
+        with pytest.raises(ArrayContractError) as err:
+            f(np.zeros(4), np.zeros(5))
+        message = str(err.value)
+        assert "'n'" in message and "4" in message
+
+    def test_return_violation_says_return_value(self, enabled):
+        @array_contract(returns={"dtype": "float64"})
+        def f():
+            return np.zeros(2, dtype=np.float32)
+
+        with pytest.raises(ArrayContractError, match="return value"):
+            f()
+
+
+class TestPrecisionPolicy:
+    def test_policy_is_attached_to_the_spec(self):
+        @array_contract(
+            dtypes={"x": "float64"}, precision_policy="fp32-compute"
+        )
+        def f(x):
+            return x
+
+        assert get_array_contract(f).precision_policy == "fp32-compute"
+
+    def test_default_is_none(self):
+        @array_contract(dtypes={"x": "float64"})
+        def f(x):
+            return x
+
+        assert get_array_contract(f).precision_policy is None
+
+    def test_empty_policy_rejected(self):
+        with pytest.raises(ValueError, match="precision_policy"):
+            array_contract(precision_policy="")
+
+    def test_non_string_policy_rejected(self):
+        with pytest.raises(ValueError, match="precision_policy"):
+            array_contract(precision_policy=32)
+
+    def test_policy_adds_no_runtime_checks(self, enabled):
+        @array_contract(
+            dtypes={"x": "float64"}, precision_policy="fp32-compute"
+        )
+        def f(x):
+            return x.astype(np.float32)
+
+        # The policy sanctions the downcast statically (lint); runtime
+        # entry checks are unchanged and the fp32 return passes.
+        assert f(np.zeros(3)).dtype == np.float32
 
 
 class TestEnvParsing:

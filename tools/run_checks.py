@@ -33,18 +33,24 @@ Runs, in order:
     bench-spmd GIL-bound workload: sanitized results bit-identical to
     unsanitized, a mismatched collective diagnosed with both call sites,
     and overhead within 25% (skipped where ``fork`` is unavailable),
-11. **serve smoke** — an in-process job server handling a duplicate
+11. **precision smoke** — the mixed precision tier (``repro.precision``)
+    against strict64: fit and K-Means errors inside their documented
+    tolerances with no fallback fired, the fp32 wire provably halving the
+    shared-memory reduce bytes on the pipelined GEMM+Reduce, and the
+    thread/process backends bit-identical to each other under the fp32
+    wire (skip with ``--no-precision``),
+12. **serve smoke** — an in-process job server handling a duplicate
     request pair: the second submission must be a bit-identical,
     zero-SCF-iteration cache hit, and a perturbed third request must
     warm-start off the cached ground state,
-12. **public API snapshot** — ``tools/check_public_api.py``,
-13. **bytecode guard** — ``tools/check_no_pyc.py``,
-14. **bench gate** — ``tools/check_bench.py``: validates the committed
+13. **public API snapshot** — ``tools/check_public_api.py``,
+14. **bytecode guard** — ``tools/check_no_pyc.py``,
+15. **bench gate** — ``tools/check_bench.py``: validates the committed
     ``BENCH_*.json`` reports and re-runs the smoke benchmarks, gating on
     correctness flags and dimensionless ratios (never raw seconds); skip
     with ``--no-bench`` for the fast loop, refresh the committed reports
     with ``python tools/check_bench.py --update-bench``,
-15. **tier-1 tests** — ``pytest -x -q`` (skip with ``--no-tests`` for the
+16. **tier-1 tests** — ``pytest -x -q`` (skip with ``--no-tests`` for the
     fast pre-commit loop).
 
 Exit status is nonzero if any mandatory stage fails.  Optional tools that
@@ -347,6 +353,80 @@ print(f"process-sanitizer smoke: ok (bit-identical, overhead {ratio:.2f}x, "
 """
 
 
+_PRECISION_SMOKE = """
+import multiprocessing, sys
+import numpy as np
+
+from repro.core.fitting import fit_interpolation_vectors
+from repro.core.kmeans import weighted_kmeans
+from repro.resilience import resilience_log
+
+# 1) mixed-tier numerics: the fp32 compute stages must stay inside the
+#    tier's documented tolerances against strict64, with no fallback.
+rng = np.random.default_rng(11)
+psi_v = rng.standard_normal((8, 2048))
+psi_c = rng.standard_normal((8, 2048))
+# n_mu well below the n_v*n_c Hadamard-Gram rank bound: the fit must be
+# well-posed for a tier comparison to be meaningful (an ill-conditioned
+# Gram amplifies *any* perturbation through the solve, fp32 or not).
+idx = np.sort(rng.choice(2048, size=32, replace=False))
+theta64 = fit_interpolation_vectors(psi_v, psi_c, idx)
+theta32 = fit_interpolation_vectors(psi_v, psi_c, idx, precision="mixed")
+err = np.linalg.norm(theta32 - theta64) / np.linalg.norm(theta64)
+assert err <= 1e-4, f"mixed fit error {err:.3e} exceeds 1e-4"
+
+pts = rng.random((4000, 3))
+wts = rng.random(4000) + 0.1
+strict = weighted_kmeans(pts, wts, 16, rng=np.random.default_rng(0))
+mixed = weighted_kmeans(
+    pts, wts, 16, rng=np.random.default_rng(0), precision="mixed"
+)
+drift = abs(mixed[2] - strict[2]) / abs(strict[2])
+assert drift <= 1e-2, f"mixed kmeans inertia drift {drift:.3e} exceeds 1e-2"
+assert not resilience_log().events(), resilience_log().events()
+
+# 2) fp32 wire: on the pipelined GEMM+Reduce the shared-memory reduce
+#    bytes must provably halve, and thread/process backends must stay
+#    bit-identical to each other under the fp32 wire.
+try:
+    multiprocessing.get_context("fork")
+except ValueError:
+    print("precision smoke: ok (wire-byte check skipped: no fork)")
+    sys.exit(0)
+
+from repro.parallel import spmd_run
+from repro.parallel.pipeline import pipelined_vhxc_full
+
+def prog(precision):
+    def body(comm):
+        r = np.random.default_rng(5 + comm.rank)
+        z = r.standard_normal((8, 32))
+        k = r.standard_normal((8, 32))
+        return pipelined_vhxc_full(comm, z, k, 0.1, precision=precision)
+    return body
+
+out64, t64 = spmd_run(2, prog("strict64"), backend="process", return_traffic=True)
+out32, t32 = spmd_run(2, prog("mixed"), backend="process", return_traffic=True)
+b64 = t64.shm_bytes_by_op["reduce"]
+b32 = t32.shm_bytes_by_op["reduce"]
+assert 2 * b32 <= b64, f"fp32 reduce bytes {b32} not <= half of fp64 {b64}"
+scale = max(float(np.abs(a).max()) for a in out64)
+wire_err = max(
+    float(np.abs(a - b).max()) for a, b in zip(out32, out64)
+) / scale
+assert wire_err <= 1e-5, f"fp32-wire error {wire_err:.3e} exceeds 1e-5"
+thread32 = spmd_run(2, prog("mixed"), backend="thread")
+assert all(np.array_equal(a, b) for a, b in zip(thread32, out32)), (
+    "thread/process backends disagree under the fp32 wire"
+)
+print(
+    f"precision smoke: ok (fit err {err:.1e}, inertia drift {drift:.1e}, "
+    f"reduce bytes {b64} -> {b32}, wire err {wire_err:.1e}, "
+    "backends bit-identical)"
+)
+"""
+
+
 _SERVE_SMOKE = """
 import numpy as np
 from repro.api import CalculationRequest, SCFConfig
@@ -391,6 +471,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="skip the tier-1 pytest stage (fast loop)")
     parser.add_argument("--no-bench", action="store_true",
                         help="skip the perf-regression bench gate (fast loop)")
+    parser.add_argument("--no-precision", action="store_true",
+                        help="skip the mixed-precision smoke stage")
     args = parser.parse_args(argv)
 
     gate = Gate()
@@ -409,6 +491,11 @@ def main(argv: list[str] | None = None) -> int:
     gate.run("process-smoke", [sys.executable, "-c", _PROCESS_SMOKE])
     gate.run("process-sanitizer-smoke",
              [sys.executable, "-c", _PROCESS_SANITIZER_SMOKE])
+    if not args.no_precision:
+        gate.run("precision-smoke", [sys.executable, "-c", _PRECISION_SMOKE])
+    else:
+        print("-- precision-smoke: SKIP (--no-precision)")
+        gate.results.append(("precision-smoke", "SKIP", 0.0))
     gate.run("serve-smoke", [sys.executable, "-c", _SERVE_SMOKE])
     gate.run("public-api", [sys.executable, os.path.join("tools", "check_public_api.py")])
     gate.run("no-pyc", [sys.executable, os.path.join("tools", "check_no_pyc.py")])
